@@ -1,0 +1,46 @@
+"""Paper Section VI-A: the Android-12 200 Hz sampling-rate cap.
+
+The paper re-runs the TESS/OnePlus 7T/loudspeaker experiment with the
+accelerometer capped at 200 Hz (the Android 12 background-app limit) and
+reports 80.1 % vs 95.3 % at the default rate — degraded but still >5x
+chance.
+
+We sweep the output rate. Expected shape: accuracy at 200 Hz stays >=4x
+chance; the default-rate run is at least as good. (Known deviation,
+recorded in EXPERIMENTS.md: our Table II features are envelope-dominated,
+so the cap costs only a few points here vs ~15 in the paper.)
+"""
+
+import pytest
+
+from repro.eval.experiment import run_feature_experiment
+
+from benchmarks._common import features_for, print_header
+
+RATES = (None, 200.0, 100.0)
+
+
+def test_ablation_sampling_rate(benchmark):
+    accuracies = {}
+
+    def run():
+        for rate in RATES:
+            data = features_for("tess", "oneplus7t", sample_rate=rate)
+            result = run_feature_experiment(data, "logistic", seed=0, fast=True)
+            accuracies[rate] = result.accuracy
+        return accuracies
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Ablation VI-A - accelerometer sampling-rate cap (TESS, 7T)")
+    print(f"  default rate : {accuracies[None]:.2%}  (paper 95.3 %)")
+    print(f"  200 Hz cap   : {accuracies[200.0]:.2%}  (paper 80.1 %)")
+    print(f"  100 Hz       : {accuracies[100.0]:.2%}")
+
+    chance = 1.0 / 7.0
+    # The Android cap leaves the attack well above chance (paper: >5x).
+    assert accuracies[200.0] > 4 * chance
+    # Default rate is at least as good as the capped rate.
+    assert accuracies[None] >= accuracies[200.0] - 0.03
+    # Halving again should not *improve* things.
+    assert accuracies[100.0] <= accuracies[None] + 0.03

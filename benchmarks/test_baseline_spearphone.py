@@ -1,0 +1,44 @@
+"""Prior-work baseline: Spearphone-style gender/speaker identification.
+
+EmoLeak's closest prior work (Spearphone, cited as [17]) showed the same
+loudspeaker→accelerometer channel reveals the speaker's gender and
+identity. Running that baseline on our substrate validates the channel
+against the prior work's findings and positions EmoLeak's contribution:
+the same captured features support *both* attacks.
+
+Expected shape: gender >> 50 % chance; emotion (EmoLeak) and gender
+(Spearphone) both succeed on identical recordings.
+"""
+
+from repro.attack.spearphone import SpearphoneBaseline
+from repro.eval.experiment import run_feature_experiment
+from repro.ml.forest import RandomForest
+from repro.phone.channel import VibrationChannel
+
+from benchmarks._common import corpus_for, features_for, print_header
+
+
+def test_baseline_spearphone_gender(benchmark):
+    results = {}
+
+    def run():
+        corpus = corpus_for("cremad").subsample(per_class=60, seed=0)
+        channel = VibrationChannel("galaxys10")
+        baseline = SpearphoneBaseline(channel, seed=0)
+        results["gender"] = baseline.gender_accuracy(
+            corpus, RandomForest(n_estimators=15, seed=0)
+        )
+        results["emotion"] = run_feature_experiment(
+            features_for("cremad", "galaxys10"), "random_forest", seed=0,
+            fast=True,
+        ).accuracy
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Baseline - Spearphone gender ID vs EmoLeak emotion ID")
+    print(f"  gender (Spearphone task, chance 50.0%) : {results['gender']:.2%}")
+    print(f"  emotion (EmoLeak task, chance 16.7%)   : {results['emotion']:.2%}")
+
+    assert results["gender"] > 0.70
+    assert results["emotion"] > 2 * (1.0 / 6.0)

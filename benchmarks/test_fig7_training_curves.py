@@ -1,0 +1,88 @@
+"""Paper Fig. 7: CNN training/validation loss and accuracy curves.
+
+Fig. 7a/b: loudspeaker feature-CNN on TESS — loss decays toward zero,
+train and validation accuracy climb together to a high plateau.
+Fig. 7c/d: ear-speaker feature-CNN on TESS — loss decays but validation
+accuracy plateaus much lower, with a visible generalisation gap.
+
+We train the paper's feature CNN in both settings and assert those curve
+shapes from the recorded History.
+"""
+
+import numpy as np
+
+from repro.eval.experiment import run_feature_experiment
+
+from benchmarks._common import features_for, print_header
+
+
+def _curve_summary(history):
+    return (
+        f"loss {history.loss[0]:.3f}->{history.loss[-1]:.3f}  "
+        f"acc {history.accuracy[0]:.2%}->{history.accuracy[-1]:.2%}  "
+        f"val_acc {history.val_accuracy[0]:.2%}->{history.val_accuracy[-1]:.2%}"
+    )
+
+
+def test_fig7ab_loudspeaker_training_curves(benchmark):
+    out = {}
+
+    def run():
+        data = features_for("tess", "oneplus7t")
+        out["result"] = run_feature_experiment(data, "cnn", seed=0, fast=True)
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    history = out["result"].history
+
+    print_header("Fig. 7a/b - loudspeaker CNN training curves (TESS)")
+    print("  " + _curve_summary(history))
+
+    assert history.loss[-1] < 0.5 * history.loss[0], "training loss must decay"
+    assert history.accuracy[-1] > history.accuracy[0]
+    assert history.val_accuracy[-1] > 0.45, "validation accuracy should climb high"
+    # Validation roughly tracks training in the loudspeaker setting.
+    assert history.accuracy[-1] - history.val_accuracy[-1] < 0.45
+
+
+def test_fig7cd_ear_speaker_training_curves(benchmark):
+    out = {}
+
+    def run():
+        data = features_for(
+            "tess", "oneplus7t", mode="ear_speaker", placement="handheld"
+        )
+        out["result"] = run_feature_experiment(data, "cnn", seed=0, fast=True)
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    history = out["result"].history
+
+    print_header("Fig. 7c/d - ear-speaker CNN training curves (TESS)")
+    print("  " + _curve_summary(history))
+
+    assert history.loss[-1] < history.loss[0]
+    # Ear-speaker validation accuracy plateaus well below the loudspeaker's.
+    assert 1.0 / 7.0 < history.val_accuracy[-1] < 0.85
+
+
+def test_fig7_loudspeaker_beats_ear_curves(benchmark):
+    finals = {}
+
+    def run():
+        loud = run_feature_experiment(
+            features_for("tess", "oneplus7t"), "cnn", seed=0, fast=True
+        )
+        ear = run_feature_experiment(
+            features_for("tess", "oneplus7t", mode="ear_speaker",
+                         placement="handheld"),
+            "cnn", seed=0, fast=True,
+        )
+        finals["loud"] = loud.history.val_accuracy[-1]
+        finals["ear"] = ear.history.val_accuracy[-1]
+        return finals
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Fig. 7 - final validation accuracy, loudspeaker vs ear")
+    print(f"  loudspeaker {finals['loud']:.2%}  ear {finals['ear']:.2%}")
+    assert finals["loud"] > finals["ear"]

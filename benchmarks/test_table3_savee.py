@@ -1,0 +1,48 @@
+"""Paper Table III: SAVEE, loudspeaker/table-top, OnePlus 7T and Pixel 5.
+
+Published rows (accuracy, random guess 14.28 %):
+
+    classifier              OnePlus 7T   Pixel 5
+    Logistic                  53.77 %    44.44 %
+    MultiClassClassifier      51.85 %    52.97 %
+    trees.LMT                 51.58 %    53.00 %
+    CNN (features)            46.98 %    44.18 %
+    CNN (spectrogram)         39.16 %    35.38 %
+
+Expected shape: every cell lands well above chance (>=2.5x) but far below
+the TESS numbers (Table V); the spectrogram CNN is the weakest method on
+SAVEE.
+"""
+
+import pytest
+
+from benchmarks._common import print_header, run_cell
+
+CLASSIFIERS = ("logistic", "multiclass", "lmt", "cnn", "cnn_spectrogram")
+DEVICES = ("oneplus7t", "pixel5")
+
+
+@pytest.mark.parametrize("device", DEVICES)
+def test_table3_savee_loudspeaker(benchmark, device):
+    results = {}
+
+    def run():
+        print_header(f"Table III - SAVEE / loudspeaker / {device}")
+        for classifier in CLASSIFIERS:
+            results[classifier] = run_cell("III", "savee", device, classifier)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    chance = 1.0 / 7.0
+    for classifier, result in results.items():
+        # The spectrogram CNN is the paper's weakest SAVEE method
+        # (39.2 % / 35.4 % = 2.5-2.7x chance); hold it to a softer bar.
+        bar = 1.5 if classifier == "cnn_spectrogram" else 2.0
+        assert result.accuracy > bar * chance, (
+            f"{classifier} on {device}: {result.accuracy:.2%} "
+            f"should beat chance clearly"
+        )
+    # SAVEE stays in the paper's moderate band, far from TESS-level.
+    best = max(r.accuracy for r in results.values())
+    assert best < 0.80, f"SAVEE should stay well below TESS accuracy, got {best:.2%}"

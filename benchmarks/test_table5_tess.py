@@ -1,0 +1,58 @@
+"""Paper Table V: TESS, loudspeaker/table-top, five devices.
+
+Published accuracies (random guess 14.28 %):
+
+    classifier      OnePlus7T  GalaxyS10  Pixel5  GalaxyS21  S21 Ultra
+    Logistic          94.52%     78.84%   73.93%   85.79%     82.15%
+    MultiClass        91.32%     71.80%   71.75%   84.46%     81.65%
+    trees.LMT         94.23%     72.15%   78.48%   87.04%     84.47%
+    CNN (features)    95.30%     83.20%   82.62%   88.49%     84.38%
+    CNN (spectro)     89.44%     85.37%   80.92%   83.51%     85.74%
+
+Expected shape: every cell >=4x chance; the OnePlus 7T is the best
+device; TESS is by far the strongest dataset.
+"""
+
+import pytest
+
+from benchmarks._common import print_header, run_cell
+
+CLASSIFIERS = ("logistic", "multiclass", "lmt", "cnn", "cnn_spectrogram")
+DEVICES = ("oneplus7t", "galaxys10", "pixel5", "galaxys21", "galaxys21ultra")
+
+
+@pytest.mark.parametrize("device", DEVICES)
+def test_table5_tess_loudspeaker(benchmark, device):
+    results = {}
+
+    def run():
+        print_header(f"Table V - TESS / loudspeaker / {device}")
+        for classifier in CLASSIFIERS:
+            results[classifier] = run_cell("V", "tess", device, classifier)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    chance = 1.0 / 7.0
+    for classifier, result in results.items():
+        assert result.accuracy > 3.0 * chance, (
+            f"{classifier} on {device}: {result.accuracy:.2%}"
+        )
+    # Feature-based classical ML should reach the strong band on TESS.
+    assert max(results[c].accuracy for c in ("logistic", "lmt")) > 0.60
+
+
+def test_table5_device_ordering(benchmark):
+    """OnePlus 7T must beat the weaker-coupling Pixel 5 (paper ordering)."""
+    accuracies = {}
+
+    def run():
+        for device in ("oneplus7t", "pixel5"):
+            accuracies[device] = run_cell("V", "tess", device, "logistic").accuracy
+        return accuracies
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Table V - device ordering (logistic)")
+    for device, acc in accuracies.items():
+        print(f"  {device:<16} {acc:.2%}")
+    assert accuracies["oneplus7t"] > accuracies["pixel5"]

@@ -1,0 +1,74 @@
+"""Paper Table VII: vibration-domain results vs audio-domain prior work.
+
+The paper contrasts its best vibration-domain accuracy per dataset with
+the best published *audio-domain* results (SAVEE 91.7 %, TESS 99.57 %,
+CREMA-D 94.99 %). The audio-domain numbers are literature constants (the
+paper did not rebuild those systems); we additionally *measure* an
+audio-domain upper bound with our own feature pipeline applied to the
+clean synthesized audio, demonstrating the table's message — vibration
+is below audio but the gap is smallest on TESS.
+"""
+
+import numpy as np
+
+from repro.attack.features import extract_features
+from repro.eval.experiment import run_feature_experiment
+from repro.eval.reporting import AUDIO_DOMAIN_REFERENCES
+from repro.attack.pipeline import FeatureDataset
+from repro.ml.forest import RandomForest
+from repro.ml.preprocessing import train_test_split
+from repro.ml.metrics import accuracy_score
+
+from benchmarks._common import corpus_for, features_for, print_header
+
+PAPER_VIBRATION = {"savee": 0.5377, "tess": 0.953, "cremad": 0.6032}
+
+
+def _audio_domain_accuracy(dataset: str) -> float:
+    """Upper bound: same features on the clean audio, no channel."""
+    corpus = corpus_for(dataset)
+    X, y = [], []
+    for spec, wave in corpus.iter_rendered():
+        X.append(extract_features(wave, corpus.audio_fs))
+        y.append(spec.emotion)
+    X = np.nan_to_num(np.vstack(X), nan=0.0)
+    y = np.array(y)
+    X_train, X_test, y_train, y_test = train_test_split(X, y, 0.2, 0)
+    model = RandomForest(n_estimators=25, seed=0).fit(X_train, y_train)
+    return accuracy_score(y_test, model.predict(X_test))
+
+
+def test_table7_summary(benchmark):
+    rows = {}
+
+    def run():
+        for dataset, device in (
+            ("savee", "oneplus7t"),
+            ("tess", "oneplus7t"),
+            ("cremad", "galaxys10"),
+        ):
+            vibration = run_feature_experiment(
+                features_for(dataset, device), "logistic", fast=True
+            ).accuracy
+            audio = _audio_domain_accuracy(dataset)
+            rows[dataset] = (vibration, audio)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Table VII - vibration domain vs audio domain")
+    print(f"{'dataset':<9} {'vib(paper)':>11} {'vib(ours)':>10} "
+          f"{'audio(lit.)':>12} {'audio(ours)':>12}")
+    for dataset, (vibration, audio) in rows.items():
+        print(
+            f"{dataset:<9} {PAPER_VIBRATION[dataset]:>11.2%} {vibration:>10.2%} "
+            f"{AUDIO_DOMAIN_REFERENCES[dataset]:>12.2%} {audio:>12.2%}"
+        )
+
+    for dataset, (vibration, audio) in rows.items():
+        # Vibration <= audio upper bound (the channel only loses info).
+        assert vibration <= audio + 0.05, dataset
+    # TESS shows the smallest relative vibration-vs-audio gap (the paper's
+    # "comparable to audio domain" claim is made on TESS).
+    gaps = {d: a - v for d, (v, a) in rows.items()}
+    assert gaps["tess"] <= min(gaps["savee"], gaps["cremad"]) + 0.02

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Ear-speaker eavesdropping: emotion from a handheld phone call.
+
+Reproduces the paper's most surprising result (Table VI): even the *ear
+speaker* — 36-46 dB SPL, pressed against the head, with the user's hand
+and body moving — leaks enough vibration into the accelerometer to
+classify the caller's emotion at ~4x the random-guess rate.
+
+The scenario: a victim takes a call on a OnePlus 9 (stereo-capable ear
+speaker) while a zero-permission app logs the accelerometer. All audio
+is collected as one continuous recording (the paper's protocol), regions
+are detected with the 8 Hz high-pass (detection path only!), and the
+unfiltered regions feed the classifiers.
+
+Run:
+    python examples/ear_speaker_call.py
+"""
+
+import numpy as np
+
+from repro.attack import EmoLeakAttack, RegionDetector
+from repro.datasets import build_savee
+from repro.eval import run_feature_experiment
+from repro.phone import VibrationChannel, record_session
+
+
+def main() -> None:
+    print("EmoLeak: ear-speaker / handheld attack")
+    print("=" * 60)
+
+    corpus = build_savee(seed=0)
+    channel = VibrationChannel("oneplus9", mode="ear_speaker",
+                               placement="handheld")
+    print(f"victim device : {channel.device.display_name} "
+          f"(stereo ear speaker: {channel.device.stereo_ear_speaker})")
+    print(f"corpus        : SAVEE, {len(corpus)} utterances, "
+          f"{len(corpus.speakers)} speakers")
+
+    # Show why the 8 Hz high-pass matters: record a short session and
+    # compare the detector's speech/gap contrast with and without it.
+    session = record_session(corpus, channel, specs=corpus.specs[:30], seed=1)
+    speech_mask = np.zeros(session.trace.size, dtype=bool)
+    for event in session.events:
+        speech_mask[int(event.start_s * session.fs):int(event.end_s * session.fs)] = True
+
+    for name, detector in (
+        ("raw (no filter) ", RegionDetector(highpass_hz=None)),
+        ("8 Hz high-pass  ", RegionDetector.for_setting("handheld")),
+    ):
+        envelope = detector.detection_signal(session.trace, session.fs)
+        contrast = envelope[speech_mask].mean() / envelope[~speech_mask].mean()
+        print(f"  detection contrast, {name}: {contrast:.2f}x")
+
+    # Full attack: continuous session over the whole corpus, labelled
+    # from the playback log, features extracted from unfiltered regions.
+    attack = EmoLeakAttack(channel, seed=2)
+    features = attack.collect_features(corpus)
+    print(f"regions recovered: {features.X.shape[0]} "
+          f"from {features.n_played} utterances")
+
+    for classifier in ("random_forest", "random_subspace"):
+        result = run_feature_experiment(features, classifier, seed=0, fast=True)
+        print(f"  {result.summary()}")
+
+    print()
+    print("Paper Table VI (SAVEE, OnePlus 9): RandomForest 58.40%, "
+          "CNN 60.52%, vs 14.28% chance.")
+
+
+if __name__ == "__main__":
+    main()

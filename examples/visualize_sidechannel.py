@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Visualise the side channel in your terminal (Figs. 2, 3 and 7).
+
+Renders, as ASCII art:
+
+- **Fig. 3**: the raw accelerometer trace of a short table-top playback
+  session, where each spoken word appears as a spike on the gravity
+  baseline;
+- **Fig. 2**: the 32x32 vibration spectrograms of the same carrier
+  sentence spoken angrily vs sadly — visibly different textures;
+- **Fig. 7**: the feature-CNN training/validation accuracy curves.
+
+Run:
+    python examples/visualize_sidechannel.py
+"""
+
+import numpy as np
+
+from repro.attack import EmoLeakAttack
+from repro.datasets import build_tess
+from repro.datasets.base import Corpus, UtteranceSpec
+from repro.eval import run_feature_experiment
+from repro.eval.plots import heatmap, line_plot, multi_line_plot
+from repro.phone import VibrationChannel, record_session
+
+
+def fig3_trace(corpus, channel) -> None:
+    print("\n--- Fig. 3: word regions in the raw accelerometer trace ---")
+    session = record_session(corpus, channel, specs=corpus.specs[:6],
+                             gap_s=0.5, seed=0)
+    print(line_plot(session.trace, width=72, height=10,
+                    title=f"Z-axis acceleration (m/s^2), "
+                          f"{session.duration_s:.1f}s of playback"))
+
+
+def fig2_spectrograms(corpus, channel) -> None:
+    print("\n--- Fig. 2: per-emotion vibration spectrograms ---")
+    speaker = sorted(corpus.speakers)[0]
+    specs = [
+        UtteranceSpec(f"viz-{emotion}", speaker, emotion, seed=42,
+                      mean_syllables=4.0, carrier=True)
+        for emotion in ("angry", "sad")
+    ]
+    one_shot = Corpus(
+        name="viz",
+        emotions=corpus.emotions,
+        speakers={speaker: corpus.speakers[speaker]},
+        specs=specs,
+        expressiveness=corpus.expressiveness,
+        variability=0.0,
+        audio_fs=corpus.audio_fs,
+    )
+    dataset = EmoLeakAttack(channel, seed=1).collect_spectrograms(one_shot)
+    for image, label in zip(dataset.images, dataset.y):
+        print()
+        print(heatmap(image[..., 0], max_width=64, max_height=16,
+                      title=f"spectrogram: '{label}' "
+                            f"(frequency down, time across)"))
+
+
+def fig7_curves(corpus, channel) -> None:
+    print("\n--- Fig. 7: CNN training curves ---")
+    features = EmoLeakAttack(channel, seed=2).collect_features(corpus)
+    result = run_feature_experiment(features, "cnn", seed=0, fast=True)
+    history = result.history
+    print(multi_line_plot(
+        {"train_acc": history.accuracy, "val_acc": history.val_accuracy},
+        width=60, height=10,
+        title=f"feature-CNN accuracy per epoch "
+              f"(final test accuracy {result.accuracy:.0%})",
+    ))
+
+
+def main() -> None:
+    print("EmoLeak side-channel visualisation")
+    print("=" * 72)
+    corpus = build_tess(words_per_emotion=10, seed=1)
+    channel = VibrationChannel("oneplus7t")
+    fig3_trace(corpus, channel)
+    fig2_spectrograms(corpus, channel)
+    fig7_curves(corpus, channel)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim so editable installs work offline (no `wheel` package).
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

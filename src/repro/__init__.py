@@ -1,0 +1,41 @@
+"""EmoLeak reproduction: emotion recognition from smartphone motion sensors.
+
+Python reproduction of "EmoLeak: Smartphone Motions Reveal Emotions"
+(Mahdad et al., IEEE ICDCS 2023). The library simulates the physical
+side channel — emotional speech played through a phone speaker, captured
+by the zero-permission accelerometer — and implements the paper's full
+attack pipeline: speech-region detection, Table II feature extraction,
+spectrogram images, and the classical-ML / CNN classifier suite.
+
+Quick start::
+
+    from repro.datasets import build_tess
+    from repro.phone import VibrationChannel
+    from repro.attack import EmoLeakAttack
+    from repro.eval import run_feature_experiment
+
+    corpus = build_tess(words_per_emotion=20)
+    channel = VibrationChannel("oneplus7t")
+    features = EmoLeakAttack(channel).collect_features(corpus)
+    result = run_feature_experiment(features, "logistic")
+    print(result.summary())
+
+Subpackages: :mod:`repro.dsp` (signal processing), :mod:`repro.speech`
+(emotional speech synthesis), :mod:`repro.datasets` (simulated corpora),
+:mod:`repro.phone` (vibration channel), :mod:`repro.ml` (classical ML),
+:mod:`repro.nn` (neural networks), :mod:`repro.attack` (the EmoLeak
+pipeline), :mod:`repro.eval` (experiment harness).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "dsp",
+    "speech",
+    "datasets",
+    "phone",
+    "ml",
+    "nn",
+    "attack",
+    "eval",
+]

@@ -1,0 +1,146 @@
+"""Attacker-side data augmentation (extension).
+
+The paper's attacker "can record multiple conversations or multimedia
+audio files over multiple days to gather more comprehensive training
+data" — i.e. training-set size and diversity is the attacker's main
+lever. When recordings are scarce, standard side-channel practice is to
+augment the captured traces. This module implements the augmentations
+that are valid for accelerometer regions:
+
+- ``jitter``: add sensor-noise-scale white noise (simulates re-recording
+  with a different noise realisation);
+- ``scale``: small random gain (volume / coupling variation);
+- ``shift``: circular time shift (ADC phase / detection-boundary slack);
+- ``crop``: random sub-window (detection-boundary variation).
+
+:func:`augment_features` works at the feature level directly, expanding
+a :class:`~repro.attack.pipeline.FeatureDataset` by re-extracting from
+perturbed copies of nothing — it perturbs the region *samples*, so it
+needs the raw regions; use :class:`RegionAugmenter` during collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.attack.features import FEATURE_NAMES, extract_features
+from repro.attack.pipeline import FeatureDataset
+
+__all__ = ["RegionAugmenter", "augment_region", "augmented_feature_dataset"]
+
+
+def augment_region(
+    samples: np.ndarray,
+    rng: np.random.Generator,
+    noise_rms: float = 0.003,
+    scale_sigma: float = 0.05,
+    max_shift_fraction: float = 0.1,
+    crop_fraction: float = 0.1,
+) -> np.ndarray:
+    """One augmented copy of a raw accelerometer region.
+
+    The gravity offset (region mean) is preserved: noise, gain and
+    cropping act on the vibration component only, as physical
+    re-recordings would.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1 or samples.size < 8:
+        raise ValueError("region must be 1-D with >= 8 samples")
+    offset = samples.mean()
+    x = samples - offset
+    # Gain variation.
+    x = x * float(rng.lognormal(0.0, scale_sigma))
+    # Circular shift.
+    max_shift = int(max_shift_fraction * x.size)
+    if max_shift > 0:
+        x = np.roll(x, int(rng.integers(-max_shift, max_shift + 1)))
+    # Random crop (keep at least (1 - crop_fraction) of the region).
+    crop = int(crop_fraction * x.size)
+    if crop > 0:
+        start = int(rng.integers(0, crop + 1))
+        end = x.size - int(rng.integers(0, crop - start + 1))
+        x = x[start:end]
+    # Fresh noise realisation.
+    if noise_rms > 0:
+        x = x + rng.normal(0.0, noise_rms, x.size)
+    return x + offset
+
+
+@dataclass
+class RegionAugmenter:
+    """Expand a set of raw regions into augmented feature rows.
+
+    Parameters
+    ----------
+    copies:
+        Augmented copies per original region (the original is kept too).
+    noise_rms / scale_sigma / max_shift_fraction / crop_fraction:
+        Forwarded to :func:`augment_region`.
+    seed:
+        Augmentation seed.
+    """
+
+    copies: int = 2
+    noise_rms: float = 0.003
+    scale_sigma: float = 0.05
+    max_shift_fraction: float = 0.1
+    crop_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.copies < 0:
+            raise ValueError("copies must be >= 0")
+
+    def expand(
+        self, regions: List[np.ndarray], labels: List[str], fs: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Feature matrix and labels for originals plus augmented copies."""
+        if len(regions) != len(labels):
+            raise ValueError("regions and labels must align")
+        rng = np.random.default_rng(self.seed)
+        rows, out_labels = [], []
+        for samples, label in zip(regions, labels):
+            samples = np.asarray(samples, dtype=float)
+            if samples.size < 8:
+                continue
+            rows.append(extract_features(samples, fs))
+            out_labels.append(label)
+            for _ in range(self.copies):
+                augmented = augment_region(
+                    samples,
+                    rng,
+                    noise_rms=self.noise_rms,
+                    scale_sigma=self.scale_sigma,
+                    max_shift_fraction=self.max_shift_fraction,
+                    crop_fraction=self.crop_fraction,
+                )
+                rows.append(extract_features(augmented, fs))
+                out_labels.append(label)
+        if not rows:
+            return np.empty((0, len(FEATURE_NAMES))), np.array([])
+        return np.vstack(rows), np.array(out_labels)
+
+
+def augmented_feature_dataset(
+    corpus,
+    channel,
+    augmenter: RegionAugmenter,
+    specs=None,
+    detector=None,
+    seed: int = 0,
+) -> FeatureDataset:
+    """Collect regions through a channel and expand them with augmentation."""
+    from repro.attack.pipeline import _iter_region_samples
+
+    regions, labels = [], []
+    specs_list = list(specs if specs is not None else corpus.specs)
+    for label, region, trace in _iter_region_samples(
+        corpus, channel, specs_list, detector, continuous=None, seed=seed
+    ):
+        regions.append(region.slice(trace))
+        labels.append(label)
+    X, y = augmenter.expand(regions, labels, channel.accel_fs)
+    return FeatureDataset(X=X, y=y, fs=channel.accel_fs, n_played=len(specs_list))

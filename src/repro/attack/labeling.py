@@ -1,0 +1,49 @@
+"""Label assignment from playback logs.
+
+The collection procedure groups all audio of one emotion together and
+records playback times; the analysis tools then "automatically assign
+labels to the spectrograms of each speech region based on the recorded
+playback times" (Section III-B3). A region is labelled with the emotion
+whose playback interval contains the region's centre; regions falling in
+gaps (false detections) are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.attack.regions import Region
+from repro.phone.recording import PlaybackEvent
+
+__all__ = ["label_regions"]
+
+
+def label_regions(
+    regions: Sequence[Region],
+    events: Sequence[PlaybackEvent],
+    tolerance_s: float = 0.05,
+) -> List[Tuple[Region, str]]:
+    """Pair detected regions with emotion labels from the playback log.
+
+    Parameters
+    ----------
+    tolerance_s:
+        Slack added around each playback interval (sensor/pipeline delay).
+
+    Returns
+    -------
+    List of ``(region, emotion)`` pairs; unlabellable regions are omitted.
+    """
+    if tolerance_s < 0:
+        raise ValueError("tolerance_s must be non-negative")
+    labelled: List[Tuple[Region, str]] = []
+    for region in regions:
+        center = region.center_s
+        label: Optional[str] = None
+        for event in events:
+            if event.start_s - tolerance_s <= center < event.end_s + tolerance_s:
+                label = event.emotion
+                break
+        if label is not None:
+            labelled.append((region, label))
+    return labelled

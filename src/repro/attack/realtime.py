@@ -1,0 +1,256 @@
+"""Streaming (online) attack front end.
+
+The paper's malicious app records the accelerometer continuously in the
+background and ships data to the adversary. A real implementation cannot
+buffer hours of samples: it must detect speech regions *online*, with
+bounded memory, and emit per-region features as they complete. This
+module provides that front end:
+
+- :class:`StreamingDetector` consumes arbitrary-size sample chunks,
+  maintains a running noise-floor estimate and an envelope with O(window)
+  state, and emits completed :class:`~repro.attack.regions.Region`-like
+  segments (with their raw samples) as playback proceeds;
+- :class:`StreamingAttack` stacks feature extraction and an optional
+  pre-trained classifier on top, yielding ``(features, prediction)``
+  events — the full on-device attack loop.
+
+The offline :class:`~repro.attack.regions.RegionDetector` remains the
+reference implementation; the streaming detector trades its Otsu
+bimodal threshold for an exponentially tracked floor, the standard
+online substitute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.attack.features import extract_features
+
+__all__ = ["StreamedRegion", "StreamingDetector", "StreamingAttack"]
+
+
+@dataclass(frozen=True)
+class StreamedRegion:
+    """A completed speech region emitted by the streaming detector.
+
+    ``start`` / ``end`` are absolute sample indices since the start of
+    the stream; ``samples`` are the raw sensor values of the region.
+    """
+
+    start: int
+    end: int
+    fs: float
+    samples: np.ndarray
+
+    @property
+    def start_s(self) -> float:
+        return self.start / self.fs
+
+    @property
+    def end_s(self) -> float:
+        return self.end / self.fs
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end - self.start) / self.fs
+
+
+class StreamingDetector:
+    """Online energy-spike region detector with bounded memory.
+
+    Parameters
+    ----------
+    fs:
+        Sensor stream rate.
+    envelope_window_s:
+        Running-RMS window.
+    threshold_factor:
+        Onset threshold as a multiple of the tracked noise floor.
+    release_factor:
+        Hysteresis release as a fraction of the onset threshold.
+    min_duration_s / max_duration_s:
+        Emitted region length bounds (overlong regions are force-closed,
+        bounding the per-region buffer).
+    floor_alpha:
+        Exponential smoothing constant of the noise-floor tracker
+        (updated only outside detected regions).
+    warmup_s:
+        Initial period during which the detector only learns the noise
+        floor and never triggers (a real app observes the idle sensor
+        before any call starts).
+    """
+
+    def __init__(
+        self,
+        fs: float,
+        envelope_window_s: float = 0.05,
+        threshold_factor: float = 4.0,
+        release_factor: float = 0.5,
+        min_duration_s: float = 0.08,
+        max_duration_s: float = 5.0,
+        floor_alpha: float = 0.01,
+        warmup_s: float = 0.25,
+    ):
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        if threshold_factor <= 1.0:
+            raise ValueError("threshold_factor must exceed 1")
+        if not 0.0 < release_factor <= 1.0:
+            raise ValueError("release_factor must be in (0, 1]")
+        self.fs = float(fs)
+        self.window = max(3, int(envelope_window_s * fs))
+        self.threshold_factor = float(threshold_factor)
+        self.release_factor = float(release_factor)
+        self.min_samples = int(min_duration_s * fs)
+        self.max_samples = int(max_duration_s * fs)
+        self.floor_alpha = float(floor_alpha)
+        self.warmup = max(self.window, int(warmup_s * fs))
+        # State: ring buffer of squared deviations for the running RMS,
+        # a gravity/DC tracker, the noise-floor estimate, region buffer.
+        self._sq_ring = np.zeros(self.window)
+        self._ring_pos = 0
+        self._ring_filled = 0
+        self._dc = None
+        self._floor: Optional[float] = None
+        self._position = 0
+        self._active: Optional[List[float]] = None
+        self._active_start = 0
+
+    @property
+    def position(self) -> int:
+        """Absolute number of samples consumed so far."""
+        return self._position
+
+    def process(self, chunk: np.ndarray) -> List[StreamedRegion]:
+        """Consume a chunk of samples; return regions completed within it."""
+        chunk = np.asarray(chunk, dtype=float)
+        if chunk.ndim != 1:
+            raise ValueError(f"expected a 1-D chunk, got shape {chunk.shape}")
+        completed: List[StreamedRegion] = []
+        for value in chunk:
+            if self._dc is None:
+                self._dc = value
+            # Slow DC tracker (gravity, drift) so the envelope sees the
+            # vibration component only.
+            self._dc += 0.001 * (value - self._dc)
+            deviation = value - self._dc
+            self._sq_ring[self._ring_pos] = deviation * deviation
+            self._ring_pos = (self._ring_pos + 1) % self.window
+            self._ring_filled = min(self._ring_filled + 1, self.window)
+            envelope = float(
+                np.sqrt(self._sq_ring[: self._ring_filled].mean())
+            )
+            in_warmup = self._position < self.warmup
+            if self._floor is None:
+                if self._ring_filled == self.window:
+                    self._floor = max(envelope, 1e-9)
+                self._position += 1
+                continue
+            if in_warmup:
+                # Learn the idle noise floor; never trigger yet.
+                self._floor += 0.05 * (envelope - self._floor)
+                self._position += 1
+                continue
+            on = self.threshold_factor * self._floor
+            off = max(
+                self._floor,
+                self._floor
+                + self.release_factor * (on - self._floor),
+            )
+            if self._active is None:
+                if envelope >= on:
+                    self._active = []
+                    self._active_start = self._position
+                else:
+                    # Track the floor only when idle.
+                    self._floor += self.floor_alpha * (envelope - self._floor)
+            if self._active is not None:
+                self._active.append(value)
+                closing = envelope < off
+                too_long = len(self._active) >= self.max_samples
+                if closing or too_long:
+                    if len(self._active) >= self.min_samples:
+                        completed.append(
+                            StreamedRegion(
+                                start=self._active_start,
+                                end=self._position + 1,
+                                fs=self.fs,
+                                samples=np.asarray(self._active),
+                            )
+                        )
+                    self._active = None
+            self._position += 1
+        return completed
+
+    def flush(self) -> List[StreamedRegion]:
+        """Close any in-progress region at end of stream."""
+        if self._active is not None and len(self._active) >= self.min_samples:
+            region = StreamedRegion(
+                start=self._active_start,
+                end=self._position,
+                fs=self.fs,
+                samples=np.asarray(self._active),
+            )
+            self._active = None
+            return [region]
+        self._active = None
+        return []
+
+
+@dataclass
+class StreamingAttack:
+    """On-device attack loop: stream in, (features, prediction) out.
+
+    Parameters
+    ----------
+    detector:
+        A configured :class:`StreamingDetector`.
+    classifier:
+        Optional pre-trained classifier (any :mod:`repro.ml` model or
+        CNN adapter); when present, each region is classified.
+    """
+
+    detector: StreamingDetector
+    classifier: Optional[object] = None
+    events: List[Tuple[StreamedRegion, np.ndarray, Optional[str]]] = field(
+        default_factory=list
+    )
+
+    def process(self, chunk: np.ndarray):
+        """Consume a chunk; return newly completed attack events.
+
+        Each event is ``(region, feature_vector, predicted_emotion)``
+        with the prediction None when no classifier is attached.
+        """
+        new_events = []
+        for region in self.detector.process(chunk):
+            if region.samples.size < 4:
+                continue
+            features = extract_features(region.samples, self.detector.fs)
+            prediction = None
+            if self.classifier is not None:
+                row = np.nan_to_num(features[None, :], nan=0.0)
+                prediction = str(self.classifier.predict(row)[0])
+            event = (region, features, prediction)
+            self.events.append(event)
+            new_events.append(event)
+        return new_events
+
+    def finish(self):
+        """Flush the detector and return any trailing events."""
+        trailing = []
+        for region in self.detector.flush():
+            if region.samples.size < 4:
+                continue
+            features = extract_features(region.samples, self.detector.fs)
+            prediction = None
+            if self.classifier is not None:
+                row = np.nan_to_num(features[None, :], nan=0.0)
+                prediction = str(self.classifier.predict(row)[0])
+            event = (region, features, prediction)
+            self.events.append(event)
+            trailing.append(event)
+        return trailing

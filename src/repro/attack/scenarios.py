@@ -1,0 +1,90 @@
+"""Canonical evaluation scenarios (dataset x device x mode x placement).
+
+One entry per experimental cell family in the paper's Section V, so the
+benchmarks, examples and tests all construct identical configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.phone.channel import Placement, SpeakerMode, VibrationChannel
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named (dataset, device, speaker mode, placement) configuration."""
+
+    name: str
+    dataset: str
+    device: str
+    mode: SpeakerMode
+    placement: Placement
+    paper_table: str
+
+    def channel(self, sample_rate: Optional[float] = None, seed: int = 0) -> VibrationChannel:
+        """Instantiate the vibration channel for this scenario."""
+        return VibrationChannel(
+            device=self.device,
+            mode=self.mode,
+            placement=self.placement,
+            sample_rate=sample_rate,
+            seed=seed,
+        )
+
+
+def _loud(name: str, dataset: str, device: str, table: str) -> Scenario:
+    return Scenario(
+        name=name,
+        dataset=dataset,
+        device=device,
+        mode=SpeakerMode.LOUDSPEAKER,
+        placement=Placement.TABLE_TOP,
+        paper_table=table,
+    )
+
+
+def _ear(name: str, dataset: str, device: str, table: str) -> Scenario:
+    return Scenario(
+        name=name,
+        dataset=dataset,
+        device=device,
+        mode=SpeakerMode.EAR_SPEAKER,
+        placement=Placement.HANDHELD,
+        paper_table=table,
+    )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        # Table III: SAVEE, loudspeaker.
+        _loud("savee-loud-oneplus7t", "savee", "oneplus7t", "Table III"),
+        _loud("savee-loud-pixel5", "savee", "pixel5", "Table III"),
+        # Table IV: CREMA-D, loudspeaker.
+        _loud("cremad-loud-galaxys10", "cremad", "galaxys10", "Table IV"),
+        # Table V: TESS, loudspeaker, five devices.
+        _loud("tess-loud-oneplus7t", "tess", "oneplus7t", "Table V"),
+        _loud("tess-loud-galaxys10", "tess", "galaxys10", "Table V"),
+        _loud("tess-loud-pixel5", "tess", "pixel5", "Table V"),
+        _loud("tess-loud-galaxys21", "tess", "galaxys21", "Table V"),
+        _loud("tess-loud-galaxys21ultra", "tess", "galaxys21ultra", "Table V"),
+        # Table VI: ear speaker, handheld.
+        _ear("savee-ear-oneplus7t", "savee", "oneplus7t", "Table VI"),
+        _ear("savee-ear-oneplus9", "savee", "oneplus9", "Table VI"),
+        _ear("tess-ear-oneplus7t", "tess", "oneplus7t", "Table VI"),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a canonical scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None

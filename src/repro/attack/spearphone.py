@@ -1,0 +1,141 @@
+"""Spearphone-style baseline: gender and speaker identification.
+
+EmoLeak's closest prior work (Anand et al., "Spearphone", cited as [17])
+demonstrated that loudspeaker-induced accelerometer vibration reveals
+the *speaker's gender and identity*. The paper positions EmoLeak as the
+first to extract *emotion* from the same channel; this module implements
+the baseline task so the two attacks can be compared on an identical
+substrate — and so the vibration channel can be validated against the
+prior work's findings (gender separates almost perfectly; speaker ID is
+easy for small speaker sets).
+
+The baseline reuses the EmoLeak collection pipeline (same regions, same
+Table II features) and relabels the data by speaker attributes, which is
+exactly how Spearphone's classifier consumed its features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.attack.features import FEATURE_NAMES, extract_features
+from repro.attack.pipeline import FeatureDataset, _iter_region_samples
+from repro.attack.regions import RegionDetector
+from repro.datasets.base import Corpus, UtteranceSpec
+from repro.phone.channel import VibrationChannel
+
+__all__ = ["SpearphoneBaseline", "collect_speaker_dataset"]
+
+#: Female speakers have base F0 above this (Hz); used to derive gender
+#: labels from the corpus's speaker voices.
+_GENDER_F0_SPLIT = 160.0
+
+
+def collect_speaker_dataset(
+    corpus: Corpus,
+    channel: VibrationChannel,
+    specs: Sequence[UtteranceSpec] = None,
+    detector: RegionDetector = None,
+    continuous: bool = None,
+    seed: int = 0,
+) -> Tuple[FeatureDataset, np.ndarray, np.ndarray]:
+    """Collect features labelled with speaker id and gender.
+
+    Returns ``(dataset, speaker_ids, genders)`` where ``dataset.y`` holds
+    the emotion labels (as usual) and the two extra arrays align with its
+    rows. Requires per-utterance collection so rows map to utterances;
+    continuous sessions label regions by playback emotion group only.
+    """
+    spec_by_emotion_region: List[Tuple[str, str]] = []
+    rows: List[np.ndarray] = []
+    emotions: List[str] = []
+    speaker_ids: List[str] = []
+    specs = list(specs if specs is not None else corpus.specs)
+    # Reuse the pipeline's per-utterance path with explicit bookkeeping.
+    for spec in specs:
+        ds = _single_utterance_features(corpus, channel, spec, detector, seed)
+        if ds is None:
+            continue
+        rows.append(ds)
+        emotions.append(spec.emotion)
+        speaker_ids.append(spec.speaker_id)
+    X = np.vstack(rows) if rows else np.empty((0, len(FEATURE_NAMES)))
+    dataset = FeatureDataset(
+        X=X, y=np.array(emotions), fs=channel.accel_fs, n_played=len(specs)
+    )
+    genders = np.array(
+        [
+            "female"
+            if corpus.speakers[sid].base_f0_hz > _GENDER_F0_SPLIT
+            else "male"
+            for sid in speaker_ids
+        ]
+    )
+    return dataset, np.array(speaker_ids), genders
+
+
+def _single_utterance_features(corpus, channel, spec, detector, seed):
+    """Features of one utterance's best region, or None if undetected."""
+    for label, region, trace in _iter_region_samples(
+        corpus, channel, [spec], detector, continuous=False, seed=seed
+    ):
+        samples = region.slice(trace)
+        if samples.size >= 4:
+            return extract_features(samples, channel.accel_fs)
+    return None
+
+
+@dataclass
+class SpearphoneBaseline:
+    """The prior-work attack: classify speaker attributes from vibration.
+
+    Parameters
+    ----------
+    channel:
+        The vibration channel (Spearphone's setting is loudspeaker /
+        table-top, same as EmoLeak's strongest configuration).
+    seed:
+        Collection seed.
+    """
+
+    channel: VibrationChannel
+    seed: int = 0
+
+    def collect(
+        self, corpus: Corpus, specs: Sequence[UtteranceSpec] = None
+    ) -> Tuple[FeatureDataset, np.ndarray, np.ndarray]:
+        """Collect ``(features, speaker_ids, genders)`` for a corpus."""
+        return collect_speaker_dataset(
+            corpus, self.channel, specs=specs, seed=self.seed
+        )
+
+    def gender_accuracy(self, corpus: Corpus, classifier, test_fraction=0.2):
+        """Train/evaluate gender identification; returns accuracy."""
+        from repro.ml.metrics import accuracy_score
+        from repro.ml.preprocessing import clean_features, train_test_split
+
+        dataset, _, genders = self.collect(corpus)
+        X, y, mask = clean_features(dataset.X, genders)
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_fraction, self.seed
+        )
+        model = classifier.clone()
+        model.fit(X_train, y_train)
+        return accuracy_score(y_test, model.predict(X_test))
+
+    def speaker_accuracy(self, corpus: Corpus, classifier, test_fraction=0.2):
+        """Train/evaluate speaker identification; returns accuracy."""
+        from repro.ml.metrics import accuracy_score
+        from repro.ml.preprocessing import clean_features, train_test_split
+
+        dataset, speaker_ids, _ = self.collect(corpus)
+        X, y, mask = clean_features(dataset.X, speaker_ids)
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_fraction, self.seed
+        )
+        model = classifier.clone()
+        model.fit(X_train, y_train)
+        return accuracy_score(y_test, model.predict(X_test))

@@ -1,0 +1,40 @@
+"""Spectrogram-image generation for detected regions.
+
+Each identified speech region becomes a normalised 32x32 log-spectrogram
+image (paper Section IV-C1: spectrograms are resized to 32x32 before the
+CNN). Like the feature path, the spectrogram path works on the raw,
+unfiltered region samples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.attack.regions import Region
+from repro.dsp.spectrogram import spectrogram_image
+
+__all__ = ["region_spectrogram_image", "regions_to_images"]
+
+
+def region_spectrogram_image(
+    trace: np.ndarray, region: Region, size: int = 32
+) -> np.ndarray:
+    """Normalised ``size x size`` spectrogram image of one region."""
+    samples = region.slice(np.asarray(trace, dtype=float))
+    if samples.size < 8:
+        raise ValueError(f"region too short for a spectrogram: {samples.size} samples")
+    samples = samples - samples.mean()  # drop gravity offset
+    return spectrogram_image(samples, region.fs, size=size)
+
+
+def regions_to_images(
+    trace: np.ndarray, regions: Sequence[Region], size: int = 32
+) -> List[np.ndarray]:
+    """Spectrogram images for all regions long enough to transform."""
+    images = []
+    for region in regions:
+        if region.end - region.start >= 8:
+            images.append(region_spectrogram_image(trace, region, size))
+    return images

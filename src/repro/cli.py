@@ -1,0 +1,156 @@
+"""Command-line interface: run one EmoLeak experiment cell.
+
+Usage::
+
+    python -m repro.cli --scenario tess-loud-oneplus7t --classifier logistic
+    python -m repro.cli --list-scenarios
+    python -m repro.cli --scenario savee-ear-oneplus9 --classifier cnn \
+        --subsample 10 --fast
+    python -m repro.cli --table V --subsample 15     # regenerate a whole table
+
+Prints the paper-vs-measured comparison line and the confusion matrix
+(or, with ``--table``, the full reproduced table next to the published
+values).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.attack.pipeline import EmoLeakAttack
+from repro.attack.scenarios import SCENARIOS, get_scenario
+from repro.datasets import build_corpus
+from repro.eval.experiment import (
+    CLASSIFIER_NAMES,
+    run_feature_experiment,
+    run_spectrogram_experiment,
+)
+from repro.eval.reporting import paper_comparison
+from repro.eval.tables import format_confusion
+
+__all__ = ["main", "build_parser"]
+
+_TABLE_OF = {"Table III": "III", "Table IV": "IV", "Table V": "V", "Table VI": "VI"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run one EmoLeak evaluation cell (dataset x device x classifier).",
+    )
+    parser.add_argument(
+        "--scenario",
+        help="canonical scenario name (see --list-scenarios)",
+    )
+    parser.add_argument(
+        "--table",
+        choices=("III", "IV", "V", "VI"),
+        help="regenerate a whole paper table instead of one cell",
+    )
+    parser.add_argument(
+        "--classifier",
+        default="logistic",
+        choices=CLASSIFIER_NAMES,
+        help="classifier to evaluate (default: logistic)",
+    )
+    parser.add_argument(
+        "--subsample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="use only N utterances per emotion class",
+    )
+    parser.add_argument(
+        "--sample-rate",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="cap the accelerometer rate (e.g. 200 for the Android-12 limit)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="experiment seed (default: 0)"
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink CNNs/ensembles for a quick run",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list canonical scenarios and exit",
+    )
+    return parser
+
+
+def _list_scenarios() -> None:
+    print(f"{'scenario':<24} {'dataset':<8} {'device':<16} {'mode':<12} paper")
+    for name in sorted(SCENARIOS):
+        s = SCENARIOS[name]
+        print(
+            f"{name:<24} {s.dataset:<8} {s.device:<16} "
+            f"{s.mode.value:<12} {s.paper_table}"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_scenarios:
+        _list_scenarios()
+        return 0
+    if args.table:
+        from repro.eval.suite import run_table
+
+        suite = run_table(
+            args.table,
+            subsample=args.subsample or 20,
+            seed=args.seed,
+            fast=True,
+        )
+        print(suite.render())
+        return 0
+    if not args.scenario:
+        print("error: --scenario or --table is required "
+              "(or use --list-scenarios)", file=sys.stderr)
+        return 2
+
+    scenario = get_scenario(args.scenario)
+    corpus = build_corpus(scenario.dataset)
+    if args.subsample:
+        corpus = corpus.subsample(per_class=args.subsample, seed=args.seed)
+
+    channel = scenario.channel(sample_rate=args.sample_rate, seed=args.seed)
+    attack = EmoLeakAttack(channel, seed=args.seed)
+
+    print(f"scenario  : {scenario.name} ({scenario.paper_table})")
+    print(f"corpus    : {scenario.dataset}, {len(corpus)} utterances")
+    print(f"channel   : {channel.device.display_name}, {channel.mode.value}, "
+          f"{channel.placement.value}, {channel.accel_fs:.0f} Hz")
+
+    if args.classifier == "cnn_spectrogram":
+        data = attack.collect_spectrograms(corpus)
+        print(f"collected : {data.images.shape[0]} spectrograms "
+              f"({data.extraction_rate:.0%} extraction)")
+        result = run_spectrogram_experiment(data, seed=args.seed, fast=args.fast)
+    else:
+        data = attack.collect_features(corpus)
+        print(f"collected : {data.X.shape[0]} feature vectors "
+              f"({data.extraction_rate:.0%} extraction)")
+        result = run_feature_experiment(
+            data, args.classifier, seed=args.seed, fast=args.fast
+        )
+
+    table = _TABLE_OF.get(scenario.paper_table, scenario.paper_table)
+    print()
+    print(paper_comparison(
+        table, scenario.dataset, scenario.device, args.classifier, result.accuracy
+    ))
+    print()
+    print(format_confusion(result.confusion, result.labels))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""Corpus and utterance abstractions.
+
+A :class:`Corpus` is a list of :class:`UtteranceSpec` records plus the
+speaker voices they reference. Waveforms are rendered lazily and
+deterministically from each spec's seed, so a 7442-clip corpus costs no
+memory until iterated and two renders of the same spec are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.speech.prosody import emotion_profile, perturbed_profile
+from repro.speech.phonemes import plan_utterance
+from repro.speech.synthesizer import SpeakerVoice, Synthesizer
+
+__all__ = ["UtteranceSpec", "Corpus"]
+
+
+@dataclass(frozen=True)
+class UtteranceSpec:
+    """Metadata identifying one (lazily rendered) utterance.
+
+    The seed fully determines the rendered waveform given the corpus's
+    speaker voices and synthesis rate.
+    """
+
+    utterance_id: str
+    speaker_id: str
+    emotion: str
+    seed: int
+    mean_syllables: float = 5.0
+    carrier: bool = False
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """An emotional-speech corpus: specs + speaker voices + realisation knobs.
+
+    Attributes
+    ----------
+    name:
+        Corpus name (``savee``, ``tess``, ``cremad``).
+    emotions:
+        Emotion label inventory (defines the class set / random-guess rate).
+    speakers:
+        Mapping of speaker id to that speaker's neutral voice.
+    specs:
+        The utterance records.
+    expressiveness:
+        How far actors push emotions from neutral (corpus production style).
+    variability:
+        Per-utterance realisation noise (crowd-sourced corpora are high).
+    audio_fs:
+        Synthesis sampling rate in Hz.
+    """
+
+    name: str
+    emotions: Tuple[str, ...]
+    speakers: Dict[str, SpeakerVoice]
+    specs: List[UtteranceSpec]
+    expressiveness: float = 1.0
+    variability: float = 0.15
+    audio_fs: float = 8000.0
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[UtteranceSpec]:
+        return iter(self.specs)
+
+    def render(self, spec: UtteranceSpec) -> np.ndarray:
+        """Deterministically synthesise one utterance's waveform."""
+        if spec.speaker_id not in self.speakers:
+            raise KeyError(
+                f"spec references unknown speaker {spec.speaker_id!r} "
+                f"(corpus {self.name!r})"
+            )
+        if spec.emotion not in self.emotions:
+            raise ValueError(
+                f"spec emotion {spec.emotion!r} not in corpus inventory {self.emotions}"
+            )
+        rng = np.random.default_rng(spec.seed)
+        profile = perturbed_profile(
+            emotion_profile(spec.emotion),
+            rng,
+            expressiveness=self.expressiveness,
+            variability=self.variability,
+        )
+        plan = plan_utterance(
+            rng, mean_syllables=spec.mean_syllables, carrier=spec.carrier
+        )
+        synth = Synthesizer(fs=self.audio_fs)
+        return synth.render(self.speakers[spec.speaker_id], profile, rng, plan)
+
+    def iter_rendered(self) -> Iterator[Tuple[UtteranceSpec, np.ndarray]]:
+        """Yield ``(spec, waveform)`` pairs lazily."""
+        for spec in self.specs:
+            yield spec, self.render(spec)
+
+    def class_counts(self) -> Dict[str, int]:
+        """Number of utterances per emotion label."""
+        counts = {emotion: 0 for emotion in self.emotions}
+        for spec in self.specs:
+            counts[spec.emotion] += 1
+        return counts
+
+    def subsample(
+        self, per_class: int, seed: int = 0, stratify_speakers: bool = True
+    ) -> "Corpus":
+        """Return a stratified subsample with ``per_class`` utterances per emotion.
+
+        Used by the benchmark harness to run the CREMA-D-scale experiments
+        at tractable cost while preserving class balance.
+        """
+        if per_class < 1:
+            raise ValueError("per_class must be >= 1")
+        rng = np.random.default_rng(seed)
+        chosen: List[UtteranceSpec] = []
+        for emotion in self.emotions:
+            pool = [s for s in self.specs if s.emotion == emotion]
+            if not pool:
+                continue
+            take = min(per_class, len(pool))
+            if stratify_speakers:
+                # Round-robin across speakers before random fill for balance.
+                by_speaker: Dict[str, List[UtteranceSpec]] = {}
+                for s in pool:
+                    by_speaker.setdefault(s.speaker_id, []).append(s)
+                ordered: List[UtteranceSpec] = []
+                buckets = [list(v) for v in by_speaker.values()]
+                for bucket in buckets:
+                    rng.shuffle(bucket)
+                while buckets and len(ordered) < take:
+                    for bucket in list(buckets):
+                        if not bucket:
+                            buckets.remove(bucket)
+                            continue
+                        ordered.append(bucket.pop())
+                        if len(ordered) >= take:
+                            break
+                chosen.extend(ordered[:take])
+            else:
+                idx = rng.permutation(len(pool))[:take]
+                chosen.extend(pool[i] for i in idx)
+        return replace(self, specs=chosen)
+
+    def filter_emotions(self, emotions: Sequence[str]) -> "Corpus":
+        """Restrict the corpus to a subset of emotion labels."""
+        keep = tuple(e for e in self.emotions if e in set(emotions))
+        if not keep:
+            raise ValueError(f"no overlap between {emotions} and {self.emotions}")
+        specs = [s for s in self.specs if s.emotion in keep]
+        return replace(self, emotions=keep, specs=specs)

@@ -1,0 +1,70 @@
+"""Simulated CREMA-D corpus.
+
+The real CRowd-sourced Emotional Multimodal Actors Dataset has 7442 audio
+clips from 91 actors (48 male, 43 female) over 6 emotions (no surprise):
+12 sentences, with anger/disgust/fear/happy/sad produced at multiple
+intensity levels and neutral once per sentence. Ninety-one heterogeneous,
+crowd-rated actors make it the hardest corpus — the paper reaches ≈53–60 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Corpus, UtteranceSpec
+from repro.speech.prosody import CREMAD_EMOTIONS
+from repro.speech.synthesizer import SpeakerVoice
+
+__all__ = ["build_cremad", "CREMAD_N_ACTORS", "CREMAD_N_CLIPS"]
+
+CREMAD_N_ACTORS = 91
+CREMAD_N_MALE = 48
+CREMAD_N_CLIPS = 7442
+
+
+def build_cremad(
+    seed: int = 2,
+    expressiveness: float = 1.30,
+    variability: float = 0.09,
+    n_clips: int = CREMAD_N_CLIPS,
+) -> Corpus:
+    """Build the simulated CREMA-D corpus (7442 clips, 91 actors, 6 emotions).
+
+    ``n_clips`` can be reduced for fast runs; clips are assigned to
+    actors and emotions round-robin so every subset stays balanced.
+    """
+    if n_clips < len(CREMAD_EMOTIONS):
+        raise ValueError("n_clips must cover at least one clip per emotion")
+    rng = np.random.default_rng(seed)
+    speakers = {}
+    for i in range(CREMAD_N_ACTORS):
+        sid = f"A{i + 1:04d}"
+        speakers[sid] = SpeakerVoice.random(
+            rng, female=(i >= CREMAD_N_MALE), variability=0.14
+        )
+    speaker_ids = sorted(speakers)
+    specs = []
+    seed_stream = np.random.default_rng(seed + 1)
+    for k in range(n_clips):
+        emotion = CREMAD_EMOTIONS[k % len(CREMAD_EMOTIONS)]
+        sid = speaker_ids[(k // len(CREMAD_EMOTIONS)) % len(speaker_ids)]
+        specs.append(
+            UtteranceSpec(
+                utterance_id=f"cremad-{sid}-{emotion}-{k:05d}",
+                speaker_id=sid,
+                emotion=emotion,
+                seed=int(seed_stream.integers(0, 2**31 - 1)),
+                mean_syllables=5.5,
+            )
+        )
+    corpus = Corpus(
+        name="cremad",
+        emotions=CREMAD_EMOTIONS,
+        speakers=speakers,
+        specs=specs,
+        expressiveness=expressiveness,
+        variability=variability,
+    )
+    if n_clips == CREMAD_N_CLIPS:
+        assert len(corpus) == 7442, f"CREMA-D should have 7442 clips, got {len(corpus)}"
+    return corpus

@@ -1,0 +1,42 @@
+"""Name-based corpus registry used by the pipeline and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.datasets.base import Corpus
+from repro.datasets.cremad import build_cremad
+from repro.datasets.savee import build_savee
+from repro.datasets.tess import build_tess
+
+__all__ = ["available_corpora", "build_corpus", "register_corpus"]
+
+_BUILDERS: Dict[str, Callable[..., Corpus]] = {
+    "savee": build_savee,
+    "tess": build_tess,
+    "cremad": build_cremad,
+}
+
+
+def available_corpora() -> Tuple[str, ...]:
+    """Names of all registered corpora."""
+    return tuple(sorted(_BUILDERS))
+
+
+def register_corpus(name: str, builder: Callable[..., Corpus]) -> None:
+    """Register a custom corpus builder (e.g. for extension experiments)."""
+    key = name.lower().strip()
+    if not key:
+        raise ValueError("corpus name must be non-empty")
+    _BUILDERS[key] = builder
+
+
+def build_corpus(name: str, **kwargs) -> Corpus:
+    """Build a corpus by name, forwarding builder-specific kwargs."""
+    try:
+        builder = _BUILDERS[name.lower().strip()]
+    except KeyError:
+        raise ValueError(
+            f"unknown corpus {name!r}; available: {available_corpora()}"
+        ) from None
+    return builder(**kwargs)

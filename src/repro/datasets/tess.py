@@ -1,0 +1,69 @@
+"""Simulated TESS corpus.
+
+The real Toronto Emotional Speech Set has 2800 utterances from two female
+actors (aged 26 and 64) saying "Say the word ___" for 200 target words in
+each of 7 emotions. Two trained voices, one carrier phrase, studio
+recording: the cleanest and most separable of the three corpora — the
+paper reaches ≈95 % on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Corpus, UtteranceSpec
+from repro.speech.prosody import EMOTIONS
+from repro.speech.synthesizer import SpeakerVoice
+
+__all__ = ["build_tess", "TESS_SPEAKERS"]
+
+TESS_SPEAKERS = ("OAF", "YAF")
+
+_WORDS_PER_EMOTION = 200
+
+
+def build_tess(
+    seed: int = 1,
+    expressiveness: float = 1.05,
+    variability: float = 0.035,
+    words_per_emotion: int = _WORDS_PER_EMOTION,
+) -> Corpus:
+    """Build the simulated TESS corpus (2800 utterances, 2 female speakers).
+
+    ``words_per_emotion`` can be reduced for fast test runs; the default
+    reproduces the published 2 x 7 x 200 = 2800 layout.
+    """
+    if words_per_emotion < 1:
+        raise ValueError("words_per_emotion must be >= 1")
+    rng = np.random.default_rng(seed)
+    speakers = {
+        sid: SpeakerVoice.random(rng, female=True, variability=0.10)
+        for sid in TESS_SPEAKERS
+    }
+    specs = []
+    seed_stream = np.random.default_rng(seed + 1)
+    for sid in TESS_SPEAKERS:
+        for emotion in EMOTIONS:
+            for k in range(words_per_emotion):
+                specs.append(
+                    UtteranceSpec(
+                        utterance_id=f"tess-{sid}-{emotion}-{k:03d}",
+                        speaker_id=sid,
+                        emotion=emotion,
+                        seed=int(seed_stream.integers(0, 2**31 - 1)),
+                        # "Say the word X": short fixed carrier phrase.
+                        mean_syllables=4.0,
+                        carrier=True,
+                    )
+                )
+    corpus = Corpus(
+        name="tess",
+        emotions=EMOTIONS,
+        speakers=speakers,
+        specs=specs,
+        expressiveness=expressiveness,
+        variability=variability,
+    )
+    if words_per_emotion == _WORDS_PER_EMOTION:
+        assert len(corpus) == 2800, f"TESS should have 2800 utterances, got {len(corpus)}"
+    return corpus

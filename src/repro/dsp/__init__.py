@@ -1,0 +1,64 @@
+"""Signal-processing substrate for the EmoLeak reproduction.
+
+Everything the attack pipeline and the vibration-channel simulator need:
+window functions, IIR filter design and zero-phase filtering, framing and
+the short-time Fourier transform, power/log spectrograms with image
+resizing, amplitude-envelope extraction, and resampling primitives
+(including the anti-alias-free sample-and-decimate path that models a MEMS
+accelerometer ADC).
+
+The module is intentionally self-contained on top of numpy/scipy so the
+rest of the library never reaches for ad-hoc signal code.
+"""
+
+from repro.dsp.windows import get_window, hann, hamming, blackman, rectangular
+from repro.dsp.filters import (
+    butter_highpass,
+    butter_lowpass,
+    butter_bandpass,
+    sosfilt_zero_phase,
+    highpass,
+    lowpass,
+    bandpass,
+)
+from repro.dsp.stft import frame_signal, stft, istft
+from repro.dsp.spectrogram import (
+    power_spectrogram,
+    log_spectrogram,
+    resize_image,
+    spectrogram_image,
+)
+from repro.dsp.envelope import amplitude_envelope, moving_rms, moving_average
+from repro.dsp.resample import (
+    linear_resample,
+    sample_and_decimate,
+    decimate_no_antialias,
+)
+
+__all__ = [
+    "get_window",
+    "hann",
+    "hamming",
+    "blackman",
+    "rectangular",
+    "butter_highpass",
+    "butter_lowpass",
+    "butter_bandpass",
+    "sosfilt_zero_phase",
+    "highpass",
+    "lowpass",
+    "bandpass",
+    "frame_signal",
+    "stft",
+    "istft",
+    "power_spectrogram",
+    "log_spectrogram",
+    "resize_image",
+    "spectrogram_image",
+    "amplitude_envelope",
+    "moving_rms",
+    "moving_average",
+    "linear_resample",
+    "sample_and_decimate",
+    "decimate_no_antialias",
+]

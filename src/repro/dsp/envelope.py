@@ -1,0 +1,56 @@
+"""Amplitude-envelope extraction and moving statistics.
+
+Speech-region detection (paper Section III-B2) keys off energy spikes in
+the accelerometer trace; these helpers compute the smoothed rectified
+envelope and windowed RMS that the detector thresholds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import lowpass
+
+__all__ = ["amplitude_envelope", "moving_rms", "moving_average"]
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinking (same length as input)."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if window == 1 or x.size == 0:
+        return x.copy()
+    window = min(window, x.size)
+    # Cumulative-sum sliding window: O(n) regardless of window size.
+    half_left = window // 2
+    half_right = window - half_left - 1
+    csum = np.concatenate([[0.0], np.cumsum(x)])
+    n = x.size
+    idx = np.arange(n)
+    lo = np.maximum(idx - half_left, 0)
+    hi = np.minimum(idx + half_right + 1, n)
+    return (csum[hi] - csum[lo]) / (hi - lo)
+
+
+def moving_rms(x: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving root-mean-square (same length as input)."""
+    return np.sqrt(moving_average(np.asarray(x, dtype=float) ** 2, window))
+
+
+def amplitude_envelope(
+    x: np.ndarray, fs: float, cutoff_hz: float = 10.0, order: int = 2
+) -> np.ndarray:
+    """Rectify-and-smooth amplitude envelope.
+
+    Full-wave rectification followed by a low-pass at ``cutoff_hz``. The
+    result is clipped at zero (the low-pass can slightly undershoot).
+    """
+    x = np.asarray(x, dtype=float)
+    rectified = np.abs(x - np.mean(x))
+    if rectified.size < 16 or cutoff_hz >= 0.5 * fs:
+        return moving_rms(x - np.mean(x), max(3, rectified.size // 4 or 1))
+    smooth = lowpass(rectified, cutoff_hz, fs, order=order)
+    return np.maximum(smooth, 0.0)

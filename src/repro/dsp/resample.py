@@ -1,0 +1,81 @@
+"""Resampling primitives, including the aliasing accelerometer ADC path.
+
+A MEMS accelerometer has no acoustic anti-aliasing front end: the proof
+mass responds to chassis vibration well above the output data rate, so
+speech-band energy *folds down* into the few-hundred-hertz sensor stream.
+That aliasing is the physical mechanism EmoLeak (and Spearphone/AccelEve
+before it) exploits. :func:`sample_and_decimate` models it by point
+sampling the high-rate vibration waveform with no low-pass, while
+:func:`linear_resample` provides a conventional interpolating resampler
+for the synthesis side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["linear_resample", "sample_and_decimate", "decimate_no_antialias"]
+
+
+def linear_resample(x: np.ndarray, fs_in: float, fs_out: float) -> np.ndarray:
+    """Linear-interpolation resampling from ``fs_in`` to ``fs_out``.
+
+    Suitable for upsampling or modest, pre-band-limited downsampling.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+    if fs_in <= 0 or fs_out <= 0:
+        raise ValueError("sampling rates must be positive")
+    if x.size == 0:
+        return x.copy()
+    duration = x.size / fs_in
+    n_out = max(1, int(round(duration * fs_out)))
+    t_in = np.arange(x.size) / fs_in
+    t_out = np.arange(n_out) / fs_out
+    return np.interp(t_out, t_in, x)
+
+
+def sample_and_decimate(
+    x: np.ndarray, fs_in: float, fs_out: float, phase: float = 0.0
+) -> np.ndarray:
+    """Point-sample ``x`` at ``fs_out`` with *no* anti-alias filtering.
+
+    Models an accelerometer ADC reading the instantaneous proof-mass
+    position: energy above ``fs_out / 2`` aliases into the output band
+    instead of being rejected.
+
+    Parameters
+    ----------
+    phase:
+        Fractional offset (in output-sample periods, ``[0, 1)``) of the
+        first sample, modelling an arbitrary ADC clock phase.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+    if fs_in <= 0 or fs_out <= 0:
+        raise ValueError("sampling rates must be positive")
+    if not 0.0 <= phase < 1.0:
+        raise ValueError(f"phase must be in [0, 1), got {phase}")
+    if x.size == 0:
+        return x.copy()
+    duration = x.size / fs_in
+    n_out = int(np.floor((duration - phase / fs_out) * fs_out))
+    n_out = max(1, n_out)
+    t_out = (np.arange(n_out) + phase) / fs_out
+    t_in = np.arange(x.size) / fs_in
+    # Instantaneous sampling: interpolate between the two nearest high-rate
+    # samples (the high-rate grid is dense enough that this is effectively
+    # point sampling of the continuous waveform).
+    return np.interp(t_out, t_in, x)
+
+
+def decimate_no_antialias(x: np.ndarray, factor: int) -> np.ndarray:
+    """Keep every ``factor``-th sample with no filtering (pure aliasing)."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+    if factor < 1:
+        raise ValueError("decimation factor must be >= 1")
+    return x[::factor].copy()

@@ -1,0 +1,101 @@
+"""Spectrogram computation and spectrogram-image preparation.
+
+The paper's CNN image classifier consumes 32x32 spectrogram images of each
+detected speech region (Section IV-C1). :func:`spectrogram_image` performs
+the full chain: STFT power, log compression, per-image normalisation and
+bilinear resize to the target resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dsp.stft import stft
+
+__all__ = [
+    "power_spectrogram",
+    "log_spectrogram",
+    "resize_image",
+    "spectrogram_image",
+]
+
+
+def power_spectrogram(
+    x: np.ndarray,
+    fs: float,
+    frame_length: int = 256,
+    hop_length: int = 64,
+    window: str = "hann",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Power spectrogram ``|STFT|^2`` with its frequency/time axes."""
+    freqs, times, Z = stft(x, fs, frame_length, hop_length, window)
+    return freqs, times, np.abs(Z) ** 2
+
+
+def log_spectrogram(
+    x: np.ndarray,
+    fs: float,
+    frame_length: int = 256,
+    hop_length: int = 64,
+    window: str = "hann",
+    floor_db: float = -120.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Log-power spectrogram in dB, floored at ``floor_db``."""
+    freqs, times, power = power_spectrogram(x, fs, frame_length, hop_length, window)
+    ref = power.max() if power.size and power.max() > 0 else 1.0
+    db = 10.0 * np.log10(np.maximum(power / ref, 10 ** (floor_db / 10.0)))
+    return freqs, times, db
+
+
+def resize_image(image: np.ndarray, out_shape: Tuple[int, int]) -> np.ndarray:
+    """Bilinear resize of a 2-D array to ``out_shape = (rows, cols)``."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    rows_out, cols_out = out_shape
+    if rows_out < 1 or cols_out < 1:
+        raise ValueError(f"output shape must be positive, got {out_shape}")
+    rows_in, cols_in = image.shape
+
+    def _axis_coords(n_out: int, n_in: int) -> np.ndarray:
+        if n_out == 1:
+            return np.zeros(1)
+        return np.linspace(0.0, n_in - 1.0, n_out)
+
+    r = _axis_coords(rows_out, rows_in)
+    c = _axis_coords(cols_out, cols_in)
+    r0 = np.clip(np.floor(r).astype(int), 0, max(rows_in - 2, 0))
+    c0 = np.clip(np.floor(c).astype(int), 0, max(cols_in - 2, 0))
+    r1 = np.minimum(r0 + 1, rows_in - 1)
+    c1 = np.minimum(c0 + 1, cols_in - 1)
+    wr = (r - r0)[:, None]
+    wc = (c - c0)[None, :]
+    top = image[np.ix_(r0, c0)] * (1 - wc) + image[np.ix_(r0, c1)] * wc
+    bottom = image[np.ix_(r1, c0)] * (1 - wc) + image[np.ix_(r1, c1)] * wc
+    return top * (1 - wr) + bottom * wr
+
+
+def spectrogram_image(
+    x: np.ndarray,
+    fs: float,
+    size: int = 32,
+    frame_length: int = 64,
+    hop_length: int = 16,
+    window: str = "hann",
+) -> np.ndarray:
+    """Normalised ``size x size`` log-spectrogram image of a speech region.
+
+    The image is scaled to [0, 1] per region, matching the per-image
+    preprocessing applied before the paper's CNN (resized 32x32 inputs).
+    """
+    x = np.asarray(x, dtype=float)
+    frame_length = min(frame_length, max(8, x.size))
+    hop_length = max(1, min(hop_length, frame_length // 2))
+    _, _, db = log_spectrogram(x, fs, frame_length, hop_length, window)
+    image = resize_image(db, (size, size))
+    lo, hi = image.min(), image.max()
+    if hi - lo < 1e-12:
+        return np.zeros((size, size))
+    return (image - lo) / (hi - lo)

@@ -1,0 +1,108 @@
+"""Framing and the short-time Fourier transform.
+
+These are the analysis primitives behind the spectrogram images the
+attack's CNN classifier consumes (paper Figs. 2 and 3) and behind the
+frequency-domain half of the Table II feature set.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dsp.windows import get_window
+
+__all__ = ["frame_signal", "stft", "istft"]
+
+
+def frame_signal(
+    x: np.ndarray, frame_length: int, hop_length: int, pad: bool = True
+) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames.
+
+    Parameters
+    ----------
+    x:
+        Input signal.
+    frame_length:
+        Samples per frame.
+    hop_length:
+        Samples between frame starts.
+    pad:
+        When true, zero-pad the tail so every sample is covered; when
+        false, drop the ragged tail.
+
+    Returns
+    -------
+    ndarray of shape ``(n_frames, frame_length)``.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+    if frame_length < 1 or hop_length < 1:
+        raise ValueError("frame_length and hop_length must be positive")
+    if x.size < frame_length:
+        if not pad:
+            return np.empty((0, frame_length))
+        x = np.pad(x, (0, frame_length - x.size))
+    if pad:
+        n_frames = 1 + int(np.ceil((x.size - frame_length) / hop_length))
+        needed = (n_frames - 1) * hop_length + frame_length
+        x = np.pad(x, (0, max(0, needed - x.size)))
+    else:
+        n_frames = 1 + (x.size - frame_length) // hop_length
+    indices = (
+        np.arange(frame_length)[None, :]
+        + hop_length * np.arange(n_frames)[:, None]
+    )
+    return x[indices]
+
+
+def stft(
+    x: np.ndarray,
+    fs: float,
+    frame_length: int = 256,
+    hop_length: int = 64,
+    window: str = "hann",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Short-time Fourier transform of a real signal.
+
+    Returns
+    -------
+    (frequencies, times, Z):
+        ``frequencies`` in Hz (length ``frame_length // 2 + 1``),
+        ``times`` in seconds (frame centres) and the complex STFT matrix
+        ``Z`` of shape ``(n_freqs, n_frames)``.
+    """
+    frames = frame_signal(x, frame_length, hop_length, pad=True)
+    win = get_window(window, frame_length)
+    spectrum = np.fft.rfft(frames * win[None, :], axis=1).T
+    freqs = np.fft.rfftfreq(frame_length, d=1.0 / fs)
+    times = (np.arange(frames.shape[0]) * hop_length + frame_length / 2) / fs
+    return freqs, times, spectrum
+
+
+def istft(
+    Z: np.ndarray,
+    frame_length: int = 256,
+    hop_length: int = 64,
+    window: str = "hann",
+) -> np.ndarray:
+    """Inverse STFT with overlap-add synthesis (least-squares weighting)."""
+    Z = np.asarray(Z)
+    if Z.ndim != 2:
+        raise ValueError(f"expected a 2-D STFT matrix, got shape {Z.shape}")
+    n_frames = Z.shape[1]
+    win = get_window(window, frame_length)
+    frames = np.fft.irfft(Z.T, n=frame_length, axis=1)
+    length = (n_frames - 1) * hop_length + frame_length
+    out = np.zeros(length)
+    weight = np.zeros(length)
+    for i in range(n_frames):
+        start = i * hop_length
+        out[start : start + frame_length] += frames[i] * win
+        weight[start : start + frame_length] += win**2
+    nonzero = weight > 1e-12
+    out[nonzero] /= weight[nonzero]
+    return out

@@ -1,0 +1,82 @@
+"""Window functions used for framing, STFT analysis and filter smoothing.
+
+Implemented directly (rather than via :mod:`scipy.signal.windows`) so the
+exact periodic/symmetric convention used by the spectrogram code is pinned
+down in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hann", "hamming", "blackman", "rectangular", "get_window"]
+
+
+def _raised_cosine(length: int, coefficients, periodic: bool) -> np.ndarray:
+    """Generalised cosine window ``sum_k a_k cos(2 pi k n / D)``."""
+    if length < 1:
+        raise ValueError(f"window length must be >= 1, got {length}")
+    if length == 1:
+        return np.ones(1)
+    denom = length if periodic else length - 1
+    n = np.arange(length)
+    window = np.zeros(length)
+    for k, a_k in enumerate(coefficients):
+        window += a_k * np.cos(2.0 * np.pi * k * n / denom) * ((-1.0) ** k)
+    return window
+
+
+def hann(length: int, periodic: bool = True) -> np.ndarray:
+    """Hann window. ``periodic=True`` gives the DFT-even variant."""
+    return _raised_cosine(length, (0.5, 0.5), periodic)
+
+
+def hamming(length: int, periodic: bool = True) -> np.ndarray:
+    """Hamming window (0.54 / 0.46 coefficients)."""
+    return _raised_cosine(length, (0.54, 0.46), periodic)
+
+
+def blackman(length: int, periodic: bool = True) -> np.ndarray:
+    """Blackman window (classic 0.42 / 0.5 / 0.08 coefficients)."""
+    return _raised_cosine(length, (0.42, 0.5, 0.08), periodic)
+
+
+def rectangular(length: int, periodic: bool = True) -> np.ndarray:
+    """Rectangular (boxcar) window."""
+    if length < 1:
+        raise ValueError(f"window length must be >= 1, got {length}")
+    return np.ones(length)
+
+
+_WINDOWS = {
+    "hann": hann,
+    "hanning": hann,
+    "hamming": hamming,
+    "blackman": blackman,
+    "rect": rectangular,
+    "rectangular": rectangular,
+    "boxcar": rectangular,
+}
+
+
+def get_window(name: str, length: int, periodic: bool = True) -> np.ndarray:
+    """Look up a window by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``hann``, ``hamming``, ``blackman``, ``rectangular`` (plus
+        common aliases).
+    length:
+        Number of samples.
+    periodic:
+        Use the DFT-even (periodic) variant, appropriate for spectral
+        analysis with overlapping frames.
+    """
+    try:
+        factory = _WINDOWS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown window {name!r}; available: {sorted(set(_WINDOWS))}"
+        ) from None
+    return factory(length, periodic=periodic)

@@ -1,0 +1,46 @@
+"""Evaluation harness: classifier registry, experiment cells, tables.
+
+Glue between the attack pipeline's datasets and the paper's result
+tables: Weka-style classifier names, CNN adapters with the Classifier
+API, 80/20-split and 10-fold evaluation runners, and plain-text
+renderers for paper-style tables.
+"""
+
+from repro.eval.experiment import (
+    CLASSIFIER_NAMES,
+    ExperimentResult,
+    FeatureCNNClassifier,
+    SpectrogramCNNClassifier,
+    make_classifier,
+    run_feature_experiment,
+    run_spectrogram_experiment,
+)
+from repro.eval.tables import format_table, format_confusion
+from repro.eval.reporting import paper_comparison, random_guess_rate
+from repro.eval.plots import line_plot, multi_line_plot, heatmap
+from repro.eval.io import to_arff, to_csv, save_spectrograms, load_spectrograms, result_to_json
+from repro.eval.suite import TableSuite, run_table
+
+__all__ = [
+    "CLASSIFIER_NAMES",
+    "ExperimentResult",
+    "FeatureCNNClassifier",
+    "SpectrogramCNNClassifier",
+    "make_classifier",
+    "run_feature_experiment",
+    "run_spectrogram_experiment",
+    "format_table",
+    "format_confusion",
+    "paper_comparison",
+    "random_guess_rate",
+    "line_plot",
+    "multi_line_plot",
+    "heatmap",
+    "to_arff",
+    "to_csv",
+    "save_spectrograms",
+    "load_spectrograms",
+    "result_to_json",
+    "TableSuite",
+    "run_table",
+]

@@ -1,0 +1,144 @@
+"""Terminal (ASCII) plotting for figures.
+
+The evaluation environment has no plotting stack, so the figure
+benchmarks and examples render their panels as text: line plots for the
+Fig. 7 training curves and Fig. 3/4 traces, and intensity heatmaps for
+the Fig. 2 spectrogram images. Everything returns a string so tests can
+assert on structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "heatmap", "multi_line_plot"]
+
+#: Intensity ramp for heatmaps, dark to bright.
+_RAMP = " .:-=+*#%@"
+
+
+def line_plot(
+    values: Sequence[float],
+    width: int = 64,
+    height: int = 12,
+    title: str = "",
+    y_label_format: str = "{:8.3f}",
+) -> str:
+    """Render one series as an ASCII line plot.
+
+    The x axis is the sample index scaled to ``width`` columns; the y
+    axis is min-max scaled to ``height`` rows with labelled extremes.
+    """
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 3:
+        raise ValueError("plot must be at least 8x3 characters")
+    lo, hi = float(np.nanmin(values)), float(np.nanmax(values))
+    span = hi - lo if hi > lo else 1.0
+    # Column-wise downsample (mean) onto the plot width.
+    edges = np.linspace(0, values.size, width + 1).astype(int)
+    columns = np.array(
+        [
+            np.nanmean(values[a:b]) if b > a else values[min(a, values.size - 1)]
+            for a, b in zip(edges[:-1], edges[1:])
+        ]
+    )
+    rows = ((columns - lo) / span * (height - 1)).round().astype(int)
+    grid = [[" "] * width for _ in range(height)]
+    for x, r in enumerate(rows):
+        grid[height - 1 - int(r)][x] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = y_label_format.format(hi)
+    bottom_label = y_label_format.format(lo)
+    pad = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(pad)
+        elif i == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    return "\n".join(lines)
+
+
+def multi_line_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render several series on shared axes, one marker letter each."""
+    if not series:
+        raise ValueError("nothing to plot")
+    arrays = {name: np.asarray(list(v), dtype=float) for name, v in series.items()}
+    if any(a.size == 0 for a in arrays.values()):
+        raise ValueError("every series needs at least one point")
+    lo = min(float(np.nanmin(a)) for a in arrays.values())
+    hi = max(float(np.nanmax(a)) for a in arrays.values())
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    for index, (name, values) in enumerate(arrays.items()):
+        marker = chr(ord("a") + index) if len(arrays) > 1 else "*"
+        markers[name] = marker
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        columns = np.array(
+            [
+                np.nanmean(values[s:e]) if e > s else values[min(s, values.size - 1)]
+                for s, e in zip(edges[:-1], edges[1:])
+            ]
+        )
+        rows = ((columns - lo) / span * (height - 1)).round().astype(int)
+        for x, r in enumerate(rows):
+            grid[height - 1 - int(r)][x] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    label_top = f"{hi:8.3f}"
+    label_bot = f"{lo:8.3f}"
+    pad = max(len(label_top), len(label_bot))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = label_top.rjust(pad)
+        elif i == height - 1:
+            label = label_bot.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    legend = "  ".join(f"{marker}={name}" for name, marker in markers.items())
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)
+
+
+def heatmap(
+    image: np.ndarray,
+    max_width: int = 64,
+    max_height: int = 24,
+    title: str = "",
+) -> str:
+    """Render a 2-D array as an ASCII intensity map (row 0 at the top)."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2 or image.size == 0:
+        raise ValueError(f"expected a non-empty 2-D image, got shape {image.shape}")
+    rows = min(max_height, image.shape[0])
+    cols = min(max_width, image.shape[1])
+    from repro.dsp.spectrogram import resize_image
+
+    small = resize_image(image, (rows, cols))
+    lo, hi = small.min(), small.max()
+    span = hi - lo if hi > lo else 1.0
+    indices = ((small - lo) / span * (len(_RAMP) - 1)).round().astype(int)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in indices:
+        lines.append("".join(_RAMP[i] for i in row))
+    return "\n".join(lines)

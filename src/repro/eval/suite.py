@@ -1,0 +1,157 @@
+"""Whole-table experiment suites.
+
+Runs an entire paper table (III, IV, V or VI) programmatically —
+collection, every classifier row, rendering — and returns structured
+results plus the formatted text table. The benchmarks use finer-grained
+control; this is the one-call API for users ("regenerate Table V").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.attack.pipeline import EmoLeakAttack
+from repro.attack.scenarios import SCENARIOS, Scenario
+from repro.datasets import build_corpus
+from repro.eval.experiment import (
+    ExperimentResult,
+    run_feature_experiment,
+    run_spectrogram_experiment,
+)
+from repro.eval.reporting import PAPER_RESULTS
+from repro.eval.tables import format_table
+
+__all__ = ["TableSuite", "TABLE_DEFINITIONS", "run_table"]
+
+#: Table id -> (scenario names, classifier rows).
+TABLE_DEFINITIONS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "III": (
+        ("savee-loud-oneplus7t", "savee-loud-pixel5"),
+        ("logistic", "multiclass", "lmt", "cnn", "cnn_spectrogram"),
+    ),
+    "IV": (
+        ("cremad-loud-galaxys10",),
+        ("logistic", "multiclass", "lmt", "cnn", "cnn_spectrogram"),
+    ),
+    "V": (
+        (
+            "tess-loud-oneplus7t",
+            "tess-loud-galaxys10",
+            "tess-loud-pixel5",
+            "tess-loud-galaxys21",
+            "tess-loud-galaxys21ultra",
+        ),
+        ("logistic", "multiclass", "lmt", "cnn", "cnn_spectrogram"),
+    ),
+    "VI": (
+        ("savee-ear-oneplus7t", "savee-ear-oneplus9", "tess-ear-oneplus7t"),
+        ("random_forest", "random_subspace", "lmt", "cnn"),
+    ),
+}
+
+
+@dataclass
+class TableSuite:
+    """Results of one regenerated paper table.
+
+    ``cells`` maps ``(scenario_name, classifier)`` to the experiment
+    result; :meth:`render` produces the paper-style text table with the
+    published value beside each measurement.
+    """
+
+    table: str
+    cells: Dict[Tuple[str, str], ExperimentResult] = field(default_factory=dict)
+
+    def render(self) -> str:
+        scenario_names, classifiers = TABLE_DEFINITIONS[self.table]
+        headers = ["classifier"]
+        for name in scenario_names:
+            scenario = SCENARIOS[name]
+            headers.append(f"{scenario.device} (ours)")
+            headers.append("(paper)")
+        rows: List[List] = []
+        for classifier in classifiers:
+            row: List = [classifier]
+            for name in scenario_names:
+                scenario = SCENARIOS[name]
+                result = self.cells.get((name, classifier))
+                row.append(result.accuracy if result else "-")
+                paper = PAPER_RESULTS.get(
+                    (self.table, scenario.dataset, scenario.device, classifier)
+                )
+                row.append(paper if paper is not None else "-")
+            rows.append(row)
+        return format_table(f"Table {self.table} (reproduced)", rows, headers)
+
+
+def _collect_for(scenario: Scenario, subsample: Optional[int], seed: int):
+    corpus = build_corpus(scenario.dataset)
+    if subsample:
+        corpus = corpus.subsample(per_class=subsample, seed=seed)
+    channel = scenario.channel(seed=seed)
+    attack = EmoLeakAttack(channel, seed=seed)
+    return corpus, attack
+
+
+def run_table(
+    table: str,
+    subsample: Optional[int] = 20,
+    seed: int = 0,
+    fast: bool = True,
+    classifiers: Tuple[str, ...] = None,
+) -> TableSuite:
+    """Regenerate one paper table.
+
+    Parameters
+    ----------
+    table:
+        ``"III"``, ``"IV"``, ``"V"`` or ``"VI"``.
+    subsample:
+        Utterances per emotion class (None = full corpus; the default 20
+        keeps a five-device table in the minutes range).
+    fast:
+        Use the CI-scale classifier configurations.
+    classifiers:
+        Optional subset of the table's classifier rows.
+    """
+    key = table.upper().strip()
+    if key not in TABLE_DEFINITIONS:
+        raise ValueError(
+            f"unknown table {table!r}; available: {sorted(TABLE_DEFINITIONS)}"
+        )
+    if subsample is not None and subsample < 10:
+        import sys
+
+        print(
+            f"warning: subsample={subsample} per class gives very small "
+            "train/test splits; accuracies will be noisy",
+            file=sys.stderr,
+        )
+    scenario_names, default_classifiers = TABLE_DEFINITIONS[key]
+    chosen = tuple(classifiers) if classifiers else default_classifiers
+    unknown = set(chosen) - set(default_classifiers)
+    if unknown:
+        raise ValueError(f"classifiers {sorted(unknown)} not part of Table {key}")
+
+    suite = TableSuite(table=key)
+    for name in scenario_names:
+        scenario = SCENARIOS[name]
+        corpus, attack = _collect_for(scenario, subsample, seed)
+        features = None
+        spectrograms = None
+        for classifier in chosen:
+            if classifier == "cnn_spectrogram":
+                if spectrograms is None:
+                    spectrograms = attack.collect_spectrograms(corpus)
+                result = run_spectrogram_experiment(
+                    spectrograms, seed=seed, fast=fast
+                )
+            else:
+                if features is None:
+                    features = attack.collect_features(corpus)
+                result = run_feature_experiment(
+                    features, classifier, seed=seed, fast=fast
+                )
+            suite.cells[(name, classifier)] = result
+    return suite

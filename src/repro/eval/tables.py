@@ -1,0 +1,52 @@
+"""Plain-text renderers for paper-style result tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_confusion"]
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Sequence],
+    headers: Sequence[str],
+) -> str:
+    """Render a fixed-width text table with a title line."""
+    if not rows:
+        raise ValueError("need at least one row")
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must match the header width")
+    cells = [[str(h) for h in headers]] + [
+        [
+            f"{value:.2%}" if isinstance(value, float) else str(value)
+            for value in row
+        ]
+        for row in rows
+    ]
+    widths = [max(len(row[j]) for row in cells) for j in range(len(headers))]
+    lines = [title, "-" * max(len(title), sum(widths) + 2 * len(widths))]
+    for i, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * widths[j] for j in range(len(widths))))
+    return "\n".join(lines)
+
+
+def format_confusion(matrix: np.ndarray, labels: Sequence) -> str:
+    """Render a confusion matrix (rows = true class) as text."""
+    matrix = np.asarray(matrix)
+    labels = [str(label) for label in labels]
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    if matrix.shape[0] != len(labels):
+        raise ValueError("label count must match matrix size")
+    width = max(max(len(label) for label in labels), 5) + 1
+    header = " " * width + "".join(label.rjust(width) for label in labels)
+    lines = [header]
+    for i, label in enumerate(labels):
+        cells = "".join(str(int(v)).rjust(width) for v in matrix[i])
+        lines.append(label.rjust(width) + cells)
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Classical machine-learning substrate (numpy, from scratch).
+
+The paper runs its time/frequency-domain features through Weka
+classifiers: ``Logistic``, ``MultiClassClassifier``, ``trees.LMT``,
+``RandomForest`` and ``RandomSubSpace``. No ML framework is available
+offline, so this package implements the same algorithm families directly:
+
+- :class:`~repro.ml.logistic.LogisticRegression` — multinomial
+  ridge-regularised logistic regression (Weka ``Logistic``);
+- :class:`~repro.ml.multiclass.OneVsRestClassifier` — Weka's
+  ``MultiClassClassifier`` meta-scheme over binary logistic models;
+- :class:`~repro.ml.tree.DecisionTree` — CART with gini/entropy splits;
+- :class:`~repro.ml.lmt.LogisticModelTree` — a tree with logistic models
+  at the leaves (Weka ``trees.LMT``);
+- :class:`~repro.ml.forest.RandomForest` — bagged randomised trees;
+- :class:`~repro.ml.subspace.RandomSubspace` — Weka ``RandomSubSpace``;
+plus preprocessing (cleaning, z-score, label encoding), stratified
+splitting / k-fold CV, metrics, and the entropy information-gain
+analysis behind the paper's Table I.
+"""
+
+from repro.ml.base import Classifier
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    StandardScaler,
+    clean_features,
+    train_test_split,
+)
+from repro.ml.logistic import LogisticRegression
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.tree import DecisionTree
+from repro.ml.lmt import LogisticModelTree
+from repro.ml.forest import RandomForest
+from repro.ml.subspace import RandomSubspace
+from repro.ml.metrics import accuracy_score, confusion_matrix, classification_report
+from repro.ml.crossval import StratifiedKFold, cross_val_score, cross_val_confusion
+from repro.ml.infogain import information_gain, information_gain_table
+from repro.ml.feature_selection import InfoGainSelector, rank_features
+from repro.ml.persistence import save_classifier, load_classifier
+
+__all__ = [
+    "Classifier",
+    "LabelEncoder",
+    "StandardScaler",
+    "clean_features",
+    "train_test_split",
+    "LogisticRegression",
+    "OneVsRestClassifier",
+    "DecisionTree",
+    "LogisticModelTree",
+    "RandomForest",
+    "RandomSubspace",
+    "accuracy_score",
+    "confusion_matrix",
+    "classification_report",
+    "StratifiedKFold",
+    "cross_val_score",
+    "cross_val_confusion",
+    "information_gain",
+    "information_gain_table",
+    "InfoGainSelector",
+    "rank_features",
+    "save_classifier",
+    "load_classifier",
+]

@@ -1,0 +1,89 @@
+"""Common classifier interface.
+
+Every classifier in :mod:`repro.ml` subclasses :class:`Classifier` and
+implements ``fit`` / ``predict_proba``; ``predict`` and ``score`` come
+for free. Labels may be arbitrary hashables — they are encoded
+internally and decoded on prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Classifier", "check_X_y", "check_X"]
+
+
+def check_X(X) -> np.ndarray:
+    """Validate a feature matrix: 2-D, finite, float."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ValueError("feature matrix has no rows")
+    if not np.all(np.isfinite(X)):
+        raise ValueError(
+            "feature matrix contains NaN/inf; run repro.ml.clean_features first"
+        )
+    return X
+
+
+def check_X_y(X, y):
+    """Validate a feature matrix with its label vector."""
+    X = check_X(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"expected a 1-D label vector, got shape {y.shape}")
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} rows but y has {y.shape[0]} labels"
+        )
+    return X, y
+
+
+class Classifier:
+    """Base class: label encoding plus the predict/score conveniences."""
+
+    classes_: Optional[np.ndarray] = None
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store the class inventory and return integer-encoded labels."""
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        index = {label: i for i, label in enumerate(self.classes_)}
+        return np.array([index[label] for label in y], dtype=int)
+
+    def _check_fitted(self) -> None:
+        if self.classes_ is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+
+    # -- API every subclass implements -----------------------------------
+    def fit(self, X, y) -> "Classifier":
+        raise NotImplementedError
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class-probability matrix of shape (n_samples, n_classes)."""
+        raise NotImplementedError
+
+    # -- derived conveniences ---------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        """Most-probable class label for each row."""
+        self._check_fitted()
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on the given data."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    def clone(self) -> "Classifier":
+        """Fresh unfitted copy with the same constructor parameters."""
+        params = {
+            k: v
+            for k, v in self.__dict__.items()
+            if not k.endswith("_") and not k.startswith("_")
+        }
+        return type(self)(**params)

@@ -1,0 +1,80 @@
+"""Stratified k-fold cross-validation.
+
+The paper evaluates the Weka classifiers with an 80/20 split and 10-fold
+cross-validation (Section IV-D1); the ear-speaker confusion matrix of
+Fig. 6b is explicitly 10-fold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.metrics import accuracy_score, confusion_matrix
+
+__all__ = ["StratifiedKFold", "cross_val_score", "cross_val_confusion"]
+
+
+class StratifiedKFold:
+    """Yield (train_idx, test_idx) pairs with per-class balance."""
+
+    def __init__(self, n_splits: int = 10, seed: int = 0, shuffle: bool = True):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.seed = int(seed)
+        self.shuffle = bool(shuffle)
+
+    def split(self, y) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        n = y.shape[0]
+        if n < self.n_splits:
+            raise ValueError(f"cannot make {self.n_splits} folds from {n} samples")
+        rng = np.random.default_rng(self.seed)
+        fold_of = np.empty(n, dtype=int)
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            if self.shuffle:
+                rng.shuffle(members)
+            for pos, idx in enumerate(members):
+                fold_of[idx] = pos % self.n_splits
+        for fold in range(self.n_splits):
+            test_mask = fold_of == fold
+            if not test_mask.any():
+                continue
+            yield np.flatnonzero(~test_mask), np.flatnonzero(test_mask)
+
+
+def cross_val_score(
+    classifier: Classifier, X, y, n_splits: int = 10, seed: int = 0
+) -> List[float]:
+    """Per-fold accuracies of a fresh clone of ``classifier``."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in StratifiedKFold(n_splits, seed).split(y):
+        model = classifier.clone()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(accuracy_score(y[test_idx], model.predict(X[test_idx])))
+    return scores
+
+
+def cross_val_confusion(
+    classifier: Classifier, X, y, n_splits: int = 10, seed: int = 0
+):
+    """Pooled out-of-fold confusion matrix (the paper's Fig. 6b protocol).
+
+    Returns ``(matrix, labels, accuracy)`` where the matrix pools every
+    fold's held-out predictions.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    predictions = np.empty(y.shape, dtype=y.dtype)
+    for train_idx, test_idx in StratifiedKFold(n_splits, seed).split(y):
+        model = classifier.clone()
+        model.fit(X[train_idx], y[train_idx])
+        predictions[test_idx] = model.predict(X[test_idx])
+    matrix, labels = confusion_matrix(y, predictions, labels=np.unique(y))
+    return matrix, labels, accuracy_score(y, predictions)

@@ -1,0 +1,86 @@
+"""Random forest: bagged randomised CART trees."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_X, check_X_y
+from repro.ml.tree import DecisionTree
+
+__all__ = ["RandomForest"]
+
+
+class RandomForest(Classifier):
+    """Bootstrap-aggregated decision trees with per-split feature sampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees (Weka's default is 100; 40 is plenty at the
+        paper's feature dimensionality and keeps the harness fast).
+    max_depth:
+        Per-tree depth cap.
+    max_features:
+        Features considered per split; None = floor(sqrt(d)).
+    seed:
+        Seed for bootstraps and feature sampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 40,
+        max_depth: Optional[int] = None,
+        max_features: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.seed = int(seed)
+        self.trees_: Optional[List[DecisionTree]] = None
+
+    def fit(self, X, y) -> "RandomForest":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        n, d = X.shape
+        max_features = self.max_features or max(1, int(np.sqrt(d)))
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        for t in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            # Guarantee every class appears in the bootstrap so each tree
+            # predicts over the full class set.
+            present = np.unique(codes[idx])
+            if present.size < self.classes_.size:
+                missing = np.setdiff1d(np.arange(self.classes_.size), present)
+                extras = [
+                    rng.choice(np.flatnonzero(codes == m)) for m in missing
+                ]
+                idx = np.concatenate([idx, np.array(extras, dtype=idx.dtype)])
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                max_features=max_features,
+                min_samples_leaf=self.min_samples_leaf,
+                rng_seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], codes[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X)
+        k = self.classes_.size
+        total = np.zeros((X.shape[0], k))
+        for tree in self.trees_:
+            proba = tree.predict_proba(X)
+            # Map tree class codes back onto the forest's class axis.
+            for j, code in enumerate(tree.classes_):
+                total[:, int(code)] += proba[:, j]
+        return total / len(self.trees_)

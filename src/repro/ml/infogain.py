@@ -1,0 +1,79 @@
+"""Entropy-based information gain of individual features.
+
+Reproduces the analysis behind the paper's Table I (information gain of
+time/frequency features with no filter vs a 1 Hz high-pass) and the
+feature-efficacy check of Section III-B4 ("all features listed in Table
+II exhibit non-zero information gain"). Continuous features are
+discretised with equal-frequency binning before computing
+``H(Y) - H(Y | bin(X))``, the same quantity Weka's InfoGainAttributeEval
+reports (bits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["entropy", "information_gain", "information_gain_table"]
+
+
+def entropy(labels: np.ndarray) -> float:
+    """Shannon entropy (bits) of a label vector."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        raise ValueError("empty label vector")
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / counts.sum()
+    return float(-np.sum(p * np.log2(p)))
+
+
+def _equal_frequency_bins(x: np.ndarray, n_bins: int) -> np.ndarray:
+    """Assign each value to an equal-frequency bin index."""
+    quantiles = np.quantile(x, np.linspace(0.0, 1.0, n_bins + 1)[1:-1])
+    return np.searchsorted(quantiles, x, side="right")
+
+
+def information_gain(x: np.ndarray, y: np.ndarray, n_bins: int = 10) -> float:
+    """Information gain H(Y) - H(Y|bin(X)) in bits.
+
+    Non-finite feature values are assigned their own bin (they carry
+    whatever information their presence pattern carries), matching how a
+    cleaned-vs-raw comparison would treat them.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"x has {x.shape[0]} values but y has {y.shape[0]}")
+    if x.size == 0:
+        raise ValueError("empty feature vector")
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+    finite = np.isfinite(x)
+    bins = np.full(x.shape[0], n_bins, dtype=int)
+    if finite.any():
+        bins[finite] = _equal_frequency_bins(x[finite], n_bins)
+    h_y = entropy(y)
+    h_cond = 0.0
+    n = y.shape[0]
+    for b in np.unique(bins):
+        members = bins == b
+        h_cond += members.sum() / n * entropy(y[members])
+    return float(max(0.0, h_y - h_cond))
+
+
+def information_gain_table(
+    X: np.ndarray, y: np.ndarray, feature_names: Sequence[str], n_bins: int = 10
+) -> Dict[str, float]:
+    """Information gain of every column of ``X``, keyed by feature name."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {X.shape}")
+    if X.shape[1] != len(feature_names):
+        raise ValueError(
+            f"{X.shape[1]} columns but {len(feature_names)} feature names"
+        )
+    return {
+        name: information_gain(X[:, j], y, n_bins)
+        for j, name in enumerate(feature_names)
+    }

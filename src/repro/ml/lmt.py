@@ -1,0 +1,114 @@
+"""Logistic model tree (Weka ``trees.LMT`` analogue).
+
+A shallow CART skeleton whose leaves each hold a multinomial logistic
+model fitted on the training rows reaching that leaf. Small leaves fall
+back to the empirical class distribution, and every leaf's logistic
+output is smoothed toward that distribution — the same bias/variance
+trade LMT's built-in boosting-with-early-stopping makes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_X, check_X_y
+from repro.ml.logistic import LogisticRegression
+from repro.ml.tree import DecisionTree
+
+__all__ = ["LogisticModelTree"]
+
+
+class LogisticModelTree(Classifier):
+    """Decision tree with logistic-regression leaf models.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth of the structural tree (LMT trees are shallow; default 2).
+    min_leaf_fraction:
+        Minimum fraction of the training set a leaf must hold to get its
+        own logistic model (smaller leaves use the class distribution).
+    ridge:
+        L2 penalty of the leaf logistic models.
+    smoothing:
+        Blend weight of the leaf class distribution into the logistic
+        output, in [0, 1).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 2,
+        min_leaf_fraction: float = 0.05,
+        ridge: float = 1e-3,
+        smoothing: float = 0.15,
+    ):
+        if not 0.0 <= smoothing < 1.0:
+            raise ValueError("smoothing must be in [0, 1)")
+        self.max_depth = int(max_depth)
+        self.min_leaf_fraction = float(min_leaf_fraction)
+        self.ridge = float(ridge)
+        self.smoothing = float(smoothing)
+        self.tree_: Optional[DecisionTree] = None
+        self.leaf_models_: Optional[Dict[int, LogisticRegression]] = None
+        self.leaf_priors_: Optional[Dict[int, np.ndarray]] = None
+
+    def _leaf_ids(self, X: np.ndarray) -> np.ndarray:
+        """Identify which structural leaf each row falls into."""
+        ids = np.empty(X.shape[0], dtype=int)
+        for i, row in enumerate(X):
+            node = self.tree_.root_
+            path = 0
+            while not node.is_leaf:
+                go_left = row[node.feature] <= node.threshold
+                path = path * 2 + (1 if go_left else 2)
+                node = node.left if go_left else node.right
+            ids[i] = path
+        return ids
+
+    def fit(self, X, y) -> "LogisticModelTree":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        k = self.classes_.size
+        self.tree_ = DecisionTree(
+            max_depth=self.max_depth, min_samples_leaf=max(2, X.shape[0] // 50)
+        )
+        self.tree_.fit(X, codes)
+        leaf_ids = self._leaf_ids(X)
+        min_rows = max(3 * k, int(self.min_leaf_fraction * X.shape[0]))
+        self.leaf_models_ = {}
+        self.leaf_priors_ = {}
+        for leaf in np.unique(leaf_ids):
+            members = leaf_ids == leaf
+            leaf_codes = codes[members]
+            prior = np.bincount(leaf_codes, minlength=k).astype(float)
+            prior /= prior.sum()
+            self.leaf_priors_[int(leaf)] = prior
+            if members.sum() >= min_rows and np.unique(leaf_codes).size >= 2:
+                model = LogisticRegression(ridge=self.ridge, max_iter=200)
+                model.fit(X[members], leaf_codes)
+                self.leaf_models_[int(leaf)] = model
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X)
+        k = self.classes_.size
+        out = np.zeros((X.shape[0], k))
+        leaf_ids = self._leaf_ids(X)
+        fallback = np.full(k, 1.0 / k)
+        for leaf in np.unique(leaf_ids):
+            members = leaf_ids == leaf
+            prior = self.leaf_priors_.get(int(leaf), fallback)
+            model = self.leaf_models_.get(int(leaf))
+            if model is None:
+                out[members] = prior
+                continue
+            proba = model.predict_proba(X[members])
+            # The leaf model may have seen fewer classes than the tree.
+            full = np.zeros((proba.shape[0], k))
+            for j, code in enumerate(model.classes_):
+                full[:, int(code)] = proba[:, j]
+            out[members] = (1.0 - self.smoothing) * full + self.smoothing * prior
+        return out

@@ -1,0 +1,112 @@
+"""Multinomial logistic regression (the Weka ``Logistic`` analogue).
+
+Ridge-regularised softmax regression trained by full-batch gradient
+descent with Nesterov momentum and a backtracking step size. Features
+are standardised internally so the default learning rate works across
+feature scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_X, check_X_y
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["LogisticRegression", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for stability."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression(Classifier):
+    """Softmax regression with L2 penalty.
+
+    Parameters
+    ----------
+    ridge:
+        L2 penalty weight (Weka's ``-R``; applied to weights, not bias).
+    max_iter:
+        Gradient-descent iterations.
+    lr:
+        Initial learning rate (adapted by backtracking).
+    tol:
+        Stop when the loss improvement falls below this.
+    """
+
+    def __init__(
+        self,
+        ridge: float = 1e-4,
+        max_iter: int = 300,
+        lr: float = 0.5,
+        tol: float = 1e-7,
+    ):
+        self.ridge = float(ridge)
+        self.max_iter = int(max_iter)
+        self.lr = float(lr)
+        self.tol = float(tol)
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+        self._scaler: Optional[StandardScaler] = None
+
+    def _loss_grad(self, X, onehot, W, b):
+        n = X.shape[0]
+        proba = softmax(X @ W + b)
+        eps = 1e-12
+        loss = -np.sum(onehot * np.log(proba + eps)) / n
+        loss += 0.5 * self.ridge * np.sum(W * W)
+        err = (proba - onehot) / n
+        grad_W = X.T @ err + self.ridge * W
+        grad_b = err.sum(axis=0)
+        return loss, grad_W, grad_b
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        k = self.classes_.size
+        self._scaler = StandardScaler().fit(X)
+        Xs = self._scaler.transform(X)
+        n, d = Xs.shape
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), codes] = 1.0
+
+        W = np.zeros((d, k))
+        b = np.zeros(k)
+        vel_W = np.zeros_like(W)
+        vel_b = np.zeros_like(b)
+        lr = self.lr
+        momentum = 0.9
+        prev_loss = np.inf
+        for _ in range(self.max_iter):
+            look_W = W + momentum * vel_W
+            look_b = b + momentum * vel_b
+            loss, grad_W, grad_b = self._loss_grad(Xs, onehot, look_W, look_b)
+            vel_W = momentum * vel_W - lr * grad_W
+            vel_b = momentum * vel_b - lr * grad_b
+            W = W + vel_W
+            b = b + vel_b
+            if loss > prev_loss * 1.001:
+                # Diverging: shrink the step and damp the momentum.
+                lr *= 0.5
+                vel_W *= 0.0
+                vel_b *= 0.0
+                if lr < 1e-6:
+                    break
+            elif prev_loss - loss < self.tol:
+                break
+            prev_loss = min(prev_loss, loss)
+        self.coef_ = W
+        self.intercept_ = b
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X)
+        Xs = self._scaler.transform(X)
+        return softmax(Xs @ self.coef_ + self.intercept_)

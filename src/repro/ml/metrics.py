@@ -1,0 +1,73 @@
+"""Classification metrics: accuracy, confusion matrices, per-class report."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["accuracy_score", "confusion_matrix", "classification_report"]
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true, y_pred, labels: Sequence = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Confusion matrix; rows = true class, columns = predicted class.
+
+    Returns ``(matrix, labels)`` where ``labels`` fixes the axis order.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((labels.size, labels.size), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        if t not in index or p not in index:
+            raise ValueError(f"label outside the provided inventory: {t!r}/{p!r}")
+        matrix[index[t], index[p]] += 1
+    return matrix, labels
+
+
+def classification_report(y_true, y_pred, labels: Sequence = None) -> Dict:
+    """Per-class precision/recall/F1 plus overall accuracy.
+
+    Returns a dict ``{label: {precision, recall, f1, support}, ...,
+    'accuracy': float}``.
+    """
+    matrix, labels = confusion_matrix(y_true, y_pred, labels)
+    report: Dict = {}
+    for i, label in enumerate(labels):
+        tp = matrix[i, i]
+        support = matrix[i].sum()
+        predicted = matrix[:, i].sum()
+        precision = tp / predicted if predicted else 0.0
+        recall = tp / support if support else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        report[label] = {
+            "precision": float(precision),
+            "recall": float(recall),
+            "f1": float(f1),
+            "support": int(support),
+        }
+    report["accuracy"] = accuracy_score(y_true, y_pred)
+    return report

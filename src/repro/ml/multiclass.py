@@ -1,0 +1,59 @@
+"""One-vs-rest meta-classifier (Weka's ``MultiClassClassifier``).
+
+Weka's MultiClassClassifier default wraps a binary base learner in a
+one-vs-rest scheme; its default base is Logistic, which is what the
+paper's tables pair it with. Any :class:`repro.ml.base.Classifier` that
+handles two classes can serve as the base.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_X, check_X_y
+from repro.ml.logistic import LogisticRegression
+
+__all__ = ["OneVsRestClassifier"]
+
+
+class OneVsRestClassifier(Classifier):
+    """Train one binary classifier per class, normalise their scores.
+
+    Parameters
+    ----------
+    base:
+        Unfitted binary base classifier to clone per class (default:
+        :class:`LogisticRegression`, matching Weka).
+    """
+
+    def __init__(self, base: Classifier = None):
+        self.base = base if base is not None else LogisticRegression()
+        self.estimators_: Optional[List[Classifier]] = None
+
+    def fit(self, X, y) -> "OneVsRestClassifier":
+        X, y = check_X_y(X, y)
+        self._encode_labels(y)
+        self.estimators_ = []
+        for label in self.classes_:
+            binary_y = np.where(y == label, 1, 0)
+            if np.unique(binary_y).size < 2:
+                raise ValueError(f"class {label!r} covers all or none of the data")
+            est = self.base.clone()
+            est.fit(X, binary_y)
+            self.estimators_.append(est)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X)
+        scores = np.column_stack(
+            [
+                est.predict_proba(X)[:, list(est.classes_).index(1)]
+                for est in self.estimators_
+            ]
+        )
+        total = scores.sum(axis=1, keepdims=True)
+        total[total < 1e-12] = 1.0
+        return scores / total

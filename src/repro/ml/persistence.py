@@ -1,0 +1,203 @@
+"""Classifier persistence without pickle.
+
+The attacker's workflow (train offline on attacker-device recordings,
+deploy the model against victims) needs trained classifiers to move
+between processes. Pickle is unsafe for untrusted artifacts, so the
+classifiers serialise to explicit JSON documents: logistic regression as
+weight matrices, trees as nested node dicts, ensembles as member lists.
+
+``save_classifier`` / ``load_classifier`` dispatch on a ``kind`` tag and
+refuse unknown kinds, so a tampered artifact cannot instantiate
+arbitrary classes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.ml.forest import RandomForest
+from repro.ml.logistic import LogisticRegression
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.subspace import RandomSubspace
+from repro.ml.tree import DecisionTree, _Node
+
+__all__ = ["save_classifier", "load_classifier", "classifier_to_dict",
+           "classifier_from_dict"]
+
+_PathLike = Union[str, Path]
+
+
+def _node_to_dict(node: _Node) -> dict:
+    if node.is_leaf:
+        return {"proba": node.proba.tolist()}
+    return {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(payload: dict) -> _Node:
+    if "proba" in payload:
+        return _Node(proba=np.asarray(payload["proba"], dtype=float))
+    return _Node(
+        feature=int(payload["feature"]),
+        threshold=float(payload["threshold"]),
+        left=_node_from_dict(payload["left"]),
+        right=_node_from_dict(payload["right"]),
+    )
+
+
+def _tree_to_dict(tree: DecisionTree) -> dict:
+    tree._check_fitted()
+    return {
+        "kind": "decision_tree",
+        "classes": tree.classes_.tolist(),
+        "root": _node_to_dict(tree.root_),
+        "params": {
+            "max_depth": tree.max_depth,
+            "min_samples_split": tree.min_samples_split,
+            "min_samples_leaf": tree.min_samples_leaf,
+            "criterion": tree.criterion,
+            "max_features": tree.max_features,
+            "rng_seed": tree.rng_seed,
+        },
+    }
+
+
+def _tree_from_dict(payload: dict) -> DecisionTree:
+    tree = DecisionTree(**payload["params"])
+    tree.classes_ = np.asarray(payload["classes"])
+    tree.root_ = _node_from_dict(payload["root"])
+    return tree
+
+
+def _logistic_to_dict(model: LogisticRegression) -> dict:
+    model._check_fitted()
+    return {
+        "kind": "logistic",
+        "classes": model.classes_.tolist(),
+        "coef": model.coef_.tolist(),
+        "intercept": model.intercept_.tolist(),
+        "scaler_mean": model._scaler.mean_.tolist(),
+        "scaler_std": model._scaler.std_.tolist(),
+        "params": {
+            "ridge": model.ridge,
+            "max_iter": model.max_iter,
+            "lr": model.lr,
+            "tol": model.tol,
+        },
+    }
+
+
+def _logistic_from_dict(payload: dict) -> LogisticRegression:
+    model = LogisticRegression(**payload["params"])
+    model.classes_ = np.asarray(payload["classes"])
+    model.coef_ = np.asarray(payload["coef"], dtype=float)
+    model.intercept_ = np.asarray(payload["intercept"], dtype=float)
+    scaler = StandardScaler()
+    scaler.mean_ = np.asarray(payload["scaler_mean"], dtype=float)
+    scaler.std_ = np.asarray(payload["scaler_std"], dtype=float)
+    model._scaler = scaler
+    return model
+
+
+def _forest_to_dict(model: RandomForest) -> dict:
+    model._check_fitted()
+    return {
+        "kind": "random_forest",
+        "classes": model.classes_.tolist(),
+        "trees": [_tree_to_dict(tree) for tree in model.trees_],
+        "params": {
+            "n_estimators": model.n_estimators,
+            "max_depth": model.max_depth,
+            "max_features": model.max_features,
+            "min_samples_leaf": model.min_samples_leaf,
+            "seed": model.seed,
+        },
+    }
+
+
+def _forest_from_dict(payload: dict) -> RandomForest:
+    model = RandomForest(**payload["params"])
+    model.classes_ = np.asarray(payload["classes"])
+    model.trees_ = [_tree_from_dict(t) for t in payload["trees"]]
+    return model
+
+
+def _subspace_to_dict(model: RandomSubspace) -> dict:
+    model._check_fitted()
+    return {
+        "kind": "random_subspace",
+        "classes": model.classes_.tolist(),
+        "members": [
+            {"features": features.tolist(), "tree": _tree_to_dict(tree)}
+            for features, tree in model.members_
+        ],
+        "params": {
+            "n_estimators": model.n_estimators,
+            "subspace_fraction": model.subspace_fraction,
+            "base_max_depth": model.base_max_depth,
+            "seed": model.seed,
+        },
+    }
+
+
+def _subspace_from_dict(payload: dict) -> RandomSubspace:
+    model = RandomSubspace(**payload["params"])
+    model.classes_ = np.asarray(payload["classes"])
+    model.members_ = [
+        (np.asarray(m["features"], dtype=int), _tree_from_dict(m["tree"]))
+        for m in payload["members"]
+    ]
+    return model
+
+
+_SERIALISERS = {
+    LogisticRegression: _logistic_to_dict,
+    DecisionTree: _tree_to_dict,
+    RandomForest: _forest_to_dict,
+    RandomSubspace: _subspace_to_dict,
+}
+
+_DESERIALISERS = {
+    "logistic": _logistic_from_dict,
+    "decision_tree": _tree_from_dict,
+    "random_forest": _forest_from_dict,
+    "random_subspace": _subspace_from_dict,
+}
+
+
+def classifier_to_dict(model) -> dict:
+    """Serialise a supported fitted classifier to a JSON-safe dict."""
+    serialiser = _SERIALISERS.get(type(model))
+    if serialiser is None:
+        raise TypeError(
+            f"cannot serialise {type(model).__name__}; supported: "
+            f"{sorted(c.__name__ for c in _SERIALISERS)}"
+        )
+    return serialiser(model)
+
+
+def classifier_from_dict(payload: dict):
+    """Rebuild a classifier from :func:`classifier_to_dict` output."""
+    kind = payload.get("kind")
+    deserialiser = _DESERIALISERS.get(kind)
+    if deserialiser is None:
+        raise ValueError(f"unknown classifier kind {kind!r}")
+    return deserialiser(payload)
+
+
+def save_classifier(model, path: _PathLike) -> None:
+    """Write a fitted classifier to a JSON file."""
+    Path(path).write_text(json.dumps(classifier_to_dict(model)))
+
+
+def load_classifier(path: _PathLike):
+    """Load a classifier written by :func:`save_classifier`."""
+    return classifier_from_dict(json.loads(Path(path).read_text()))

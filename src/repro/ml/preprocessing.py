@@ -1,0 +1,131 @@
+"""Preprocessing: cleaning, scaling, label encoding and splitting.
+
+Mirrors the paper's preprocessing: "we clean the generated data by
+removing invalid entries such as NaN and blank entries" (Section IV-D1)
+and "we apply z-score normalization" before the feature CNN (IV-D2);
+evaluation uses an 80/20 train/test split (IV-C1, IV-D1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["clean_features", "StandardScaler", "LabelEncoder", "train_test_split"]
+
+
+def clean_features(
+    X: np.ndarray, y: np.ndarray = None
+) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """Drop rows containing NaN/inf entries.
+
+    Returns ``(X_clean, y_clean, kept_mask)``; ``y_clean`` is None when no
+    labels were supplied.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {X.shape}")
+    mask = np.all(np.isfinite(X), axis=1)
+    X_clean = X[mask]
+    y_clean = None
+    if y is not None:
+        y = np.asarray(y)
+        if y.shape[0] != X.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+        y_clean = y[mask]
+    return X_clean, y_clean, mask
+
+
+class StandardScaler:
+    """Per-feature z-score normalisation (constant features map to 0)."""
+
+    def __init__(self):
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected a 2-D feature matrix, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.std_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class LabelEncoder:
+    """Map arbitrary labels to contiguous integers and back."""
+
+    def __init__(self):
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, y: Sequence) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y: Sequence) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder is not fitted")
+        index = {label: i for i, label in enumerate(self.classes_)}
+        try:
+            return np.array([index[label] for label in np.asarray(y)], dtype=int)
+        except KeyError as exc:
+            raise ValueError(f"unseen label {exc.args[0]!r}") from None
+
+    def fit_transform(self, y: Sequence) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes: Sequence[int]) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder is not fitted")
+        codes = np.asarray(codes, dtype=int)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.classes_.size):
+            raise ValueError("code out of range")
+        return self.classes_[codes]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    stratify: bool = True,
+):
+    """Stratified random split; default 80/20 as in the paper.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = X.shape[0]
+    test_idx: List[int] = []
+    if stratify:
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            n_test = max(1, int(round(members.size * test_fraction)))
+            if n_test >= members.size:
+                n_test = max(1, members.size - 1)
+            test_idx.extend(members[:n_test].tolist())
+    else:
+        order = rng.permutation(n)
+        test_idx = order[: max(1, int(round(n * test_fraction)))].tolist()
+    test_mask = np.zeros(n, dtype=bool)
+    test_mask[test_idx] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]

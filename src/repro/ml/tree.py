@@ -1,0 +1,178 @@
+"""CART decision tree with gini or entropy splits.
+
+The building block for the ensemble classifiers (random forest, random
+subspace) and the structural skeleton of the logistic model tree. Split
+search is vectorised: each candidate feature's sorted prefix class
+counts give every threshold's impurity in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_X, check_X_y
+
+__all__ = ["DecisionTree"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class-probability vector."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    proba: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.proba is not None
+
+
+def _impurity_curve(sorted_codes: np.ndarray, k: int, criterion: str):
+    """Impurity of (left, right) partitions for every split position.
+
+    ``sorted_codes`` are the class codes ordered by the feature value.
+    Returns an array of length n-1 where entry i is the weighted impurity
+    of splitting after position i.
+    """
+    n = sorted_codes.size
+    onehot = np.zeros((n, k))
+    onehot[np.arange(n), sorted_codes] = 1.0
+    left_counts = np.cumsum(onehot, axis=0)[:-1]  # counts up to position i
+    total = left_counts[-1] + onehot[-1]
+    right_counts = total[None, :] - left_counts
+    n_left = np.arange(1, n)
+    n_right = n - n_left
+    p_left = left_counts / n_left[:, None]
+    p_right = right_counts / n_right[:, None]
+    if criterion == "gini":
+        imp_left = 1.0 - np.sum(p_left**2, axis=1)
+        imp_right = 1.0 - np.sum(p_right**2, axis=1)
+    else:  # entropy
+        eps = 1e-12
+        imp_left = -np.sum(p_left * np.log2(p_left + eps), axis=1)
+        imp_right = -np.sum(p_right * np.log2(p_right + eps), axis=1)
+    return (n_left * imp_left + n_right * imp_right) / n
+
+
+class DecisionTree(Classifier):
+    """CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (None = grow until pure/min_samples).
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    min_samples_leaf:
+        Minimum samples in each child.
+    criterion:
+        ``gini`` or ``entropy``.
+    max_features:
+        Number of features to consider per split (None = all); with an
+        ``rng`` this gives the randomised trees used by RandomForest.
+    rng_seed:
+        Seed for the feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        criterion: str = "gini",
+        max_features: Optional[int] = None,
+        rng_seed: int = 0,
+    ):
+        if criterion not in ("gini", "entropy"):
+            raise ValueError(f"criterion must be gini or entropy, got {criterion!r}")
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.criterion = criterion
+        self.max_features = max_features
+        self.rng_seed = int(rng_seed)
+        self.root_: Optional[_Node] = None
+
+    def _leaf(self, codes: np.ndarray, k: int) -> _Node:
+        proba = np.bincount(codes, minlength=k).astype(float)
+        proba /= proba.sum()
+        return _Node(proba=proba)
+
+    def _best_split(self, X, codes, k, rng):
+        n, d = X.shape
+        features = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            features = rng.choice(d, size=self.max_features, replace=False)
+        best = (np.inf, -1, 0.0)  # (impurity, feature, threshold)
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            values = X[order, f]
+            sorted_codes = codes[order]
+            if values[0] == values[-1]:
+                continue
+            curve = _impurity_curve(sorted_codes, k, self.criterion)
+            # Valid split positions: value changes + leaf-size constraints.
+            valid = values[:-1] < values[1:]
+            lo = self.min_samples_leaf - 1
+            hi = n - self.min_samples_leaf
+            position = np.arange(1, n)
+            valid &= (position >= self.min_samples_leaf) & (position <= hi)
+            if not np.any(valid):
+                continue
+            curve = np.where(valid, curve, np.inf)
+            i = int(np.argmin(curve))
+            if curve[i] < best[0]:
+                threshold = 0.5 * (values[i] + values[i + 1])
+                best = (float(curve[i]), int(f), threshold)
+        return best
+
+    def _grow(self, X, codes, k, depth, rng) -> _Node:
+        n = X.shape[0]
+        pure = np.unique(codes).size == 1
+        too_deep = self.max_depth is not None and depth >= self.max_depth
+        if pure or too_deep or n < self.min_samples_split:
+            return self._leaf(codes, k)
+        impurity, feature, threshold = self._best_split(X, codes, k, rng)
+        if feature < 0:
+            return self._leaf(codes, k)
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return self._leaf(codes, k)
+        left = self._grow(X[mask], codes[mask], k, depth + 1, rng)
+        right = self._grow(X[~mask], codes[~mask], k, depth + 1, rng)
+        return _Node(feature=feature, threshold=threshold, left=left, right=right)
+
+    def fit(self, X, y) -> "DecisionTree":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        rng = np.random.default_rng(self.rng_seed)
+        self.root_ = self._grow(X, codes, self.classes_.size, 0, rng)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X)
+        out = np.empty((X.shape[0], self.classes_.size))
+        for i, row in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.proba
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted()
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self.root_)

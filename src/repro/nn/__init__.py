@@ -1,0 +1,54 @@
+"""Neural-network substrate (numpy, from scratch).
+
+Implements everything the paper's two Keras models need: 1-D and 2-D
+convolutions (im2col), max pooling, batch normalisation, dropout, dense
+layers, ReLU/softmax, categorical cross-entropy, SGD-momentum and Adam
+optimisers, and a :class:`~repro.nn.model.Sequential` container with a
+Keras-style ``fit`` that records per-epoch training/validation loss and
+accuracy (the history behind the paper's Fig. 7 curves).
+"""
+
+from repro.nn.initializers import he_normal, glorot_uniform
+from repro.nn.activations import relu, relu_grad, softmax
+from repro.nn.losses import CategoricalCrossEntropy
+from repro.nn.layers import (
+    Layer,
+    Dense,
+    Conv1D,
+    Conv2D,
+    MaxPool1D,
+    MaxPool2D,
+    Flatten,
+    Dropout,
+    BatchNorm,
+    ReLU,
+)
+from repro.nn.optim import SGD, Adam
+from repro.nn.model import Sequential, History
+from repro.nn.callbacks import Callback, EarlyStopping, StepDecay
+
+__all__ = [
+    "he_normal",
+    "glorot_uniform",
+    "relu",
+    "relu_grad",
+    "softmax",
+    "CategoricalCrossEntropy",
+    "Layer",
+    "Dense",
+    "Conv1D",
+    "Conv2D",
+    "MaxPool1D",
+    "MaxPool2D",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "ReLU",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "History",
+    "Callback",
+    "EarlyStopping",
+    "StepDecay",
+]

@@ -1,0 +1,24 @@
+"""Activation functions and their gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["relu", "relu_grad", "softmax"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU w.r.t. its input (1 where x > 0)."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax over the last axis, numerically stabilised."""
+    z = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)

@@ -1,0 +1,108 @@
+"""Training callbacks: early stopping and learning-rate decay.
+
+The paper trains its Keras models with fixed epoch budgets, but its
+Fig. 7 curves show validation loss flattening long before the end — the
+classic early-stopping setting. These callbacks plug into
+:meth:`repro.nn.model.Sequential.fit` and reproduce the two facilities a
+Keras user would reach for: ``EarlyStopping(patience=...)`` and
+``StepDecay`` on the optimiser's learning rate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Callback", "EarlyStopping", "StepDecay"]
+
+
+class Callback:
+    """Base callback: hooks invoked by the training loop.
+
+    ``on_epoch_end`` receives the epoch index, the running
+    :class:`~repro.nn.model.History` and the optimiser; returning True
+    stops training.
+    """
+
+    def on_train_begin(self, optimizer) -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_end(self, epoch: int, history, optimizer) -> bool:
+        """Called after each epoch; return True to stop training."""
+        return False
+
+
+class EarlyStopping(Callback):
+    """Stop when the monitored series stops improving.
+
+    Parameters
+    ----------
+    monitor:
+        ``"val_loss"`` (default), ``"loss"``, ``"val_accuracy"`` or
+        ``"accuracy"``. Loss-like series are minimised, accuracy-like
+        maximised.
+    patience:
+        Epochs without improvement tolerated before stopping.
+    min_delta:
+        Smallest change that counts as an improvement.
+    """
+
+    def __init__(
+        self, monitor: str = "val_loss", patience: int = 5, min_delta: float = 0.0
+    ):
+        if patience < 0:
+            raise ValueError("patience must be >= 0")
+        if monitor not in ("loss", "val_loss", "accuracy", "val_accuracy"):
+            raise ValueError(f"unknown monitor {monitor!r}")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best_: Optional[float] = None
+        self.stopped_epoch_: Optional[int] = None
+        self._stale = 0
+
+    def on_train_begin(self, optimizer) -> None:
+        self.best_ = None
+        self.stopped_epoch_ = None
+        self._stale = 0
+
+    def on_epoch_end(self, epoch: int, history, optimizer) -> bool:
+        series = getattr(history, self.monitor)
+        if not series:
+            return False
+        value = series[-1]
+        maximise = "accuracy" in self.monitor
+        if self.best_ is None:
+            self.best_ = value
+            return False
+        improved = (
+            value > self.best_ + self.min_delta
+            if maximise
+            else value < self.best_ - self.min_delta
+        )
+        if improved:
+            self.best_ = value
+            self._stale = 0
+            return False
+        self._stale += 1
+        if self._stale > self.patience:
+            self.stopped_epoch_ = epoch
+            return True
+        return False
+
+
+class StepDecay(Callback):
+    """Multiply the optimiser's learning rate every ``every`` epochs."""
+
+    def __init__(self, factor: float = 0.5, every: int = 10, min_lr: float = 1e-6):
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.factor = float(factor)
+        self.every = int(every)
+        self.min_lr = float(min_lr)
+
+    def on_epoch_end(self, epoch: int, history, optimizer) -> bool:
+        if (epoch + 1) % self.every == 0:
+            optimizer.lr = max(self.min_lr, optimizer.lr * self.factor)
+        return False

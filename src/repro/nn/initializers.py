@@ -1,0 +1,24 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "glorot_uniform"]
+
+
+def he_normal(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited to ReLU layers."""
+    if fan_in < 1:
+        raise ValueError("fan_in must be >= 1")
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def glorot_uniform(
+    shape, fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot (Xavier) uniform initialisation."""
+    if fan_in < 1 or fan_out < 1:
+        raise ValueError("fan_in and fan_out must be >= 1")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)

@@ -1,0 +1,422 @@
+"""Layers: dense, conv, pooling, normalisation, dropout.
+
+Conventions
+-----------
+- Channels-last layouts: Conv2D works on ``(N, H, W, C)``, Conv1D on
+  ``(N, L, C)``, Dense on ``(N, D)``.
+- ``forward(x, training)`` caches what ``backward(grad)`` needs;
+  ``backward`` returns dLoss/dInput and fills ``self.grads`` parallel to
+  ``self.params``.
+- Convolutions use "same" zero padding (as the paper's feature CNN
+  states) or "valid".
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.activations import relu, relu_grad
+from repro.nn.initializers import he_normal
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv1D",
+    "Conv2D",
+    "MaxPool1D",
+    "MaxPool2D",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "ReLU",
+]
+
+
+class Layer:
+    """Base layer: parameter/gradient registry plus the fwd/bwd API."""
+
+    def __init__(self):
+        self.params: List[np.ndarray] = []
+        self.grads: List[np.ndarray] = []
+        self.built = False
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        """Allocate parameters once the input shape (sans batch) is known."""
+        self.built = True
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape given the per-sample input shape."""
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def forward(self, x, training):
+        self._x = x
+        return relu(x)
+
+    def backward(self, grad):
+        return grad * relu_grad(self._x)
+
+
+class Flatten(Layer):
+    """Collapse all per-sample axes into one."""
+
+    def output_shape(self, input_shape):
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x, training):
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad):
+        return grad.reshape(self._shape)
+
+
+class Dense(Layer):
+    """Fully connected layer."""
+
+    def __init__(self, units: int):
+        super().__init__()
+        if units < 1:
+            raise ValueError("units must be >= 1")
+        self.units = int(units)
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 1:
+            raise ValueError(f"Dense expects flat input, got shape {input_shape}")
+        d = input_shape[0]
+        self.W = he_normal((d, self.units), fan_in=d, rng=rng)
+        self.b = np.zeros(self.units)
+        self.params = [self.W, self.b]
+        self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
+        self.built = True
+
+    def output_shape(self, input_shape):
+        return (self.units,)
+
+    def forward(self, x, training):
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad):
+        self.grads[0][...] = self._x.T @ grad
+        self.grads[1][...] = grad.sum(axis=0)
+        return grad @ self.W.T
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference."""
+
+    def __init__(self, rate: float, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x, training):
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad):
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class BatchNorm(Layer):
+    """Batch normalisation over the channel (last) axis."""
+
+    def __init__(self, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__()
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+
+    def build(self, input_shape, rng):
+        channels = input_shape[-1]
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+        self.params = [self.gamma, self.beta]
+        self.grads = [np.zeros_like(self.gamma), np.zeros_like(self.beta)]
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.built = True
+
+    def forward(self, x, training):
+        axes = tuple(range(x.ndim - 1))
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        self._x_hat = (x - mean) / np.sqrt(var + self.eps)
+        self._var = var
+        self._axes = axes
+        self._m = int(np.prod([x.shape[a] for a in axes]))
+        return self.gamma * self._x_hat + self.beta
+
+    def backward(self, grad):
+        axes = self._axes
+        self.grads[0][...] = np.sum(grad * self._x_hat, axis=axes)
+        self.grads[1][...] = np.sum(grad, axis=axes)
+        m = self._m
+        inv_std = 1.0 / np.sqrt(self._var + self.eps)
+        g = grad * self.gamma
+        return (
+            inv_std
+            / m
+            * (
+                m * g
+                - np.sum(g, axis=axes)
+                - self._x_hat * np.sum(g * self._x_hat, axis=axes)
+            )
+        )
+
+
+def _pad_amounts(size: int, kernel: int, padding: str) -> Tuple[int, int]:
+    if padding == "valid":
+        return 0, 0
+    if padding == "same":
+        total = max(kernel - 1, 0)
+        return total // 2, total - total // 2
+    raise ValueError(f"padding must be 'same' or 'valid', got {padding!r}")
+
+
+class Conv2D(Layer):
+    """2-D convolution (stride 1, channels-last) via kernel-offset summation."""
+
+    def __init__(self, filters: int, kernel_size, padding: str = "same"):
+        super().__init__()
+        if filters < 1:
+            raise ValueError("filters must be >= 1")
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.filters = int(filters)
+        self.kh, self.kw = int(kernel_size[0]), int(kernel_size[1])
+        if self.kh < 1 or self.kw < 1:
+            raise ValueError("kernel dims must be >= 1")
+        self.padding = padding
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 3:
+            raise ValueError(f"Conv2D expects (H, W, C) input, got {input_shape}")
+        c_in = input_shape[2]
+        fan_in = self.kh * self.kw * c_in
+        self.W = he_normal((self.kh, self.kw, c_in, self.filters), fan_in, rng)
+        self.b = np.zeros(self.filters)
+        self.params = [self.W, self.b]
+        self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
+        self.built = True
+
+    def output_shape(self, input_shape):
+        h, w, _ = input_shape
+        if self.padding == "same":
+            return (h, w, self.filters)
+        return (h - self.kh + 1, w - self.kw + 1, self.filters)
+
+    def forward(self, x, training):
+        ph0, ph1 = _pad_amounts(x.shape[1], self.kh, self.padding)
+        pw0, pw1 = _pad_amounts(x.shape[2], self.kw, self.padding)
+        xp = np.pad(x, ((0, 0), (ph0, ph1), (pw0, pw1), (0, 0)))
+        self._xp = xp
+        self._pads = (ph0, ph1, pw0, pw1)
+        n, hp, wp, c = xp.shape
+        h_out = hp - self.kh + 1
+        w_out = wp - self.kw + 1
+        out = np.tile(self.b, (n, h_out, w_out, 1))
+        for i in range(self.kh):
+            for j in range(self.kw):
+                patch = xp[:, i : i + h_out, j : j + w_out, :]
+                out += patch @ self.W[i, j]
+        self._out_hw = (h_out, w_out)
+        return out
+
+    def backward(self, grad):
+        xp = self._xp
+        h_out, w_out = self._out_hw
+        dxp = np.zeros_like(xp)
+        self.grads[0][...] = 0.0
+        for i in range(self.kh):
+            for j in range(self.kw):
+                patch = xp[:, i : i + h_out, j : j + w_out, :]
+                self.grads[0][i, j] = np.tensordot(
+                    patch, grad, axes=([0, 1, 2], [0, 1, 2])
+                )
+                dxp[:, i : i + h_out, j : j + w_out, :] += grad @ self.W[i, j].T
+        self.grads[1][...] = grad.sum(axis=(0, 1, 2))
+        ph0, ph1, pw0, pw1 = self._pads
+        hp, wp = dxp.shape[1], dxp.shape[2]
+        return dxp[:, ph0 : hp - ph1, pw0 : wp - pw1, :]
+
+
+class Conv1D(Layer):
+    """1-D convolution (stride 1, channels-last) via kernel-offset summation."""
+
+    def __init__(self, filters: int, kernel_size: int, padding: str = "same"):
+        super().__init__()
+        if filters < 1 or kernel_size < 1:
+            raise ValueError("filters and kernel_size must be >= 1")
+        self.filters = int(filters)
+        self.k = int(kernel_size)
+        self.padding = padding
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 2:
+            raise ValueError(f"Conv1D expects (L, C) input, got {input_shape}")
+        c_in = input_shape[1]
+        fan_in = self.k * c_in
+        self.W = he_normal((self.k, c_in, self.filters), fan_in, rng)
+        self.b = np.zeros(self.filters)
+        self.params = [self.W, self.b]
+        self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
+        self.built = True
+
+    def output_shape(self, input_shape):
+        length, _ = input_shape
+        if self.padding == "same":
+            return (length, self.filters)
+        return (length - self.k + 1, self.filters)
+
+    def forward(self, x, training):
+        p0, p1 = _pad_amounts(x.shape[1], self.k, self.padding)
+        xp = np.pad(x, ((0, 0), (p0, p1), (0, 0)))
+        self._xp = xp
+        self._pads = (p0, p1)
+        n, lp, c = xp.shape
+        l_out = lp - self.k + 1
+        out = np.tile(self.b, (n, l_out, 1))
+        for i in range(self.k):
+            out += xp[:, i : i + l_out, :] @ self.W[i]
+        self._l_out = l_out
+        return out
+
+    def backward(self, grad):
+        xp = self._xp
+        l_out = self._l_out
+        dxp = np.zeros_like(xp)
+        self.grads[0][...] = 0.0
+        for i in range(self.k):
+            patch = xp[:, i : i + l_out, :]
+            self.grads[0][i] = np.tensordot(patch, grad, axes=([0, 1], [0, 1]))
+            dxp[:, i : i + l_out, :] += grad @ self.W[i].T
+        self.grads[1][...] = grad.sum(axis=(0, 1))
+        p0, p1 = self._pads
+        lp = dxp.shape[1]
+        return dxp[:, p0 : lp - p1, :]
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping 2-D max pooling (trailing remainder cropped)."""
+
+    def __init__(self, pool_size: int = 2):
+        super().__init__()
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.p = int(pool_size)
+
+    def output_shape(self, input_shape):
+        h, w, c = input_shape
+        return (max(1, h // self.p), max(1, w // self.p), c)
+
+    def forward(self, x, training):
+        n, h, w, c = x.shape
+        p = self.p
+        h_out, w_out = max(1, h // p), max(1, w // p)
+        if h < p or w < p:
+            # Degenerate: pool over whatever is there.
+            self._degenerate = True
+            self._shape = x.shape
+            flat = x.reshape(n, h * w, c)
+            self._argmax = flat.argmax(axis=1)
+            return flat.max(axis=1).reshape(n, 1, 1, c)
+        self._degenerate = False
+        xc = x[:, : h_out * p, : w_out * p, :]
+        self._shape = x.shape
+        blocks = xc.reshape(n, h_out, p, w_out, p, c).transpose(0, 1, 3, 5, 2, 4)
+        blocks = blocks.reshape(n, h_out, w_out, c, p * p)
+        self._argmax = blocks.argmax(axis=-1)
+        return blocks.max(axis=-1)
+
+    def backward(self, grad):
+        n, h, w, c = self._shape
+        p = self.p
+        dx = np.zeros((n, h, w, c))
+        if self._degenerate:
+            flat = dx.reshape(n, h * w, c)
+            ni, ci = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
+            flat[ni, self._argmax, ci] = grad.reshape(n, c)
+            return flat.reshape(n, h, w, c)
+        h_out, w_out = grad.shape[1], grad.shape[2]
+        rows = self._argmax // p
+        cols = self._argmax % p
+        ni, hi, wi, ci = np.meshgrid(
+            np.arange(n), np.arange(h_out), np.arange(w_out), np.arange(c),
+            indexing="ij",
+        )
+        dx[ni, hi * p + rows, wi * p + cols, ci] = grad
+        return dx
+
+
+class MaxPool1D(Layer):
+    """Non-overlapping 1-D max pooling (trailing remainder cropped)."""
+
+    def __init__(self, pool_size: int = 2):
+        super().__init__()
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.p = int(pool_size)
+
+    def output_shape(self, input_shape):
+        length, c = input_shape
+        return (max(1, length // self.p), c)
+
+    def forward(self, x, training):
+        n, length, c = x.shape
+        p = self.p
+        self._shape = x.shape
+        if length < p:
+            self._degenerate = True
+            self._argmax = x.argmax(axis=1)
+            return x.max(axis=1, keepdims=True)
+        self._degenerate = False
+        l_out = length // p
+        xc = x[:, : l_out * p, :].reshape(n, l_out, p, c)
+        self._argmax = xc.argmax(axis=2)
+        return xc.max(axis=2)
+
+    def backward(self, grad):
+        n, length, c = self._shape
+        p = self.p
+        dx = np.zeros((n, length, c))
+        if self._degenerate:
+            ni, ci = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
+            dx[ni, self._argmax, ci] = grad[:, 0, :]
+            return dx
+        l_out = grad.shape[1]
+        ni, li, ci = np.meshgrid(
+            np.arange(n), np.arange(l_out), np.arange(c), indexing="ij"
+        )
+        dx[ni, li * p + self._argmax, ci] = grad
+        return dx

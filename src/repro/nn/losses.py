@@ -1,0 +1,36 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.activations import softmax
+
+__all__ = ["CategoricalCrossEntropy"]
+
+
+class CategoricalCrossEntropy:
+    """Softmax + categorical cross-entropy with the fused gradient.
+
+    ``forward`` takes raw logits and one-hot targets and returns
+    ``(loss, probabilities)``; ``backward`` returns dLoss/dLogits.
+    """
+
+    def forward(
+        self, logits: np.ndarray, onehot: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        if logits.shape != onehot.shape:
+            raise ValueError(
+                f"logits shape {logits.shape} != targets shape {onehot.shape}"
+            )
+        proba = softmax(logits)
+        eps = 1e-12
+        loss = float(-np.sum(onehot * np.log(proba + eps)) / logits.shape[0])
+        self._proba = proba
+        self._onehot = onehot
+        return loss, proba
+
+    def backward(self) -> np.ndarray:
+        return (self._proba - self._onehot) / self._proba.shape[0]

@@ -1,0 +1,234 @@
+"""Sequential model container with a Keras-style training loop.
+
+``fit`` records per-epoch training and validation loss/accuracy in a
+:class:`History`, which is exactly what the paper's Fig. 7 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import CategoricalCrossEntropy
+from repro.nn.optim import Adam
+
+__all__ = ["Sequential", "History"]
+
+
+@dataclass
+class History:
+    """Per-epoch training curves (the data behind paper Fig. 7)."""
+
+    loss: List[float] = field(default_factory=list)
+    accuracy: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "loss": list(self.loss),
+            "accuracy": list(self.accuracy),
+            "val_loss": list(self.val_loss),
+            "val_accuracy": list(self.val_accuracy),
+        }
+
+
+class Sequential:
+    """A linear stack of layers trained with softmax cross-entropy.
+
+    Parameters
+    ----------
+    layers:
+        The layer stack (unbuilt; shapes are inferred at first fit).
+    n_classes:
+        Output dimensionality (the final Dense layer must produce this).
+    seed:
+        Weight-initialisation seed.
+    """
+
+    def __init__(self, layers: Sequence[Layer], n_classes: int, seed: int = 0):
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        self.layers = list(layers)
+        self.n_classes = int(n_classes)
+        self.seed = int(seed)
+        self.loss_fn = CategoricalCrossEntropy()
+        self._built = False
+
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Build every layer given the per-sample input shape."""
+        rng = np.random.default_rng(self.seed)
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            layer.build(shape, rng)
+            shape = layer.output_shape(shape)
+        if shape != (self.n_classes,):
+            raise ValueError(
+                f"model output shape {shape} != (n_classes={self.n_classes},)"
+            )
+        self._built = True
+
+    def _forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training)
+        return out
+
+    def _backward(self, grad: np.ndarray) -> None:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def _params_grads(self):
+        params, grads = [], []
+        for layer in self.layers:
+            params.extend(layer.params)
+            grads.extend(layer.grads)
+        return params, grads
+
+    def predict_proba(self, X: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class probabilities, computed in inference mode."""
+        if not self._built:
+            raise RuntimeError("model is not built/fitted")
+        X = np.asarray(X, dtype=float)
+        chunks = []
+        for start in range(0, X.shape[0], batch_size):
+            logits = self._forward(X[start : start + batch_size], training=False)
+            z = logits - logits.max(axis=1, keepdims=True)
+            e = np.exp(z)
+            chunks.append(e / e.sum(axis=1, keepdims=True))
+        return np.concatenate(chunks, axis=0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Argmax class codes."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def evaluate(self, X: np.ndarray, y_codes: np.ndarray) -> Tuple[float, float]:
+        """(loss, accuracy) in inference mode."""
+        X = np.asarray(X, dtype=float)
+        y_codes = np.asarray(y_codes, dtype=int)
+        proba = self.predict_proba(X)
+        onehot = np.zeros((y_codes.size, self.n_classes))
+        onehot[np.arange(y_codes.size), y_codes] = 1.0
+        eps = 1e-12
+        loss = float(-np.sum(onehot * np.log(proba + eps)) / y_codes.size)
+        acc = float(np.mean(np.argmax(proba, axis=1) == y_codes))
+        return loss, acc
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y_codes: np.ndarray,
+        epochs: int = 20,
+        batch_size: int = 32,
+        optimizer=None,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        shuffle_seed: int = 0,
+        verbose: bool = False,
+        callbacks: Optional[Sequence] = None,
+    ) -> History:
+        """Train with minibatch gradient descent.
+
+        ``y_codes`` are integer class codes in ``[0, n_classes)``.
+        ``callbacks`` are :class:`repro.nn.callbacks.Callback` instances;
+        any callback returning True from ``on_epoch_end`` stops training.
+        """
+        X = np.asarray(X, dtype=float)
+        y_codes = np.asarray(y_codes, dtype=int)
+        if X.shape[0] != y_codes.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} samples but y has {y_codes.shape[0]}"
+            )
+        if y_codes.size and (y_codes.min() < 0 or y_codes.max() >= self.n_classes):
+            raise ValueError("class codes out of range")
+        if not self._built:
+            self.build(X.shape[1:])
+        optimizer = optimizer or Adam()
+        callbacks = list(callbacks or [])
+        for callback in callbacks:
+            callback.on_train_begin(optimizer)
+        rng = np.random.default_rng(shuffle_seed)
+        history = History()
+        n = X.shape[0]
+        for epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            epoch_correct = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                xb = X[idx]
+                onehot = np.zeros((idx.size, self.n_classes))
+                onehot[np.arange(idx.size), y_codes[idx]] = 1.0
+                logits = self._forward(xb, training=True)
+                loss, proba = self.loss_fn.forward(logits, onehot)
+                epoch_loss += loss * idx.size
+                epoch_correct += int(
+                    np.sum(np.argmax(proba, axis=1) == y_codes[idx])
+                )
+                self._backward(self.loss_fn.backward())
+                params, grads = self._params_grads()
+                optimizer.step(params, grads)
+            history.loss.append(epoch_loss / n)
+            history.accuracy.append(epoch_correct / n)
+            if validation_data is not None:
+                val_loss, val_acc = self.evaluate(*validation_data)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+            if verbose:
+                msg = (
+                    f"epoch {epoch + 1}/{epochs} "
+                    f"loss={history.loss[-1]:.4f} acc={history.accuracy[-1]:.4f}"
+                )
+                if validation_data is not None:
+                    msg += (
+                        f" val_loss={history.val_loss[-1]:.4f}"
+                        f" val_acc={history.val_accuracy[-1]:.4f}"
+                    )
+                print(msg)
+            if any(cb.on_epoch_end(epoch, history, optimizer) for cb in callbacks):
+                break
+        return history
+
+    # -- persistence --------------------------------------------------------
+    def save_weights(self, path) -> None:
+        """Persist all layer parameters (and BatchNorm statistics) to .npz."""
+        if not self._built:
+            raise RuntimeError("model is not built/fitted")
+        arrays = {}
+        for i, layer in enumerate(self.layers):
+            for j, param in enumerate(layer.params):
+                arrays[f"layer{i}_param{j}"] = param
+            if hasattr(layer, "running_mean"):
+                arrays[f"layer{i}_running_mean"] = layer.running_mean
+                arrays[f"layer{i}_running_var"] = layer.running_var
+        np.savez_compressed(path, **arrays)
+
+    def load_weights(self, path, input_shape: Tuple[int, ...] = None) -> None:
+        """Restore parameters saved by :meth:`save_weights`.
+
+        An unbuilt model needs ``input_shape`` to allocate its layers
+        before loading.
+        """
+        if not self._built:
+            if input_shape is None:
+                raise RuntimeError(
+                    "model is not built; pass input_shape to load_weights"
+                )
+            self.build(input_shape)
+        with np.load(path) as bundle:
+            for i, layer in enumerate(self.layers):
+                for j, param in enumerate(layer.params):
+                    key = f"layer{i}_param{j}"
+                    if key not in bundle:
+                        raise ValueError(f"checkpoint missing {key}")
+                    stored = bundle[key]
+                    if stored.shape != param.shape:
+                        raise ValueError(
+                            f"{key}: shape {stored.shape} != expected {param.shape}"
+                        )
+                    param[...] = stored
+                if hasattr(layer, "running_mean"):
+                    layer.running_mean = bundle[f"layer{i}_running_mean"]
+                    layer.running_var = bundle[f"layer{i}_running_var"]

@@ -1,0 +1,65 @@
+"""Optimisers: SGD with momentum, and Adam."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.9):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity: List[np.ndarray] = []
+
+    def step(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        if not self._velocity:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba), the Keras default the paper used."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: List[np.ndarray] = []
+        self._v: List[np.ndarray] = []
+        self._t = 0
+
+    def step(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        if not self._m:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

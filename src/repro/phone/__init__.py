@@ -1,0 +1,62 @@
+"""Smartphone vibration-channel substrate.
+
+Models the physical path the EmoLeak attack exploits: audio driven
+through a phone speaker shakes the chassis/motherboard, and the
+zero-permission accelerometer — whose MEMS proof mass responds far above
+its output data rate — records an aliased, noisy, low-rate projection of
+that vibration.
+
+Components:
+
+- :mod:`repro.phone.speaker` — loudspeaker vs ear-speaker drive models
+  (level, low-frequency rolloff, mild compressive nonlinearity).
+- :mod:`repro.phone.chassis` — conductive surface transfer (structural
+  resonance band-pass + attenuation).
+- :mod:`repro.phone.accelerometer` — the ADC: anti-alias-free sampling,
+  gravity offset, noise floor, quantisation, full-scale clipping; the
+  Android-12 200 Hz cap is a constructor parameter (ablation A1).
+- :mod:`repro.phone.motion` — handheld hand-tremor / body-sway noise and
+  the slow envelope-coupled drift that carries the sub-1 Hz emotional
+  level cues (Table I).
+- :mod:`repro.phone.devices` — per-device profiles for the six phones in
+  the paper's evaluation.
+- :mod:`repro.phone.channel` — the end-to-end
+  :class:`~repro.phone.channel.VibrationChannel`.
+- :mod:`repro.phone.recording` — continuous playback sessions with
+  emotion playback logs (the labelling mechanism of Section IV-B1).
+"""
+
+from repro.phone.speaker import SpeakerModel, loudspeaker_model, ear_speaker_model
+from repro.phone.chassis import ChassisTransfer
+from repro.phone.accelerometer import Accelerometer
+from repro.phone.gyroscope import Gyroscope
+from repro.phone.triaxial import TriaxialAccelerometer
+from repro.phone.environment import EnvironmentNoise, ENVIRONMENTS, get_environment
+from repro.phone.motion import HandheldMotion, MotionProcess
+from repro.phone.devices import DeviceProfile, DEVICES, get_device
+from repro.phone.channel import VibrationChannel, SpeakerMode, Placement
+from repro.phone.recording import PlaybackEvent, RecordingSession, record_session
+
+__all__ = [
+    "SpeakerModel",
+    "loudspeaker_model",
+    "ear_speaker_model",
+    "ChassisTransfer",
+    "Accelerometer",
+    "Gyroscope",
+    "TriaxialAccelerometer",
+    "EnvironmentNoise",
+    "ENVIRONMENTS",
+    "get_environment",
+    "HandheldMotion",
+    "MotionProcess",
+    "DeviceProfile",
+    "DEVICES",
+    "get_device",
+    "VibrationChannel",
+    "SpeakerMode",
+    "Placement",
+    "PlaybackEvent",
+    "RecordingSession",
+    "record_session",
+]

@@ -1,0 +1,154 @@
+"""End-to-end vibration channel: audio waveform in, accelerometer trace out.
+
+:class:`VibrationChannel` composes the speaker drive, chassis transfer,
+handheld motion processes and the accelerometer ADC according to the
+scenario (device x speaker mode x placement), mirroring the paper's four
+data-collection configurations:
+
+- **loudspeaker / table-top** (Tables III-V): strong drive, no body
+  motion, no filtering needed anywhere;
+- **ear speaker / handheld** (Table VI): ~25 dB weaker drive, hand/body
+  motion below 8 Hz, plus the sub-1 Hz envelope-coupled drift that
+  carries the Table I raw-feature information.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.phone.accelerometer import Accelerometer
+from repro.phone.chassis import ChassisTransfer
+from repro.phone.devices import DeviceProfile, get_device
+from repro.phone.motion import HandheldMotion, MotionProcess
+from repro.phone.speaker import SpeakerModel, ear_speaker_model, loudspeaker_model
+
+__all__ = ["SpeakerMode", "Placement", "VibrationChannel"]
+
+
+class SpeakerMode(str, enum.Enum):
+    """Which speaker plays the audio."""
+
+    LOUDSPEAKER = "loudspeaker"
+    EAR_SPEAKER = "ear_speaker"
+
+
+class Placement(str, enum.Enum):
+    """How the phone is held during collection."""
+
+    TABLE_TOP = "table_top"
+    HANDHELD = "handheld"
+
+
+@dataclass
+class VibrationChannel:
+    """Audio-to-accelerometer simulation for one scenario.
+
+    Parameters
+    ----------
+    device:
+        Device profile or canonical name.
+    mode:
+        Loudspeaker or ear speaker.
+    placement:
+        Table-top or handheld (the paper pairs loudspeaker with table-top
+        and ear speaker with handheld; other pairings are allowed for
+        ablations).
+    sample_rate:
+        Override of the accelerometer output rate (e.g. 200 for the
+        Android-12 cap ablation). ``None`` uses the device default.
+    sensor:
+        ``"accelerometer"`` (the paper's choice) or ``"gyroscope"``
+        (the weaker alternative, for the Section III-B1 sensor-choice
+        ablation).
+    environment:
+        Optional ambient-environment name (``quiet_room``,
+        ``busy_office``, ``vehicle``) or an
+        :class:`~repro.phone.environment.EnvironmentNoise` instance —
+        the paper's future-work "various environments" extension.
+        ``None`` means an ideal vibration-free surface.
+    seed:
+        Seed for the channel's noise processes.
+    """
+
+    device: DeviceProfile
+    mode: SpeakerMode = SpeakerMode.LOUDSPEAKER
+    placement: Placement = Placement.TABLE_TOP
+    sample_rate: Optional[float] = None
+    sensor: str = "accelerometer"
+    environment: Optional[object] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.device, str):
+            self.device = get_device(self.device)
+        self.mode = SpeakerMode(self.mode)
+        self.placement = Placement(self.placement)
+        if self.mode is SpeakerMode.LOUDSPEAKER:
+            self._speaker: SpeakerModel = loudspeaker_model(self.device.loud_gain)
+        else:
+            self._speaker = ear_speaker_model(self.device.ear_gain)
+        self._chassis = ChassisTransfer(
+            resonance_hz=self.device.resonance_hz,
+            q_factor=self.device.q_factor,
+        )
+        fs_out = float(self.sample_rate or self.device.accel_fs)
+        if self.sensor == "accelerometer":
+            self._accel = Accelerometer(fs=fs_out, noise_rms=self.device.noise_rms)
+        elif self.sensor == "gyroscope":
+            from repro.phone.gyroscope import Gyroscope
+
+            self._accel = Gyroscope(fs=fs_out)
+        else:
+            raise ValueError(
+                f"sensor must be 'accelerometer' or 'gyroscope', got {self.sensor!r}"
+            )
+        if isinstance(self.environment, str):
+            from repro.phone.environment import get_environment
+
+            self.environment = get_environment(self.environment)
+        self._motion_config = HandheldMotion()
+        self._rng = np.random.default_rng(self.seed)
+        self._motion = MotionProcess(
+            self._motion_config, np.random.default_rng(self.seed + 101)
+        )
+
+    @property
+    def accel_fs(self) -> float:
+        """Accelerometer output rate of this channel, Hz."""
+        return self._accel.fs
+
+    def reseed(self, seed: int) -> None:
+        """Reset the channel noise RNG and motion process (new session)."""
+        self._rng = np.random.default_rng(seed)
+        self._motion = MotionProcess(
+            self._motion_config, np.random.default_rng(seed + 101)
+        )
+
+    def transmit(
+        self, audio: np.ndarray, audio_fs: float, rng: np.random.Generator = None
+    ) -> np.ndarray:
+        """Play ``audio`` through the scenario and return the accel trace.
+
+        Returns the sensitive-axis accelerometer samples at
+        :attr:`accel_fs`, gravity offset included.
+        """
+        audio = np.asarray(audio, dtype=float)
+        if audio.ndim != 1:
+            raise ValueError(f"expected a 1-D audio signal, got shape {audio.shape}")
+        if rng is None:
+            rng = self._rng
+        force = self._speaker.drive(audio, audio_fs)
+        vibration = self._chassis.transfer(force, audio_fs)
+        slow = np.zeros_like(vibration)
+        if self.placement is Placement.HANDHELD:
+            slow = slow + self._motion.advance(vibration.size, audio_fs)
+            # Envelope-coupled drift scales with the *drive* level so the
+            # louder an emotional delivery, the larger the slow offset.
+            slow = slow + self._motion.drift(force, audio_fs)
+        if self.environment is not None:
+            slow = slow + self.environment.noise(vibration.size, audio_fs, rng)
+        return self._accel.sample(vibration, audio_fs, rng, slow_component=slow)

@@ -1,0 +1,122 @@
+"""Ambient-environment vibration (future-work extension, paper §VI-D).
+
+The paper's limitations note the attack "is susceptible to external
+noise factors in the environment", and its future-work section calls for
+testing in various environments. This module adds ambient table/building
+vibration to the table-top scenario: quiet room, busy office (footfalls,
+desk bumps), and vehicle (road rumble + suspension sway).
+
+Each environment is a stationary background process (band-limited hum)
+plus a Poisson train of transient bumps — the two components that matter
+for the detector (bumps look like short speech regions) and for the
+features (hum raises the in-band noise floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.dsp.filters import bandpass
+
+__all__ = ["EnvironmentNoise", "ENVIRONMENTS", "get_environment"]
+
+
+@dataclass(frozen=True)
+class EnvironmentNoise:
+    """Ambient vibration at the phone's resting surface.
+
+    Attributes
+    ----------
+    name:
+        Environment key.
+    hum_rms:
+        RMS of the stationary background vibration, m/s^2.
+    hum_low_hz / hum_high_hz:
+        Band of the stationary component.
+    bump_rate_hz:
+        Expected transient events per second (footfalls, bumps).
+    bump_amp:
+        Peak amplitude of a transient, m/s^2.
+    """
+
+    name: str
+    hum_rms: float
+    hum_low_hz: float
+    hum_high_hz: float
+    bump_rate_hz: float
+    bump_amp: float
+
+    def noise(self, n: int, fs: float, rng: np.random.Generator) -> np.ndarray:
+        """Generate ``n`` samples of ambient surface acceleration."""
+        if n <= 0:
+            return np.zeros(0)
+        out = np.zeros(n)
+        if self.hum_rms > 0 and n > 64:
+            white = rng.normal(0.0, 1.0, n)
+            high = min(self.hum_high_hz, 0.45 * fs)
+            if high > self.hum_low_hz:
+                hum = bandpass(white, self.hum_low_hz, high, fs, order=2)
+                rms = np.sqrt(np.mean(hum**2))
+                if rms > 1e-12:
+                    out += hum * (self.hum_rms / rms)
+        if self.bump_rate_hz > 0 and self.bump_amp > 0:
+            n_bumps = rng.poisson(self.bump_rate_hz * n / fs)
+            for _ in range(n_bumps):
+                start = int(rng.integers(0, n))
+                length = int(rng.uniform(0.01, 0.05) * fs)
+                length = min(length, n - start)
+                if length < 2:
+                    continue
+                t = np.arange(length) / fs
+                ring_hz = rng.uniform(40.0, 120.0)
+                bump = (
+                    self.bump_amp
+                    * np.exp(-t / 0.01)
+                    * np.sin(2 * np.pi * ring_hz * t)
+                )
+                out[start : start + length] += bump
+        return out
+
+
+ENVIRONMENTS: Dict[str, EnvironmentNoise] = {
+    env.name: env
+    for env in (
+        EnvironmentNoise(
+            name="quiet_room",
+            hum_rms=0.0008,
+            hum_low_hz=5.0,
+            hum_high_hz=60.0,
+            bump_rate_hz=0.0,
+            bump_amp=0.0,
+        ),
+        EnvironmentNoise(
+            name="busy_office",
+            hum_rms=0.004,
+            hum_low_hz=5.0,
+            hum_high_hz=120.0,
+            bump_rate_hz=0.4,
+            bump_amp=0.06,
+        ),
+        EnvironmentNoise(
+            name="vehicle",
+            hum_rms=0.03,
+            hum_low_hz=4.0,
+            hum_high_hz=200.0,
+            bump_rate_hz=1.2,
+            bump_amp=0.15,
+        ),
+    )
+}
+
+
+def get_environment(name: str) -> EnvironmentNoise:
+    """Look up an ambient-environment profile by name."""
+    try:
+        return ENVIRONMENTS[name.lower().strip()]
+    except KeyError:
+        raise ValueError(
+            f"unknown environment {name!r}; available: {sorted(ENVIRONMENTS)}"
+        ) from None

@@ -1,0 +1,75 @@
+"""Speaker drive models.
+
+A micro-speaker converts the audio waveform into force on the chassis.
+The model captures the three properties that matter for the side channel:
+
+- **drive level**: loudspeakers at max volume (the paper's table-top
+  setting) push far more energy than ear speakers at conversation level
+  (36–40 dB SPL classic earpieces, 42–46 dB for the stereo-capable ear
+  speakers the paper exploits);
+- **low-frequency rolloff**: micro-speakers radiate poorly below a few
+  hundred hertz (2nd-order high-pass at the driver resonance);
+- **compressive nonlinearity** at high drive, which spreads spectral
+  content — one of the reasons aliased accelerometer spectra stay
+  informative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.filters import highpass
+
+__all__ = ["SpeakerModel", "loudspeaker_model", "ear_speaker_model"]
+
+
+@dataclass(frozen=True)
+class SpeakerModel:
+    """Parametric speaker drive model.
+
+    Attributes
+    ----------
+    drive_gain:
+        Linear gain from audio amplitude to chassis force (arbitrary
+        acceleration-equivalent units).
+    rolloff_hz:
+        Driver resonance; response falls off 2nd-order below this.
+    compression:
+        Soft-clipping knee in [0, 1); 0 disables the nonlinearity.
+    """
+
+    drive_gain: float
+    rolloff_hz: float = 350.0
+    compression: float = 0.15
+
+    def drive(self, audio: np.ndarray, fs: float) -> np.ndarray:
+        """Convert an audio waveform into a chassis force waveform."""
+        audio = np.asarray(audio, dtype=float)
+        if audio.ndim != 1:
+            raise ValueError(f"expected a 1-D audio signal, got shape {audio.shape}")
+        if audio.size == 0:
+            return audio.copy()
+        shaped = audio
+        if 0 < self.rolloff_hz < 0.45 * fs:
+            shaped = highpass(shaped, self.rolloff_hz, fs, order=2)
+        if self.compression > 0:
+            knee = max(1e-6, 1.0 - self.compression)
+            shaped = np.tanh(shaped / knee) * knee
+        return self.drive_gain * shaped
+
+
+def loudspeaker_model(gain: float = 1.0) -> SpeakerModel:
+    """Bottom loudspeaker at maximum media volume (table-top setting)."""
+    return SpeakerModel(drive_gain=gain, rolloff_hz=300.0, compression=0.25)
+
+
+def ear_speaker_model(gain: float = 0.05) -> SpeakerModel:
+    """Top ear speaker at conversation volume (handheld setting).
+
+    Roughly 25 dB below the loudspeaker drive; stereo-capable ear
+    speakers (OnePlus 7T/9 style) get device-profile gains above the
+    classic-earpiece default.
+    """
+    return SpeakerModel(drive_gain=gain, rolloff_hz=450.0, compression=0.05)

@@ -1,0 +1,42 @@
+"""Parametric emotional-speech synthesis substrate.
+
+The paper plays recorded actor speech from the SAVEE, TESS and CREMA-D
+corpora through smartphone speakers. Those corpora are audio data we do
+not have offline, so this package synthesises emotional speech with a
+classic source-filter model whose prosodic controls (fundamental
+frequency level and range, intensity, speaking rate, jitter, shimmer,
+spectral tilt, breathiness) are conditioned on emotion following the
+affective-speech literature the paper's feature set targets. The
+synthetic utterances carry emotion in exactly the acoustic dimensions the
+EmoLeak features measure, so the attack pipeline downstream is exercised
+on the same kind of structure as with the real corpora.
+"""
+
+from repro.speech.prosody import (
+    EMOTIONS,
+    CREMAD_EMOTIONS,
+    ProsodyProfile,
+    emotion_profile,
+    perturbed_profile,
+)
+from repro.speech.glottal import glottal_source
+from repro.speech.formants import VOWELS, formant_filter, vowel_formants
+from repro.speech.phonemes import Syllable, UtterancePlan, plan_utterance
+from repro.speech.synthesizer import SpeakerVoice, Synthesizer
+
+__all__ = [
+    "EMOTIONS",
+    "CREMAD_EMOTIONS",
+    "ProsodyProfile",
+    "emotion_profile",
+    "perturbed_profile",
+    "glottal_source",
+    "VOWELS",
+    "formant_filter",
+    "vowel_formants",
+    "Syllable",
+    "UtterancePlan",
+    "plan_utterance",
+    "SpeakerVoice",
+    "Synthesizer",
+]

@@ -1,0 +1,102 @@
+"""Glottal source generation for the source-filter synthesizer.
+
+Voiced excitation is a quasi-periodic pulse train whose instantaneous
+period follows a supplied F0 contour, with cycle-level jitter (period
+perturbation), shimmer (amplitude perturbation), a spectral-tilt low-pass
+shaping the pulse, and additive aspiration noise for breathiness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glottal_source", "rosenberg_pulse"]
+
+
+def rosenberg_pulse(length: int, open_quotient: float = 0.6) -> np.ndarray:
+    """One Rosenberg-style glottal flow-derivative pulse of ``length`` samples.
+
+    A raised-cosine opening phase followed by a sharp closing spike —
+    enough structure to give a realistic harmonic rolloff.
+    """
+    if length < 2:
+        return np.array([1.0])
+    open_quotient = float(np.clip(open_quotient, 0.2, 0.9))
+    n_open = max(1, int(length * open_quotient))
+    n_close = max(1, length - n_open)
+    opening = 0.5 * (1.0 - np.cos(np.pi * np.arange(n_open) / n_open))
+    closing = np.cos(0.5 * np.pi * np.arange(n_close) / n_close)
+    pulse = np.concatenate([opening, closing])[:length]
+    # Flow derivative: differentiate to get the excitation spike at closure.
+    deriv = np.diff(pulse, prepend=0.0)
+    peak = np.max(np.abs(deriv))
+    return deriv / peak if peak > 0 else deriv
+
+
+def glottal_source(
+    f0_contour: np.ndarray,
+    fs: float,
+    rng: np.random.Generator,
+    jitter: float = 0.01,
+    shimmer: float = 0.04,
+    tilt_db_per_octave: float = -12.0,
+    breathiness: float = 0.08,
+) -> np.ndarray:
+    """Generate a glottal excitation following an F0 contour.
+
+    Parameters
+    ----------
+    f0_contour:
+        Per-sample fundamental frequency in Hz (values <= 0 mean unvoiced;
+        those samples receive only aspiration noise).
+    fs:
+        Sampling rate in Hz.
+    jitter / shimmer:
+        Relative per-cycle perturbations of period and amplitude.
+    tilt_db_per_octave:
+        Spectral tilt applied with a one-pole low-pass whose strength is
+        mapped from the tilt value (-18 = dark voice, -6 = bright voice).
+    breathiness:
+        Aspiration-noise mix in [0, 1].
+    """
+    f0_contour = np.asarray(f0_contour, dtype=float)
+    if f0_contour.ndim != 1:
+        raise ValueError(f"expected a 1-D F0 contour, got shape {f0_contour.shape}")
+    n = f0_contour.size
+    out = np.zeros(n)
+    if n == 0:
+        return out
+
+    # Place glottal pulses by integrating instantaneous frequency.
+    position = 0
+    while position < n:
+        f0 = f0_contour[position]
+        if f0 <= 0:
+            position += max(1, int(fs * 0.005))
+            continue
+        period = fs / f0
+        period *= 1.0 + rng.normal(0.0, jitter)
+        period = max(2.0, period)
+        cycle_len = int(round(period))
+        amplitude = 1.0 + rng.normal(0.0, shimmer)
+        pulse = rosenberg_pulse(min(cycle_len, n - position))
+        out[position : position + pulse.size] += amplitude * pulse
+        position += cycle_len
+
+    # Spectral tilt: one-pole low-pass, pole radius mapped from tilt.
+    # -6 dB/oct (bright) -> weak pole, -18 dB/oct (dark) -> strong pole.
+    tilt = float(np.clip(tilt_db_per_octave, -24.0, -3.0))
+    pole = np.clip((-tilt - 3.0) / 21.0, 0.0, 0.95)
+    if pole > 1e-3:
+        from scipy.signal import lfilter
+
+        out = lfilter([1.0 - pole], [1.0, -pole], out)
+
+    # Aspiration noise, modulated by voicing so pauses stay quiet.
+    voiced = (f0_contour > 0).astype(float)
+    noise = rng.normal(0.0, 1.0, n) * (0.15 + 0.85 * voiced)
+    rms_voice = np.sqrt(np.mean(out**2)) or 1.0
+    rms_noise = np.sqrt(np.mean(noise**2)) or 1.0
+    mix = float(np.clip(breathiness, 0.0, 1.0))
+    out = (1.0 - mix) * out + mix * noise * (rms_voice / rms_noise)
+    return out

@@ -1,0 +1,124 @@
+"""Utterance planning: syllable sequences with durations and stress.
+
+The corpora the paper plays are short carrier sentences ("Say the word
+*back*", per-word TESS items, scripted SAVEE/CREMA-D sentences). We model
+an utterance as a sequence of syllables, each a vowel nucleus with an
+optional unvoiced (noise-burst) onset, plus inter-syllable pauses. The
+emotion's rate/pause modifiers stretch or compress the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.speech.formants import VOWELS
+
+__all__ = ["Syllable", "UtterancePlan", "plan_utterance"]
+
+
+@dataclass(frozen=True)
+class Syllable:
+    """One syllable of an utterance plan.
+
+    Attributes
+    ----------
+    vowel:
+        Vowel key into :data:`repro.speech.formants.VOWELS`.
+    duration_s:
+        Voiced-nucleus duration in seconds (before rate scaling).
+    stress:
+        Relative prominence in [0.5, 2]; scales local energy and F0.
+    onset_noise_s:
+        Duration of the unvoiced fricative-like onset, seconds (0 = none).
+    """
+
+    vowel: str
+    duration_s: float
+    stress: float = 1.0
+    onset_noise_s: float = 0.03
+
+
+@dataclass(frozen=True)
+class UtterancePlan:
+    """A planned utterance: syllables plus pause durations between them."""
+
+    syllables: List[Syllable] = field(default_factory=list)
+    pauses_s: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.pauses_s) != max(0, len(self.syllables) - 1):
+            raise ValueError(
+                "pauses_s must have exactly len(syllables) - 1 entries "
+                f"(got {len(self.pauses_s)} for {len(self.syllables)} syllables)"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Nominal duration before rate scaling."""
+        total = sum(s.duration_s + s.onset_noise_s for s in self.syllables)
+        return total + sum(self.pauses_s)
+
+
+def plan_utterance(
+    rng: np.random.Generator,
+    n_syllables: int = None,
+    mean_syllables: float = 5.0,
+    carrier: bool = False,
+) -> UtterancePlan:
+    """Draw an utterance plan.
+
+    With ``carrier=False`` (free speech, SAVEE/CREMA-D style) the
+    syllable count is Poisson-ish around ``mean_syllables`` (min 2) and
+    every syllable's vowel, duration and stress vary. With
+    ``carrier=True`` (TESS's fixed "Say the word ___" frame) the plan is
+    a fixed template whose final — target-word — syllable is the only
+    strongly variable one, which is what makes the real TESS corpus so
+    low-variance.
+    """
+    vowel_keys = sorted(VOWELS)
+    if carrier:
+        count = n_syllables if n_syllables is not None else 4
+        if count < 2:
+            raise ValueError("a carrier plan needs >= 2 syllables")
+        syllables = []
+        for i in range(count - 1):
+            # Fixed carrier syllables: same vowels, stable durations.
+            syllables.append(
+                Syllable(
+                    vowel=vowel_keys[i % len(vowel_keys)],
+                    duration_s=0.14,
+                    stress=1.0,
+                    onset_noise_s=0.025,
+                )
+            )
+        # Variable target word.
+        syllables.append(
+            Syllable(
+                vowel=vowel_keys[int(rng.integers(len(vowel_keys)))],
+                duration_s=float(rng.uniform(0.16, 0.22)),
+                stress=float(rng.uniform(1.1, 1.3)),
+                onset_noise_s=float(rng.uniform(0.02, 0.04)),
+            )
+        )
+        pauses = [0.05] * (count - 1)
+        return UtterancePlan(syllables=syllables, pauses_s=pauses)
+
+    if n_syllables is None:
+        n_syllables = max(2, int(rng.poisson(mean_syllables)))
+    if n_syllables < 1:
+        raise ValueError("n_syllables must be >= 1")
+    syllables = []
+    for _ in range(n_syllables):
+        syllables.append(
+            Syllable(
+                vowel=vowel_keys[int(rng.integers(len(vowel_keys)))],
+                duration_s=float(rng.uniform(0.10, 0.24)),
+                stress=float(rng.uniform(0.7, 1.4)),
+                onset_noise_s=float(rng.uniform(0.01, 0.05)),
+            )
+        )
+    pauses = [float(rng.uniform(0.02, 0.09)) for _ in range(n_syllables - 1)]
+    return UtterancePlan(syllables=syllables, pauses_s=pauses)

@@ -1,0 +1,150 @@
+"""Source-filter utterance renderer.
+
+:class:`Synthesizer` combines a speaker voice, an utterance plan and an
+emotion prosody profile into a waveform: per-syllable F0 contours drive
+the glottal source, formant resonators shape the spectrum, and an energy
+envelope with emotion-dependent attack sharpness modulates intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.speech.formants import formant_filter, vowel_formants
+from repro.speech.glottal import glottal_source
+from repro.speech.phonemes import UtterancePlan, plan_utterance
+from repro.speech.prosody import ProsodyProfile
+
+__all__ = ["SpeakerVoice", "Synthesizer"]
+
+
+@dataclass(frozen=True)
+class SpeakerVoice:
+    """A speaker's neutral voice characteristics.
+
+    Attributes
+    ----------
+    base_f0_hz:
+        Neutral mean fundamental frequency (≈110 Hz male, ≈210 Hz female).
+    f0_excursion_hz:
+        Neutral depth of the intonation contour.
+    tract_scale:
+        Vocal-tract length factor (>1 raises formants; female ≈ 1.15).
+    loudness_db:
+        Speaker-level intensity offset.
+    """
+
+    base_f0_hz: float = 120.0
+    f0_excursion_hz: float = 25.0
+    tract_scale: float = 1.0
+    loudness_db: float = 0.0
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        female: bool = False,
+        variability: float = 0.08,
+    ) -> "SpeakerVoice":
+        """Draw a random speaker voice of the given sex."""
+        base = 205.0 if female else 118.0
+        return cls(
+            base_f0_hz=float(base * rng.lognormal(0.0, variability)),
+            f0_excursion_hz=float(25.0 * rng.lognormal(0.0, variability)),
+            tract_scale=float((1.16 if female else 1.0) * rng.lognormal(0.0, 0.04)),
+            loudness_db=float(rng.normal(0.0, 1.5)),
+        )
+
+
+class Synthesizer:
+    """Render emotional utterances at a fixed audio sampling rate."""
+
+    def __init__(self, fs: float = 8000.0):
+        if fs < 2000:
+            raise ValueError("synthesis sampling rate must be >= 2000 Hz")
+        self.fs = float(fs)
+
+    def _f0_contour(
+        self,
+        n: int,
+        voice: SpeakerVoice,
+        profile: ProsodyProfile,
+        stress: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Declination + accent-shaped F0 contour for one syllable."""
+        base = voice.base_f0_hz * profile.f0_scale * (0.9 + 0.2 * stress)
+        excursion = (
+            voice.f0_excursion_hz * profile.f0_range_scale * stress
+        )
+        t = np.linspace(0.0, 1.0, n, endpoint=False)
+        # Rise-fall accent with a random peak position plus declination.
+        peak = rng.uniform(0.25, 0.5)
+        accent = np.exp(-0.5 * ((t - peak) / 0.25) ** 2)
+        declination = 1.0 - 0.15 * t
+        contour = base * declination + excursion * accent
+        return np.maximum(contour, 40.0)
+
+    def render(
+        self,
+        voice: SpeakerVoice,
+        profile: ProsodyProfile,
+        rng: np.random.Generator,
+        plan: UtterancePlan = None,
+    ) -> np.ndarray:
+        """Render one utterance to a waveform in [-1, 1].
+
+        The emotion profile's rate/pause scales stretch the plan, its
+        energy offset sets overall level, and its attack sharpness shapes
+        syllable onsets — the envelope cues that survive the vibration
+        channel.
+        """
+        if plan is None:
+            plan = plan_utterance(rng)
+        fs = self.fs
+        rate = max(profile.rate_scale, 1e-3)
+        pieces = []
+        for i, syllable in enumerate(plan.syllables):
+            # Unvoiced onset burst.
+            n_onset = int(round(syllable.onset_noise_s / rate * fs))
+            if n_onset > 0:
+                burst = rng.normal(0.0, 0.25, n_onset)
+                burst *= np.linspace(1.0, 0.2, n_onset)
+                pieces.append(burst)
+            # Voiced nucleus.
+            n_voiced = max(8, int(round(syllable.duration_s / rate * fs)))
+            f0 = self._f0_contour(n_voiced, voice, profile, syllable.stress, rng)
+            source = glottal_source(
+                f0,
+                fs,
+                rng,
+                jitter=profile.jitter,
+                shimmer=profile.shimmer,
+                tilt_db_per_octave=profile.tilt_db_per_octave,
+                breathiness=profile.breathiness,
+            )
+            formants = vowel_formants(syllable.vowel, voice.tract_scale)
+            voiced = formant_filter(source, formants, fs)
+            # Attack/decay envelope: sharp attacks for anger/surprise.
+            attack_frac = float(np.clip(0.18 / max(profile.attack_sharpness, 0.2), 0.02, 0.45))
+            n_attack = max(1, int(n_voiced * attack_frac))
+            n_decay = max(1, int(n_voiced * 0.25))
+            envelope = np.ones(n_voiced)
+            envelope[:n_attack] = np.linspace(0.0, 1.0, n_attack) ** 0.7
+            envelope[-n_decay:] *= np.linspace(1.0, 0.1, n_decay)
+            voiced = voiced * envelope * syllable.stress
+            pieces.append(voiced)
+            # Pause.
+            if i < len(plan.pauses_s):
+                n_pause = int(round(plan.pauses_s[i] * profile.pause_scale / rate * fs))
+                if n_pause > 0:
+                    pieces.append(np.zeros(n_pause))
+        wave = np.concatenate(pieces) if pieces else np.zeros(int(0.1 * fs))
+        # Level: neutral reference scaled by emotion + speaker offsets.
+        rms = np.sqrt(np.mean(wave**2))
+        if rms > 0:
+            target_db = -20.0 + profile.energy_db + voice.loudness_db
+            wave = wave * (10 ** (target_db / 20.0) / rms)
+        return np.clip(wave, -1.0, 1.0)

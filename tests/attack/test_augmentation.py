@@ -1,0 +1,109 @@
+"""Tests for repro.attack.augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.attack.augmentation import (
+    RegionAugmenter,
+    augment_region,
+    augmented_feature_dataset,
+)
+from repro.attack.features import FEATURE_NAMES
+from repro.phone.channel import VibrationChannel
+
+
+def region(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / 420.0
+    return 9.81 + 0.1 * np.sin(2 * np.pi * 60 * t) + 0.005 * rng.normal(size=n)
+
+
+class TestAugmentRegion:
+    def test_preserves_offset(self):
+        x = region()
+        out = augment_region(x, np.random.default_rng(1))
+        assert out.mean() == pytest.approx(x.mean(), abs=0.02)
+
+    def test_length_close(self):
+        x = region()
+        out = augment_region(x, np.random.default_rng(2), crop_fraction=0.1)
+        assert 0.9 * x.size <= out.size <= x.size
+
+    def test_different_draws_differ(self):
+        x = region()
+        a = augment_region(x, np.random.default_rng(3))
+        b = augment_region(x, np.random.default_rng(4))
+        assert a.shape != b.shape or not np.allclose(a, b)
+
+    def test_deterministic_given_rng(self):
+        x = region()
+        a = augment_region(x, np.random.default_rng(5))
+        b = augment_region(x, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_no_op_settings(self):
+        x = region()
+        out = augment_region(
+            x, np.random.default_rng(0),
+            noise_rms=0.0, scale_sigma=0.0, max_shift_fraction=0.0,
+            crop_fraction=0.0,
+        )
+        assert np.allclose(out, x)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            augment_region(np.ones(4), np.random.default_rng(0))
+
+
+class TestRegionAugmenter:
+    def test_row_count(self):
+        augmenter = RegionAugmenter(copies=3, seed=0)
+        X, y = augmenter.expand([region(seed=i) for i in range(5)],
+                                ["a", "b", "a", "b", "a"], 420.0)
+        assert X.shape == (5 * 4, len(FEATURE_NAMES))
+        assert y.shape == (20,)
+
+    def test_labels_replicated(self):
+        augmenter = RegionAugmenter(copies=1, seed=0)
+        X, y = augmenter.expand([region()], ["angry"], 420.0)
+        assert list(y) == ["angry", "angry"]
+
+    def test_zero_copies_passthrough(self):
+        augmenter = RegionAugmenter(copies=0, seed=0)
+        X, y = augmenter.expand([region()], ["sad"], 420.0)
+        assert X.shape[0] == 1
+
+    def test_empty(self):
+        X, y = RegionAugmenter().expand([], [], 420.0)
+        assert X.shape[0] == 0
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            RegionAugmenter().expand([region()], [], 420.0)
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            RegionAugmenter(copies=-1)
+
+
+class TestAugmentedCollection:
+    def test_dataset_expansion(self, tiny_tess):
+        channel = VibrationChannel("oneplus7t")
+        augmenter = RegionAugmenter(copies=2, seed=1)
+        plain_size = len(tiny_tess.specs[:10])
+        dataset = augmented_feature_dataset(
+            tiny_tess, channel, augmenter, specs=tiny_tess.specs[:10], seed=1
+        )
+        assert dataset.X.shape[0] >= 2 * plain_size  # ~3x minus misses
+        assert set(dataset.y) <= set(tiny_tess.emotions)
+
+    def test_augmented_rows_stay_plausible(self, tiny_tess):
+        """Augmented features live near the originals (same scale)."""
+        channel = VibrationChannel("oneplus7t")
+        dataset = augmented_feature_dataset(
+            tiny_tess, channel, RegionAugmenter(copies=1, seed=2),
+            specs=tiny_tess.specs[:8], seed=2,
+        )
+        mean_col = FEATURE_NAMES.index("mean")
+        assert np.all(dataset.X[:, mean_col] > 9.0)
+        assert np.all(dataset.X[:, mean_col] < 10.5)

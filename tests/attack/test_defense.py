@@ -1,0 +1,109 @@
+"""Tests for repro.attack.defense (Section VI-B mitigations)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.defense import (
+    Defense,
+    LowPassObfuscationDefense,
+    NoiseInjectionDefense,
+    RateLimitDefense,
+    SensorDampingDefense,
+    evaluate_defense,
+)
+from repro.datasets import build_tess
+from repro.phone.channel import VibrationChannel
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_tess(words_per_emotion=8, seed=1)
+
+
+@pytest.fixture()
+def channel():
+    return VibrationChannel("oneplus7t")
+
+
+class TestDefenseConstruction:
+    def test_rate_limit_caps(self, channel):
+        defended = RateLimitDefense(max_rate_hz=200.0).apply(channel)
+        assert defended.accel_fs == 200.0
+
+    def test_rate_limit_no_upsample(self, channel):
+        defended = RateLimitDefense(max_rate_hz=10_000.0).apply(channel)
+        assert defended.accel_fs == channel.accel_fs
+
+    def test_damping_attenuates_gains(self, channel):
+        defended = SensorDampingDefense(attenuation_db=20.0).apply(channel)
+        assert defended.device.loud_gain == pytest.approx(
+            channel.device.loud_gain / 10.0
+        )
+
+    def test_original_channel_untouched(self, channel):
+        original_gain = channel.device.loud_gain
+        SensorDampingDefense(attenuation_db=40.0).apply(channel)
+        assert channel.device.loud_gain == original_gain
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RateLimitDefense(max_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            SensorDampingDefense(attenuation_db=-1.0)
+        with pytest.raises(ValueError):
+            LowPassObfuscationDefense(cutoff_hz=0.0)
+        with pytest.raises(ValueError):
+            NoiseInjectionDefense(noise_rms=-0.1)
+
+    def test_names(self):
+        assert RateLimitDefense(200.0).name == "rate_limit_200hz"
+        assert SensorDampingDefense(26.0).name == "damping_26db"
+
+
+class TestPostprocess:
+    def test_lowpass_removes_speech_band(self):
+        fs = 420.0
+        t = np.arange(int(2 * fs)) / fs
+        trace = 9.81 + 0.1 * np.sin(2 * np.pi * 100 * t)
+        defended = LowPassObfuscationDefense(cutoff_hz=20.0).postprocess(trace, fs)
+        assert np.std(defended[200:-200]) < 0.1 * np.std(trace - 9.81)
+        assert defended.mean() == pytest.approx(9.81, abs=0.05)
+
+    def test_noise_injection_raises_floor(self):
+        trace = np.full(2000, 9.81)
+        defended = NoiseInjectionDefense(noise_rms=0.1, seed=0).postprocess(
+            trace, 420.0
+        )
+        assert np.std(defended) == pytest.approx(0.1, rel=0.2)
+
+    def test_base_defense_postprocess_identity(self):
+        trace = np.arange(10.0)
+        assert np.array_equal(Defense().postprocess(trace, 420.0), trace)
+
+
+class TestEvaluateDefense:
+    def test_baseline_beats_chance(self, corpus, channel):
+        accuracy, extraction = evaluate_defense(None, corpus, channel)
+        assert accuracy > 2 * (1.0 / 7.0)
+        assert extraction > 0.8
+
+    def test_heavy_damping_defeats_attack(self, corpus, channel):
+        accuracy, extraction = evaluate_defense(
+            SensorDampingDefense(attenuation_db=45.0), corpus, channel
+        )
+        assert extraction < 0.3 or accuracy < 0.35
+
+    def test_lowpass_obfuscation_defeats_attack(self, corpus, channel):
+        baseline, _ = evaluate_defense(None, corpus, channel)
+        defended, _ = evaluate_defense(
+            LowPassObfuscationDefense(cutoff_hz=15.0), corpus, channel
+        )
+        assert defended < baseline - 0.15
+
+    def test_rate_cap_degrades_gracefully(self, corpus, channel):
+        accuracy, extraction = evaluate_defense(
+            RateLimitDefense(max_rate_hz=200.0), corpus, channel
+        )
+        # The deployed mitigation leaves the attack viable (paper VI-A).
+        assert accuracy > 2 * (1.0 / 7.0)
+        assert extraction > 0.8

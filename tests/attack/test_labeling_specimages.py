@@ -1,0 +1,87 @@
+"""Tests for repro.attack.labeling and repro.attack.specimages."""
+
+import numpy as np
+import pytest
+
+from repro.attack.labeling import label_regions
+from repro.attack.regions import Region
+from repro.attack.specimages import region_spectrogram_image, regions_to_images
+from repro.phone.recording import PlaybackEvent
+
+
+def event(emotion, start, end):
+    return PlaybackEvent(f"u-{emotion}-{start}", "s1", emotion, start, end)
+
+
+class TestLabelRegions:
+    def test_center_in_interval(self):
+        regions = [Region(420, 840, 420.0)]  # 1.0-2.0 s
+        events = [event("angry", 0.9, 2.1)]
+        labelled = label_regions(regions, events)
+        assert labelled == [(regions[0], "angry")]
+
+    def test_region_in_gap_dropped(self):
+        regions = [Region(4200, 4620, 420.0)]  # 10-11 s
+        events = [event("sad", 0.0, 5.0)]
+        assert label_regions(regions, events) == []
+
+    def test_tolerance_extends_interval(self):
+        regions = [Region(0, 420, 420.0)]  # centre 0.5 s
+        events = [event("fear", 0.52, 1.0)]
+        assert label_regions(regions, events, tolerance_s=0.0) == []
+        assert label_regions(regions, events, tolerance_s=0.1) == [
+            (regions[0], "fear")
+        ]
+
+    def test_first_matching_event_wins(self):
+        regions = [Region(0, 840, 420.0)]
+        events = [event("happy", 0.0, 2.0), event("sad", 0.5, 2.5)]
+        assert label_regions(regions, events)[0][1] == "happy"
+
+    def test_multiple_regions(self):
+        regions = [Region(0, 420, 420.0), Region(840, 1260, 420.0)]
+        events = [event("happy", 0.0, 1.0), event("sad", 1.9, 3.2)]
+        labelled = label_regions(regions, events)
+        assert [label for _, label in labelled] == ["happy", "sad"]
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            label_regions([], [], tolerance_s=-1.0)
+
+
+class TestSpectrogramImages:
+    def _trace(self, fs=420.0, duration=3.0):
+        rng = np.random.default_rng(0)
+        t = np.arange(int(duration * fs)) / fs
+        return 9.81 + 0.1 * np.sin(2 * np.pi * 60 * t) + 0.005 * rng.normal(size=t.size)
+
+    def test_image_shape_and_range(self):
+        trace = self._trace()
+        region = Region(100, 900, 420.0)
+        img = region_spectrogram_image(trace, region, size=32)
+        assert img.shape == (32, 32)
+        assert 0.0 <= img.min() and img.max() <= 1.0
+
+    def test_custom_size(self):
+        trace = self._trace()
+        img = region_spectrogram_image(trace, Region(0, 840, 420.0), size=16)
+        assert img.shape == (16, 16)
+
+    def test_too_short_region(self):
+        trace = self._trace()
+        with pytest.raises(ValueError):
+            region_spectrogram_image(trace, Region(0, 4, 420.0))
+
+    def test_regions_to_images_skips_short(self):
+        trace = self._trace()
+        regions = [Region(0, 4, 420.0), Region(100, 900, 420.0)]
+        images = regions_to_images(trace, regions)
+        assert len(images) == 1
+
+    def test_gravity_removed(self):
+        """Image should match for traces differing only by DC offset."""
+        trace = self._trace()
+        region = Region(100, 900, 420.0)
+        a = region_spectrogram_image(trace, region)
+        b = region_spectrogram_image(trace - 9.81, region)
+        assert np.allclose(a, b, atol=1e-9)

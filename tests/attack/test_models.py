@@ -1,0 +1,82 @@
+"""Tests for repro.attack.models (the paper's CNN architectures)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.models import build_feature_cnn, build_spectrogram_cnn
+from repro.nn.layers import BatchNorm, Conv1D, Conv2D, Dense, Dropout, MaxPool1D, MaxPool2D
+
+
+class TestSpectrogramCNN:
+    def test_paper_layer_counts(self):
+        model = build_spectrogram_cnn(7)
+        convs = [l for l in model.layers if isinstance(l, Conv2D)]
+        denses = [l for l in model.layers if isinstance(l, Dense)]
+        pools = [l for l in model.layers if isinstance(l, MaxPool2D)]
+        assert len(convs) == 3
+        assert len(denses) == 3  # two hidden 32s + output
+        assert len(pools) == 3
+
+    def test_paper_filter_sizes(self):
+        model = build_spectrogram_cnn(7)
+        convs = [l for l in model.layers if isinstance(l, Conv2D)]
+        assert [c.filters for c in convs] == [128, 128, 64]
+        assert (convs[0].kh, convs[0].kw) == (1, 1)
+
+    def test_forward_shape(self):
+        model = build_spectrogram_cnn(7, width_scale=0.125)
+        model.build((32, 32, 1))
+        out = model.predict_proba(np.random.default_rng(0).normal(size=(2, 32, 32, 1)))
+        assert out.shape == (2, 7)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_width_scale(self):
+        model = build_spectrogram_cnn(7, width_scale=0.25)
+        convs = [l for l in model.layers if isinstance(l, Conv2D)]
+        assert [c.filters for c in convs] == [32, 32, 16]
+
+    def test_dropout_rates(self):
+        model = build_spectrogram_cnn(7)
+        drops = [l.rate for l in model.layers if isinstance(l, Dropout)]
+        assert drops == [0.2, 0.2, 0.2, 0.25]
+
+    def test_invalid_classes(self):
+        with pytest.raises(ValueError):
+            build_spectrogram_cnn(1)
+
+
+class TestFeatureCNN:
+    def test_paper_layer_counts(self):
+        model = build_feature_cnn(7)
+        convs = [l for l in model.layers if isinstance(l, Conv1D)]
+        denses = [l for l in model.layers if isinstance(l, Dense)]
+        assert len(convs) == 5
+        assert len(denses) == 1
+
+    def test_paper_filter_sizes(self):
+        model = build_feature_cnn(7)
+        convs = [l for l in model.layers if isinstance(l, Conv1D)]
+        assert [c.filters for c in convs] == [256, 256, 128, 64, 64]
+
+    def test_batchnorm_after_third_conv(self):
+        model = build_feature_cnn(7)
+        conv_positions = [
+            i for i, l in enumerate(model.layers) if isinstance(l, Conv1D)
+        ]
+        third = conv_positions[2]
+        assert isinstance(model.layers[third + 1], BatchNorm)
+
+    def test_pool_sizes(self):
+        model = build_feature_cnn(7)
+        pools = [l.p for l in model.layers if isinstance(l, MaxPool1D)]
+        assert pools == [2, 8]
+
+    def test_forward_shape_on_24_features(self):
+        model = build_feature_cnn(6, width_scale=0.25)
+        model.build((24, 1))
+        out = model.predict_proba(np.random.default_rng(0).normal(size=(3, 24, 1)))
+        assert out.shape == (3, 6)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_feature_cnn(7, width_scale=0.0)

@@ -1,0 +1,143 @@
+"""Tests for repro.attack.pipeline and repro.attack.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.attack.features import FEATURE_NAMES
+from repro.attack.pipeline import (
+    EmoLeakAttack,
+    FeatureDataset,
+    SpectrogramDataset,
+    collect_feature_dataset,
+    collect_spectrogram_dataset,
+)
+from repro.attack.scenarios import SCENARIOS, get_scenario
+from repro.phone.channel import Placement, SpeakerMode, VibrationChannel
+
+
+class TestFeatureDataset:
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureDataset(X=np.ones((3, 24)), y=np.array(["a"]))
+
+    def test_extraction_rate(self):
+        ds = FeatureDataset(X=np.ones((8, 24)), y=np.array(["a"] * 8), n_played=10)
+        assert ds.extraction_rate == pytest.approx(0.8)
+
+
+class TestCollectFeatures:
+    def test_per_utterance_tabletop(self, tiny_tess, loud_channel):
+        ds = collect_feature_dataset(tiny_tess, loud_channel, seed=1)
+        assert ds.X.shape[1] == len(FEATURE_NAMES)
+        assert ds.X.shape[0] == ds.y.shape[0]
+        assert ds.extraction_rate > 0.85  # paper: ~90 % table-top
+
+    def test_labels_from_corpus(self, tiny_tess, loud_channel):
+        ds = collect_feature_dataset(tiny_tess, loud_channel, seed=1)
+        assert set(ds.y) <= set(tiny_tess.emotions)
+
+    def test_specs_subset(self, tiny_tess, loud_channel):
+        subset = tiny_tess.specs[:6]
+        ds = collect_feature_dataset(tiny_tess, loud_channel, specs=subset, seed=1)
+        assert ds.n_played == 6
+        assert ds.X.shape[0] <= 6
+
+    def test_continuous_session_mode(self, tiny_tess, ear_channel):
+        ds = collect_feature_dataset(
+            tiny_tess, ear_channel, specs=tiny_tess.specs[:10], seed=1
+        )
+        # Handheld defaults to continuous collection; regions are labelled
+        # from the playback log.
+        assert set(ds.y) <= set(tiny_tess.emotions)
+
+    def test_deterministic(self, tiny_tess, loud_channel):
+        a = collect_feature_dataset(
+            tiny_tess, loud_channel, specs=tiny_tess.specs[:5], seed=3
+        )
+        b = collect_feature_dataset(
+            tiny_tess, loud_channel, specs=tiny_tess.specs[:5], seed=3
+        )
+        assert np.array_equal(a.X, b.X)
+
+    def test_feature_highpass_changes_time_features(self, tiny_tess, loud_channel):
+        raw = collect_feature_dataset(
+            tiny_tess, loud_channel, specs=tiny_tess.specs[:5], seed=3
+        )
+        filtered = collect_feature_dataset(
+            tiny_tess,
+            loud_channel,
+            specs=tiny_tess.specs[:5],
+            seed=3,
+            feature_highpass_hz=1.0,
+        )
+        mean_col = FEATURE_NAMES.index("mean")
+        # Gravity offset survives unfiltered, is removed by the 1 Hz HPF.
+        assert np.all(raw.X[:, mean_col] > 5.0)
+        assert np.all(np.abs(filtered.X[:, mean_col]) < 1.0)
+
+
+class TestCollectSpectrograms:
+    def test_image_stack(self, tiny_tess, loud_channel):
+        ds = collect_spectrogram_dataset(
+            tiny_tess, loud_channel, specs=tiny_tess.specs[:8], seed=1
+        )
+        assert ds.images.ndim == 4
+        assert ds.images.shape[1:] == (32, 32, 1)
+        assert ds.images.shape[0] == ds.y.shape[0]
+
+    def test_custom_size(self, tiny_tess, loud_channel):
+        ds = collect_spectrogram_dataset(
+            tiny_tess, loud_channel, specs=tiny_tess.specs[:4], size=16, seed=1
+        )
+        assert ds.images.shape[1:] == (16, 16, 1)
+
+    def test_values_normalised(self, tiny_tess, loud_channel):
+        ds = collect_spectrogram_dataset(
+            tiny_tess, loud_channel, specs=tiny_tess.specs[:4], seed=1
+        )
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+
+class TestEmoLeakAttack:
+    def test_end_to_end_objects(self, tiny_tess, loud_channel):
+        attack = EmoLeakAttack(loud_channel, seed=2)
+        features = attack.collect_features(tiny_tess, specs=tiny_tess.specs[:6])
+        spectrograms = attack.collect_spectrograms(tiny_tess, specs=tiny_tess.specs[:6])
+        assert isinstance(features, FeatureDataset)
+        assert isinstance(spectrograms, SpectrogramDataset)
+
+    def test_default_detector_matches_placement(self, ear_channel):
+        attack = EmoLeakAttack(ear_channel)
+        assert attack.detector.highpass_hz == 8.0
+
+
+class TestScenarios:
+    def test_catalogue_size(self):
+        # 2 (Table III) + 1 (IV) + 5 (V) + 3 (VI) = 11 canonical cells.
+        assert len(SCENARIOS) == 11
+
+    def test_loudspeaker_paired_with_tabletop(self):
+        for scenario in SCENARIOS.values():
+            if scenario.mode is SpeakerMode.LOUDSPEAKER:
+                assert scenario.placement is Placement.TABLE_TOP
+            else:
+                assert scenario.placement is Placement.HANDHELD
+
+    def test_channel_construction(self):
+        scenario = get_scenario("tess-loud-oneplus7t")
+        channel = scenario.channel()
+        assert isinstance(channel, VibrationChannel)
+        assert channel.device.name == "oneplus7t"
+
+    def test_channel_rate_override(self):
+        channel = get_scenario("tess-loud-oneplus7t").channel(sample_rate=200.0)
+        assert channel.accel_fs == 200.0
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            get_scenario("tess-loud-iphone")
+
+    def test_ear_scenarios_only_oneplus(self):
+        for scenario in SCENARIOS.values():
+            if scenario.mode is SpeakerMode.EAR_SPEAKER:
+                assert scenario.device.startswith("oneplus")

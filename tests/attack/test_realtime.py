@@ -1,0 +1,134 @@
+"""Tests for repro.attack.realtime (the streaming attack front end)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.realtime import StreamedRegion, StreamingAttack, StreamingDetector
+from repro.datasets import build_tess
+from repro.ml.forest import RandomForest
+from repro.ml.preprocessing import clean_features
+from repro.phone.channel import VibrationChannel
+from repro.phone.recording import record_session
+from repro.attack.pipeline import EmoLeakAttack
+
+
+def burst_stream(fs=420.0, bursts=((2.0, 3.0), (5.0, 6.5)), duration=9.0,
+                 amp=0.1, noise=0.003, seed=0):
+    rng = np.random.default_rng(seed)
+    n = int(duration * fs)
+    t = np.arange(n) / fs
+    x = 9.81 + noise * rng.normal(size=n)
+    for start, end in bursts:
+        mask = (t >= start) & (t < end)
+        x[mask] += amp * np.sin(2 * np.pi * 60 * t[mask])
+    return x
+
+
+class TestStreamingDetector:
+    def test_detects_bursts(self):
+        detector = StreamingDetector(fs=420.0)
+        regions = detector.process(burst_stream())
+        regions += detector.flush()
+        assert len(regions) == 2
+
+    def test_chunking_invariance(self):
+        """Any chunk size yields the same regions."""
+        stream = burst_stream()
+        whole = StreamingDetector(fs=420.0)
+        regions_whole = whole.process(stream) + whole.flush()
+        chunked = StreamingDetector(fs=420.0)
+        regions_chunked = []
+        for start in range(0, stream.size, 97):
+            regions_chunked += chunked.process(stream[start : start + 97])
+        regions_chunked += chunked.flush()
+        assert [(r.start, r.end) for r in regions_whole] == [
+            (r.start, r.end) for r in regions_chunked
+        ]
+
+    def test_region_boundaries_near_truth(self):
+        detector = StreamingDetector(fs=420.0)
+        regions = detector.process(burst_stream()) + detector.flush()
+        first = regions[0]
+        assert first.start_s == pytest.approx(2.0, abs=0.3)
+        assert first.end_s == pytest.approx(3.0, abs=0.3)
+
+    def test_absolute_positions_across_chunks(self):
+        detector = StreamingDetector(fs=420.0)
+        stream = burst_stream()
+        half = stream.size // 2
+        regions = detector.process(stream[:half])
+        regions += detector.process(stream[half:])
+        regions += detector.flush()
+        assert detector.position == stream.size
+        assert all(r.end <= stream.size for r in regions)
+
+    def test_max_duration_bounds_memory(self):
+        fs = 420.0
+        detector = StreamingDetector(fs=fs, max_duration_s=0.5)
+        t = np.arange(int(4 * fs)) / fs
+        # One continuous 3-second tone after 0.5 s of noise floor.
+        stream = 9.81 + 0.003 * np.random.default_rng(0).normal(size=t.size)
+        stream[int(0.5 * fs):] += 0.1 * np.sin(2 * np.pi * 60 * t[int(0.5 * fs):])
+        regions = detector.process(stream) + detector.flush()
+        assert len(regions) >= 2  # force-closed into segments
+        assert all(r.duration_s <= 0.55 for r in regions)
+
+    def test_silence_only_no_regions(self):
+        detector = StreamingDetector(fs=420.0)
+        regions = detector.process(burst_stream(bursts=())) + detector.flush()
+        assert regions == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StreamingDetector(fs=0.0)
+        with pytest.raises(ValueError):
+            StreamingDetector(fs=420.0, threshold_factor=1.0)
+        with pytest.raises(ValueError):
+            StreamingDetector(fs=420.0, release_factor=0.0)
+
+    def test_rejects_2d_chunk(self):
+        with pytest.raises(ValueError):
+            StreamingDetector(fs=420.0).process(np.zeros((2, 2)))
+
+
+class TestStreamingAttack:
+    def test_events_without_classifier(self):
+        attack = StreamingAttack(StreamingDetector(fs=420.0))
+        events = attack.process(burst_stream()) + attack.finish()
+        assert len(events) == 2
+        region, features, prediction = events[0]
+        assert isinstance(region, StreamedRegion)
+        assert features.shape == (24,)
+        assert prediction is None
+
+    def test_end_to_end_with_classifier(self):
+        """The full on-device loop classifies a live session above chance."""
+        corpus = build_tess(words_per_emotion=8, seed=1)
+        channel = VibrationChannel("oneplus7t")
+        # Offline: train on attacker data.
+        train = EmoLeakAttack(channel, seed=0).collect_features(corpus)
+        X, y, _ = clean_features(train.X, train.y)
+        model = RandomForest(n_estimators=10, seed=0).fit(X, y)
+        # Online: stream a fresh session chunk by chunk.
+        session = record_session(
+            corpus, channel, specs=corpus.specs[:21], seed=7
+        )
+        attack = StreamingAttack(
+            StreamingDetector(fs=session.fs, threshold_factor=3.0), model
+        )
+        for start in range(0, session.trace.size, 256):
+            attack.process(session.trace[start : start + 256])
+        attack.finish()
+        assert len(attack.events) >= 10
+        correct = 0
+        labelled = 0
+        for region, _, prediction in attack.events:
+            center = 0.5 * (region.start_s + region.end_s)
+            truth = session.label_at(center)
+            if truth is None:
+                continue
+            labelled += 1
+            if prediction == truth:
+                correct += 1
+        assert labelled >= 8
+        assert correct / labelled > 2 * (1.0 / 7.0)

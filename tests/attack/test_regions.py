@@ -1,0 +1,118 @@
+"""Tests for repro.attack.regions."""
+
+import numpy as np
+import pytest
+
+from repro.attack.regions import Region, RegionDetector, detection_rate
+
+
+def burst_trace(fs=420.0, bursts=((2.0, 3.0), (5.0, 6.5)), duration=9.0,
+                amp=0.1, noise=0.003, seed=0, offset=9.81):
+    """Noise floor with sinusoidal bursts in given intervals."""
+    rng = np.random.default_rng(seed)
+    n = int(duration * fs)
+    t = np.arange(n) / fs
+    x = offset + noise * rng.normal(size=n)
+    for start, end in bursts:
+        mask = (t >= start) & (t < end)
+        x[mask] += amp * np.sin(2 * np.pi * 60 * t[mask])
+    return x
+
+
+class TestRegion:
+    def test_times(self):
+        region = Region(start=420, end=840, fs=420.0)
+        assert region.start_s == pytest.approx(1.0)
+        assert region.end_s == pytest.approx(2.0)
+        assert region.duration_s == pytest.approx(1.0)
+        assert region.center_s == pytest.approx(1.5)
+
+    def test_slice(self):
+        region = Region(2, 5, 10.0)
+        assert np.allclose(region.slice(np.arange(10.0)), [2, 3, 4])
+
+
+class TestRegionDetector:
+    def test_detects_bursts(self):
+        trace = burst_trace()
+        regions = RegionDetector().detect(trace, 420.0)
+        assert len(regions) == 2
+
+    def test_burst_boundaries_approximate(self):
+        trace = burst_trace()
+        regions = RegionDetector().detect(trace, 420.0)
+        first = regions[0]
+        assert first.start_s == pytest.approx(2.0, abs=0.25)
+        assert first.end_s == pytest.approx(3.0, abs=0.25)
+
+    def test_no_bursts_no_regions(self):
+        """A speech-free noise floor must yield no regions at all."""
+        trace = burst_trace(bursts=())
+        assert RegionDetector().detect(trace, 420.0) == []
+
+    def test_min_duration_filters_clicks(self):
+        trace = burst_trace(bursts=((2.0, 2.02),))
+        detector = RegionDetector(min_duration_s=0.1)
+        assert detector.detect(trace, 420.0) == []
+
+    def test_merge_gap(self):
+        trace = burst_trace(bursts=((2.0, 2.5), (2.7, 3.0)))
+        merged = RegionDetector(merge_gap_s=0.3).detect(trace, 420.0)
+        assert len(merged) == 1
+        split = RegionDetector(merge_gap_s=0.02).detect(trace, 420.0)
+        assert len(split) == 2
+
+    def test_gravity_offset_irrelevant(self):
+        a = RegionDetector().detect(burst_trace(offset=0.0), 420.0)
+        b = RegionDetector().detect(burst_trace(offset=9.81), 420.0)
+        assert len(a) == len(b)
+
+    def test_highpass_removes_slow_masking(self):
+        """Sub-8 Hz motion hides bursts unless the detection HPF is on."""
+        fs = 420.0
+        trace = burst_trace(fs=fs, amp=0.02)
+        t = np.arange(trace.size) / fs
+        motion = 0.15 * np.sin(2 * np.pi * 1.5 * t) + 0.08 * np.sin(2 * np.pi * 5 * t)
+        noisy = trace + motion
+        with_filter = RegionDetector(highpass_hz=8.0).detect(noisy, fs)
+        truth = [(2.0, 3.0), (5.0, 6.5)]
+        assert detection_rate(with_filter, truth) == 1.0
+
+    def test_for_setting_handheld_has_filter(self):
+        assert RegionDetector.for_setting("handheld").highpass_hz == 8.0
+
+    def test_for_setting_tabletop_no_filter(self):
+        assert RegionDetector.for_setting("table_top").highpass_hz is None
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RegionDetector(highpass_hz=0.0)
+        with pytest.raises(ValueError):
+            RegionDetector(threshold_factor=0.0)
+        with pytest.raises(ValueError):
+            RegionDetector(release_factor=1.5)
+
+    def test_invalid_fs(self):
+        with pytest.raises(ValueError):
+            RegionDetector().detect(np.zeros(100), 0.0)
+
+    def test_empty_trace(self):
+        with pytest.raises(ValueError):
+            RegionDetector().detect(np.zeros((2, 2)), 420.0)
+
+
+class TestDetectionRate:
+    def test_full(self):
+        regions = [Region(840, 1260, 420.0)]
+        assert detection_rate(regions, [(2.0, 3.0)]) == 1.0
+
+    def test_partial(self):
+        regions = [Region(840, 1260, 420.0)]
+        assert detection_rate(regions, [(2.0, 3.0), (5.0, 6.0)]) == 0.5
+
+    def test_no_regions(self):
+        assert detection_rate([], [(0.0, 1.0)]) == 0.0
+
+    def test_no_truth(self):
+        with pytest.raises(ValueError):
+            detection_rate([], [])

@@ -1,0 +1,115 @@
+"""Tests for the three corpus builders and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    available_corpora,
+    build_corpus,
+    build_cremad,
+    build_savee,
+    build_tess,
+)
+from repro.datasets.registry import register_corpus
+from repro.speech.prosody import CREMAD_EMOTIONS, EMOTIONS
+
+
+class TestSAVEE:
+    def test_published_shape(self):
+        corpus = build_savee(seed=0)
+        assert len(corpus) == 480
+        assert len(corpus.speakers) == 4
+        assert corpus.emotions == EMOTIONS
+
+    def test_per_speaker_counts(self):
+        corpus = build_savee(seed=0)
+        per_speaker = {}
+        for spec in corpus.specs:
+            per_speaker[spec.speaker_id] = per_speaker.get(spec.speaker_id, 0) + 1
+        assert set(per_speaker.values()) == {120}
+
+    def test_neutral_doubled(self):
+        corpus = build_savee(seed=0)
+        counts = corpus.class_counts()
+        assert counts["neutral"] == 120  # 30 per speaker
+        assert counts["angry"] == 60  # 15 per speaker
+
+    def test_male_voices(self):
+        corpus = build_savee(seed=0)
+        assert all(v.base_f0_hz < 160 for v in corpus.speakers.values())
+
+    def test_seed_changes_voices(self):
+        a = build_savee(seed=0)
+        b = build_savee(seed=99)
+        assert a.speakers["DC"] != b.speakers["DC"]
+
+
+class TestTESS:
+    def test_published_shape(self):
+        corpus = build_tess()
+        assert len(corpus) == 2800
+        assert len(corpus.speakers) == 2
+        assert corpus.emotions == EMOTIONS
+
+    def test_female_voices(self):
+        corpus = build_tess(words_per_emotion=2)
+        assert all(v.base_f0_hz > 160 for v in corpus.speakers.values())
+
+    def test_carrier_specs(self):
+        corpus = build_tess(words_per_emotion=2)
+        assert all(spec.carrier for spec in corpus.specs)
+
+    def test_reduced_size(self):
+        corpus = build_tess(words_per_emotion=5)
+        assert len(corpus) == 2 * 7 * 5
+
+    def test_invalid_words(self):
+        with pytest.raises(ValueError):
+            build_tess(words_per_emotion=0)
+
+    def test_low_variability_vs_savee(self):
+        assert build_tess(words_per_emotion=1).variability < build_savee().variability
+
+
+class TestCREMAD:
+    def test_published_shape(self):
+        corpus = build_cremad()
+        assert len(corpus) == 7442
+        assert len(corpus.speakers) == 91
+        assert corpus.emotions == CREMAD_EMOTIONS
+
+    def test_reduced_build_balanced(self):
+        corpus = build_cremad(n_clips=600)
+        counts = corpus.class_counts()
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_mixed_sexes(self):
+        corpus = build_cremad(n_clips=100)
+        f0s = [v.base_f0_hz for v in corpus.speakers.values()]
+        assert min(f0s) < 150 < max(f0s)
+
+    def test_invalid_clips(self):
+        with pytest.raises(ValueError):
+            build_cremad(n_clips=3)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_corpora()) >= {"savee", "tess", "cremad"}
+
+    def test_build_by_name(self):
+        corpus = build_corpus("tess", words_per_emotion=2)
+        assert corpus.name == "tess"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown corpus"):
+            build_corpus("ravdess")
+
+    def test_register_custom(self):
+        register_corpus("custom-test", lambda **kw: build_tess(words_per_emotion=1))
+        assert "custom-test" in available_corpora()
+        assert len(build_corpus("custom-test")) == 14
+
+    def test_register_empty_name(self):
+        with pytest.raises(ValueError):
+            register_corpus("", build_tess)

@@ -1,0 +1,73 @@
+"""Tests for repro.dsp.envelope."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.envelope import amplitude_envelope, moving_average, moving_rms
+
+
+class TestMovingAverage:
+    def test_constant_signal(self):
+        assert np.allclose(moving_average(np.full(50, 3.0), 7), 3.0)
+
+    def test_window_one_identity(self):
+        x = np.arange(10.0)
+        assert np.allclose(moving_average(x, 1), x)
+
+    def test_matches_naive_interior(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200)
+        w = 11
+        out = moving_average(x, w)
+        naive = np.convolve(x, np.ones(w) / w, mode="same")
+        # Interior (away from edges) matches plain convolution.
+        assert np.allclose(out[w:-w], naive[w:-w], atol=1e-9)
+
+    def test_window_larger_than_signal(self):
+        x = np.arange(5.0)
+        out = moving_average(x, 100)
+        assert out.shape == (5,)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones((2, 2)), 2)
+
+    def test_empty(self):
+        assert moving_average(np.zeros(0), 3).size == 0
+
+
+class TestMovingRMS:
+    def test_constant(self):
+        assert np.allclose(moving_rms(np.full(40, -2.0), 5), 2.0)
+
+    def test_nonnegative(self):
+        x = np.random.default_rng(1).normal(size=300)
+        assert np.all(moving_rms(x, 9) >= 0)
+
+    def test_tracks_amplitude_change(self):
+        quiet = np.random.default_rng(2).normal(0, 0.1, 200)
+        loud = np.random.default_rng(3).normal(0, 1.0, 200)
+        env = moving_rms(np.concatenate([quiet, loud]), 21)
+        assert env[300:].mean() > 5 * env[:180].mean()
+
+
+class TestAmplitudeEnvelope:
+    def test_nonnegative(self):
+        x = np.random.default_rng(4).normal(size=2000)
+        assert np.all(amplitude_envelope(x, 420.0) >= 0)
+
+    def test_follows_burst(self):
+        fs = 420.0
+        x = np.zeros(2000)
+        t = np.arange(400) / fs
+        x[800:1200] = np.sin(2 * np.pi * 60 * t)
+        env = amplitude_envelope(x, fs)
+        assert env[900:1100].mean() > 4 * env[:600].mean()
+
+    def test_short_signal(self):
+        env = amplitude_envelope(np.ones(8), 420.0)
+        assert env.shape == (8,)

@@ -1,0 +1,91 @@
+"""Tests for repro.dsp.resample — including the aliasing ADC behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import decimate_no_antialias, linear_resample, sample_and_decimate
+
+
+def tone(freq, fs, duration=1.0):
+    t = np.arange(int(duration * fs)) / fs
+    return np.sin(2 * np.pi * freq * t)
+
+
+class TestLinearResample:
+    def test_output_length(self):
+        y = linear_resample(np.ones(8000), 8000.0, 420.0)
+        assert y.size == 420
+
+    def test_upsample_preserves_tone(self):
+        fs_in, fs_out = 1000.0, 4000.0
+        x = tone(50.0, fs_in, 1.0)
+        y = linear_resample(x, fs_in, fs_out)
+        # Cross-check frequency via zero crossings.
+        crossings = np.sum(np.diff(np.signbit(y)) != 0)
+        assert crossings == pytest.approx(100, abs=3)
+
+    def test_identity_rate(self):
+        x = np.arange(100.0)
+        assert np.allclose(linear_resample(x, 100.0, 100.0), x)
+
+    def test_empty(self):
+        assert linear_resample(np.zeros(0), 100.0, 50.0).size == 0
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            linear_resample(np.ones(10), 0.0, 100.0)
+
+
+class TestSampleAndDecimate:
+    def test_aliases_above_nyquist(self):
+        """A 300 Hz tone sampled at 420 Hz must appear at 120 Hz."""
+        fs_in, fs_out = 8000.0, 420.0
+        x = tone(300.0, fs_in, 2.0)
+        y = sample_and_decimate(x, fs_in, fs_out)
+        spectrum = np.abs(np.fft.rfft(y * np.hanning(y.size)))
+        freqs = np.fft.rfftfreq(y.size, 1.0 / fs_out)
+        peak = freqs[np.argmax(spectrum)]
+        assert peak == pytest.approx(120.0, abs=2.0)
+
+    def test_energy_not_rejected(self):
+        """Unlike a proper decimator, above-Nyquist energy survives."""
+        fs_in, fs_out = 8000.0, 420.0
+        x = tone(1000.0, fs_in, 2.0)
+        y = sample_and_decimate(x, fs_in, fs_out)
+        assert np.std(y) > 0.3 * np.std(x)
+
+    def test_in_band_preserved(self):
+        fs_in, fs_out = 8000.0, 420.0
+        x = tone(50.0, fs_in, 2.0)
+        y = sample_and_decimate(x, fs_in, fs_out)
+        spectrum = np.abs(np.fft.rfft(y * np.hanning(y.size)))
+        freqs = np.fft.rfftfreq(y.size, 1.0 / fs_out)
+        assert freqs[np.argmax(spectrum)] == pytest.approx(50.0, abs=1.0)
+
+    def test_phase_offset(self):
+        x = np.arange(800.0)
+        a = sample_and_decimate(x, 800.0, 100.0, phase=0.0)
+        b = sample_and_decimate(x, 800.0, 100.0, phase=0.5)
+        assert b[0] > a[0]
+
+    def test_invalid_phase(self):
+        with pytest.raises(ValueError):
+            sample_and_decimate(np.ones(10), 100.0, 50.0, phase=1.5)
+
+    def test_duration_preserved(self):
+        y = sample_and_decimate(np.ones(8000), 8000.0, 420.0)
+        assert y.size == pytest.approx(420, abs=1)
+
+
+class TestDecimateNoAntialias:
+    def test_every_kth(self):
+        x = np.arange(10.0)
+        assert np.allclose(decimate_no_antialias(x, 3), [0, 3, 6, 9])
+
+    def test_factor_one_identity(self):
+        x = np.arange(5.0)
+        assert np.allclose(decimate_no_antialias(x, 1), x)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            decimate_no_antialias(np.ones(5), 0)

@@ -1,0 +1,91 @@
+"""Tests for repro.dsp.spectrogram."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectrogram import (
+    log_spectrogram,
+    power_spectrogram,
+    resize_image,
+    spectrogram_image,
+)
+
+
+def tone(freq, fs, duration=1.0):
+    t = np.arange(int(duration * fs)) / fs
+    return np.sin(2 * np.pi * freq * t)
+
+
+class TestPowerSpectrogram:
+    def test_nonnegative(self):
+        _, _, P = power_spectrogram(np.random.default_rng(0).normal(size=1000), 420.0)
+        assert np.all(P >= 0)
+
+    def test_tone_concentration(self):
+        fs = 420.0
+        freqs, _, P = power_spectrogram(tone(100.0, fs, 2.0), fs, frame_length=128)
+        band = (freqs > 80) & (freqs < 120)
+        assert P[band].sum() > 0.9 * P.sum()
+
+
+class TestLogSpectrogram:
+    def test_max_is_zero_db(self):
+        _, _, db = log_spectrogram(tone(50.0, 420.0), 420.0)
+        assert db.max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_floor_applied(self):
+        _, _, db = log_spectrogram(tone(50.0, 420.0), 420.0, floor_db=-80.0)
+        assert db.min() >= -80.0 - 1e-9
+
+
+class TestResizeImage:
+    def test_identity_same_shape(self):
+        img = np.random.default_rng(0).normal(size=(16, 16))
+        out = resize_image(img, (16, 16))
+        assert np.allclose(out, img, atol=1e-9)
+
+    def test_output_shape(self):
+        out = resize_image(np.ones((10, 33)), (32, 32))
+        assert out.shape == (32, 32)
+
+    def test_constant_preserved(self):
+        out = resize_image(np.full((5, 9), 7.0), (13, 4))
+        assert np.allclose(out, 7.0)
+
+    def test_upsample_monotone_ramp(self):
+        ramp = np.tile(np.arange(8.0), (4, 1))
+        out = resize_image(ramp, (4, 64))
+        assert np.all(np.diff(out[0]) >= -1e-12)
+
+    def test_single_pixel_target(self):
+        out = resize_image(np.arange(16.0).reshape(4, 4), (1, 1))
+        assert out.shape == (1, 1)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            resize_image(np.ones(8), (4, 4))
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            resize_image(np.ones((4, 4)), (0, 4))
+
+
+class TestSpectrogramImage:
+    def test_shape_and_range(self):
+        img = spectrogram_image(tone(60.0, 420.0, 0.5), 420.0, size=32)
+        assert img.shape == (32, 32)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+        assert img.max() == pytest.approx(1.0)
+
+    def test_silent_region_is_zero(self):
+        img = spectrogram_image(np.zeros(300), 420.0, size=32)
+        assert np.allclose(img, 0.0)
+
+    def test_short_region_handled(self):
+        img = spectrogram_image(np.random.default_rng(0).normal(size=20), 420.0)
+        assert img.shape == (32, 32)
+
+    def test_different_tones_differ(self):
+        a = spectrogram_image(tone(30.0, 420.0, 0.5), 420.0)
+        b = spectrogram_image(tone(150.0, 420.0, 0.5), 420.0)
+        assert not np.allclose(a, b)

@@ -1,0 +1,78 @@
+"""Tests for repro.dsp.stft."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.stft import frame_signal, istft, stft
+
+
+class TestFrameSignal:
+    def test_shape_no_pad(self):
+        frames = frame_signal(np.arange(100.0), 20, 10, pad=False)
+        assert frames.shape == (9, 20)
+
+    def test_shape_with_pad(self):
+        frames = frame_signal(np.arange(105.0), 20, 10, pad=True)
+        # All 105 samples covered.
+        assert frames.shape[1] == 20
+        assert (frames.shape[0] - 1) * 10 + 20 >= 105
+
+    def test_content(self):
+        x = np.arange(50.0)
+        frames = frame_signal(x, 10, 5, pad=False)
+        assert np.allclose(frames[0], x[:10])
+        assert np.allclose(frames[1], x[5:15])
+
+    def test_short_signal_padded(self):
+        frames = frame_signal(np.ones(5), 16, 8, pad=True)
+        assert frames.shape == (1, 16)
+        assert frames[0, :5].sum() == 5.0
+
+    def test_short_signal_no_pad_empty(self):
+        frames = frame_signal(np.ones(5), 16, 8, pad=False)
+        assert frames.shape == (0, 16)
+
+    def test_invalid_hop(self):
+        with pytest.raises(ValueError):
+            frame_signal(np.ones(10), 4, 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            frame_signal(np.ones((3, 3)), 2, 1)
+
+
+class TestSTFT:
+    def test_tone_peak_at_right_bin(self):
+        fs = 1000.0
+        t = np.arange(2000) / fs
+        x = np.sin(2 * np.pi * 125.0 * t)
+        freqs, times, Z = stft(x, fs, frame_length=256, hop_length=64)
+        peak_bins = np.argmax(np.abs(Z), axis=0)
+        peak_freq = freqs[int(np.median(peak_bins))]
+        assert peak_freq == pytest.approx(125.0, abs=fs / 256)
+
+    def test_axes_shapes(self):
+        fs = 420.0
+        freqs, times, Z = stft(np.random.default_rng(0).normal(size=840), fs)
+        assert freqs.shape[0] == Z.shape[0] == 129
+        assert times.shape[0] == Z.shape[1]
+
+    def test_frequency_axis_limits(self):
+        freqs, _, _ = stft(np.zeros(1000), 420.0, frame_length=128)
+        assert freqs[0] == 0.0
+        assert freqs[-1] == pytest.approx(210.0)
+
+
+class TestISTFT:
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=2048)
+        _, _, Z = stft(x, 1000.0, frame_length=256, hop_length=64)
+        y = istft(Z, frame_length=256, hop_length=64)
+        n = min(x.size, y.size)
+        # Interior reconstruction is near-exact (edges lose window weight).
+        assert np.allclose(x[256 : n - 256], y[256 : n - 256], atol=1e-8)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            istft(np.zeros(16))

@@ -1,0 +1,84 @@
+"""Tests for repro.dsp.windows."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windows import blackman, get_window, hamming, hann, rectangular
+
+
+class TestHann:
+    def test_length(self):
+        assert hann(64).shape == (64,)
+
+    def test_symmetric_endpoints_zero(self):
+        w = hann(65, periodic=False)
+        assert w[0] == pytest.approx(0.0, abs=1e-12)
+        assert w[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetric_is_symmetric(self):
+        w = hann(33, periodic=False)
+        assert np.allclose(w, w[::-1])
+
+    def test_periodic_first_sample_zero(self):
+        w = hann(64, periodic=True)
+        assert w[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_peak_is_one(self):
+        assert hann(65, periodic=False).max() == pytest.approx(1.0)
+
+    def test_periodic_cola_constant(self):
+        # Periodic Hann with 50% overlap satisfies constant overlap-add.
+        n = 64
+        w = hann(n, periodic=True)
+        total = w[: n // 2] + w[n // 2 :]
+        assert np.allclose(total, total[0])
+
+    def test_length_one(self):
+        assert np.allclose(hann(1), [1.0])
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            hann(0)
+
+
+class TestHamming:
+    def test_endpoints_nonzero(self):
+        w = hamming(33, periodic=False)
+        assert w[0] == pytest.approx(0.08, abs=1e-9)
+
+    def test_values_in_range(self):
+        w = hamming(50)
+        assert np.all(w > 0) and np.all(w <= 1.0 + 1e-12)
+
+
+class TestBlackman:
+    def test_symmetric_endpoints_near_zero(self):
+        w = blackman(33, periodic=False)
+        assert abs(w[0]) < 1e-10
+
+    def test_peak(self):
+        assert blackman(65, periodic=False).max() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestRectangular:
+    def test_all_ones(self):
+        assert np.allclose(rectangular(17), 1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            rectangular(0)
+
+
+class TestGetWindow:
+    @pytest.mark.parametrize(
+        "name", ["hann", "hanning", "hamming", "blackman", "rect", "boxcar"]
+    )
+    def test_known_names(self, name):
+        assert get_window(name, 16).shape == (16,)
+
+    def test_case_insensitive(self):
+        assert np.allclose(get_window("HANN", 16), hann(16))
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown window"):
+            get_window("kaiser", 16)

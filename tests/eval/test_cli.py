@@ -1,0 +1,66 @@
+"""Tests for the repro.cli command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["--scenario", "tess-loud-oneplus7t"])
+        assert args.classifier == "logistic"
+        assert args.seed == 0
+        assert not args.fast
+
+    def test_classifier_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--scenario", "x", "--classifier", "svm"]
+            )
+
+
+class TestMain:
+    def test_list_scenarios(self, capsys):
+        assert main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "tess-loud-oneplus7t" in out
+        assert "Table V" in out
+
+    def test_missing_scenario_errors(self, capsys):
+        assert main([]) == 2
+        assert "scenario" in capsys.readouterr().err
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError):
+            main(["--scenario", "nope"])
+
+    def test_runs_small_cell(self, capsys):
+        code = main([
+            "--scenario", "tess-loud-oneplus7t",
+            "--classifier", "logistic",
+            "--subsample", "8",
+            "--fast",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured=" in out
+        assert "paper=" in out
+        assert "angry" in out  # confusion matrix labels
+
+    def test_table_mode(self, capsys):
+        code = main(["--table", "IV", "--subsample", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table IV (reproduced)" in out
+        assert "(paper)" in out
+
+    def test_sample_rate_cap(self, capsys):
+        code = main([
+            "--scenario", "tess-loud-oneplus7t",
+            "--classifier", "random_forest",
+            "--subsample", "8",
+            "--sample-rate", "200",
+            "--fast",
+        ])
+        assert code == 0
+        assert "200 Hz" in capsys.readouterr().out

@@ -1,0 +1,108 @@
+"""Tests for repro.eval.experiment."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import (
+    CLASSIFIER_NAMES,
+    ExperimentResult,
+    FeatureCNNClassifier,
+    SpectrogramCNNClassifier,
+    make_classifier,
+    run_feature_experiment,
+    run_spectrogram_experiment,
+)
+from repro.ml.forest import RandomForest
+from repro.ml.lmt import LogisticModelTree
+from repro.ml.logistic import LogisticRegression
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.subspace import RandomSubspace
+
+
+class TestMakeClassifier:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("logistic", LogisticRegression),
+            ("multiclass", OneVsRestClassifier),
+            ("lmt", LogisticModelTree),
+            ("random_forest", RandomForest),
+            ("random_subspace", RandomSubspace),
+            ("cnn", FeatureCNNClassifier),
+            ("cnn_spectrogram", SpectrogramCNNClassifier),
+        ],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(make_classifier(name), cls)
+
+    def test_weka_style_aliases(self):
+        assert isinstance(make_classifier("trees.LMT"), LogisticModelTree)
+        assert isinstance(make_classifier("RandomForest"), RandomForest)
+
+    def test_fast_mode_shrinks(self):
+        fast = make_classifier("cnn", fast=True)
+        full = make_classifier("cnn", fast=False)
+        assert fast.width_scale < full.width_scale
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_classifier("svm")
+
+    def test_all_names_constructible(self):
+        for name in CLASSIFIER_NAMES:
+            assert make_classifier(name) is not None
+
+
+class TestExperimentResult:
+    def _result(self, accuracy=0.5, n_classes=7):
+        return ExperimentResult(
+            classifier="logistic",
+            accuracy=accuracy,
+            n_train=80,
+            n_test=20,
+            n_classes=n_classes,
+            confusion=np.zeros((n_classes, n_classes), dtype=int),
+            labels=np.arange(n_classes),
+        )
+
+    def test_random_guess(self):
+        assert self._result(n_classes=7).random_guess == pytest.approx(1 / 7)
+        assert self._result(n_classes=6).random_guess == pytest.approx(1 / 6)
+
+    def test_gain_over_chance(self):
+        result = self._result(accuracy=0.5714, n_classes=7)
+        assert result.gain_over_chance == pytest.approx(4.0, abs=0.01)
+
+    def test_summary_text(self):
+        text = self._result().summary()
+        assert "logistic" in text
+        assert "accuracy" in text
+
+
+class TestRunFeatureExperiment(object):
+    def test_logistic_cell(self, tess_features):
+        result = run_feature_experiment(tess_features, "logistic", seed=0)
+        assert result.n_classes == 7
+        assert result.accuracy > 3 * result.random_guess
+        assert result.confusion.sum() == result.n_test
+
+    def test_cnn_cell_has_history(self, tess_features):
+        result = run_feature_experiment(tess_features, "cnn", seed=0, fast=True)
+        assert result.history is not None
+        assert len(result.history.loss) > 0
+        assert result.accuracy > 2 * result.random_guess
+
+    def test_too_few_samples(self):
+        from repro.attack.pipeline import FeatureDataset
+
+        tiny = FeatureDataset(X=np.ones((4, 24)), y=np.array(list("aabb")))
+        with pytest.raises(ValueError):
+            run_feature_experiment(tiny, "logistic")
+
+
+class TestRunSpectrogramExperiment:
+    def test_cell(self, tess_spectrograms):
+        result = run_spectrogram_experiment(tess_spectrograms, seed=0, fast=True)
+        assert result.classifier == "cnn_spectrogram"
+        assert result.accuracy > 1.5 * result.random_guess
+        assert result.history is not None

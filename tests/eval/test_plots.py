@@ -1,0 +1,92 @@
+"""Tests for repro.eval.plots (ASCII rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.plots import heatmap, line_plot, multi_line_plot
+
+
+class TestLinePlot:
+    def test_structure(self):
+        text = line_plot(np.sin(np.linspace(0, 6, 100)), title="sine")
+        lines = text.splitlines()
+        assert lines[0] == "sine"
+        assert len(lines) == 1 + 12 + 1  # title + height + axis
+        assert "*" in text
+
+    def test_extreme_labels(self):
+        text = line_plot([0.0, 5.0, 10.0])
+        assert "10.000" in text
+        assert "0.000" in text
+
+    def test_constant_series(self):
+        text = line_plot([3.0] * 50)
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([1.0, 2.0], width=4)
+
+    def test_monotone_series_slopes(self):
+        text = line_plot(np.arange(100.0), width=20, height=6)
+        rows = [line for line in text.splitlines() if "|" in line]
+        first_star_row = next(i for i, row in enumerate(rows) if "*" in row)
+        last_star_col_row = next(
+            i for i, row in enumerate(rows) if row.rstrip().endswith("*")
+        )
+        # Highest values (top rows) appear at the right of the plot.
+        assert first_star_row <= last_star_col_row
+
+
+class TestMultiLinePlot:
+    def test_legend_and_markers(self):
+        text = multi_line_plot(
+            {"train": [1, 2, 3], "validation": [1, 1.5, 2]}, title="curves"
+        )
+        assert "a=train" in text
+        assert "b=validation" in text
+        assert "a" in text and "b" in text
+
+    def test_single_series_uses_star(self):
+        text = multi_line_plot({"only": [1, 2, 3]})
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multi_line_plot({})
+        with pytest.raises(ValueError):
+            multi_line_plot({"x": []})
+
+
+class TestHeatmap:
+    def test_shape_downsamples_only(self):
+        """The map caps at max dims but never upsamples a small image."""
+        text = heatmap(np.random.default_rng(0).uniform(size=(64, 64)),
+                       max_width=40, max_height=16)
+        lines = text.splitlines()
+        assert len(lines) == 16
+        assert all(len(line) == 40 for line in lines)
+        small = heatmap(np.ones((4, 8)), max_width=40, max_height=16)
+        assert len(small.splitlines()) == 4
+        assert len(small.splitlines()[0]) == 8
+
+    def test_intensity_mapping(self):
+        img = np.zeros((4, 8))
+        img[:, 4:] = 1.0
+        text = heatmap(img, max_width=8, max_height=4)
+        lines = text.splitlines()
+        # Left half dark (space), right half bright (@).
+        assert lines[0][0] == " "
+        assert lines[0][-1] == "@"
+
+    def test_title(self):
+        text = heatmap(np.ones((4, 4)), title="fig")
+        assert text.splitlines()[0] == "fig"
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.ones(8))

@@ -1,0 +1,76 @@
+"""Tests for repro.eval.tables and repro.eval.reporting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import (
+    AUDIO_DOMAIN_REFERENCES,
+    PAPER_RESULTS,
+    paper_comparison,
+    random_guess_rate,
+)
+from repro.eval.tables import format_confusion, format_table
+
+
+class TestFormatTable:
+    def test_contains_cells(self):
+        text = format_table(
+            "Table V", [["logistic", 0.945], ["cnn", 0.953]], ["Classifier", "Acc"]
+        )
+        assert "Table V" in text
+        assert "logistic" in text
+        assert "94.50%" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_table("t", [], ["a"])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table("t", [["a", "b"]], ["only"])
+
+
+class TestFormatConfusion:
+    def test_renders(self):
+        M = np.array([[5, 1], [0, 6]])
+        text = format_confusion(M, ["angry", "sad"])
+        assert "angry" in text and "sad" in text
+        assert "5" in text and "6" in text
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            format_confusion(np.eye(2), ["only-one"])
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            format_confusion(np.ones((2, 3)), ["a", "b"])
+
+
+class TestReporting:
+    def test_random_guess_rates_match_paper(self):
+        assert random_guess_rate("savee") == pytest.approx(0.1428, abs=1e-3)
+        assert random_guess_rate("tess") == pytest.approx(0.1428, abs=1e-3)
+        assert random_guess_rate("cremad") == pytest.approx(0.1667, abs=1e-3)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            random_guess_rate("ravdess")
+
+    def test_headline_numbers_present(self):
+        assert PAPER_RESULTS[("V", "tess", "oneplus7t", "cnn")] == pytest.approx(0.953)
+        assert PAPER_RESULTS[("VI", "savee", "oneplus9", "cnn")] == pytest.approx(
+            0.6052
+        )
+
+    def test_audio_references(self):
+        assert AUDIO_DOMAIN_REFERENCES["tess"] > 0.99
+
+    def test_comparison_line(self):
+        line = paper_comparison("V", "tess", "oneplus7t", "cnn", 0.91)
+        assert "measured=91.00%" in line
+        assert "paper=95.30%" in line
+        assert "chance=14.29%" in line
+
+    def test_comparison_without_paper_value(self):
+        line = paper_comparison("V", "tess", "oneplus7t", "nonexistent", 0.5)
+        assert "paper=" not in line

@@ -1,0 +1,142 @@
+"""Robustness and failure-injection tests.
+
+The pipeline must degrade gracefully — empty datasets, silent audio,
+clipped channels, corrupted features — rather than crash or fabricate
+results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack.pipeline import collect_feature_dataset, collect_spectrogram_dataset
+from repro.attack.regions import RegionDetector
+from repro.datasets import build_tess
+from repro.datasets.base import Corpus, UtteranceSpec
+from repro.eval.experiment import run_feature_experiment
+from repro.ml.preprocessing import clean_features
+from repro.phone.channel import VibrationChannel
+from repro.speech.synthesizer import SpeakerVoice
+
+
+def _silent_corpus():
+    """A corpus whose 'speech' renders to (near) silence."""
+    base = build_tess(words_per_emotion=2, seed=5)
+
+    class SilentCorpus(Corpus):
+        def render(self, spec):
+            return np.zeros(4000)
+
+    return SilentCorpus(
+        name="silent",
+        emotions=base.emotions,
+        speakers=dict(base.speakers),
+        specs=list(base.specs[:14]),
+        audio_fs=base.audio_fs,
+    )
+
+
+class TestSilentInput:
+    def test_no_regions_from_silence(self):
+        corpus = _silent_corpus()
+        channel = VibrationChannel("oneplus7t")
+        dataset = collect_feature_dataset(corpus, channel, seed=0)
+        # The detector's signal-presence gate should reject noise floors.
+        assert dataset.X.shape[0] <= 2
+        assert dataset.extraction_rate <= 0.2
+
+    def test_empty_dataset_shape(self):
+        corpus = _silent_corpus()
+        channel = VibrationChannel("oneplus7t")
+        dataset = collect_spectrogram_dataset(corpus, channel, seed=0)
+        assert dataset.images.ndim == 4
+
+
+class TestCorruptedFeatures:
+    def test_nan_rows_cleaned_before_experiment(self, tess_features):
+        X = tess_features.X.copy()
+        X[::5, 3] = np.nan
+        from repro.attack.pipeline import FeatureDataset
+
+        corrupted = FeatureDataset(X=X, y=tess_features.y.copy())
+        result = run_feature_experiment(corrupted, "logistic", seed=0)
+        assert result.accuracy > 0.3  # still works on the clean subset
+
+    def test_all_rows_nan_raises(self):
+        from repro.attack.pipeline import FeatureDataset
+
+        bad = FeatureDataset(
+            X=np.full((40, 24), np.nan), y=np.array(["a", "b"] * 20)
+        )
+        with pytest.raises(ValueError):
+            run_feature_experiment(bad, "logistic")
+
+
+class TestDetectorEdgeCases:
+    def test_constant_trace(self):
+        detector = RegionDetector()
+        assert detector.detect(np.full(2000, 9.81), 420.0) == []
+
+    def test_very_short_trace(self):
+        detector = RegionDetector()
+        regions = detector.detect(np.random.default_rng(0).normal(size=20), 420.0)
+        assert isinstance(regions, list)
+
+    def test_single_sample(self):
+        detector = RegionDetector()
+        assert detector.detect(np.array([9.81]), 420.0) == []
+
+
+class TestChannelExtremes:
+    def test_clipping_channel_still_usable(self):
+        """A channel driven into full-scale clipping must stay finite."""
+        channel = VibrationChannel("oneplus7t")
+        huge = 50.0 * np.sin(2 * np.pi * 500 * np.arange(8000) / 8000.0)
+        out = channel.transmit(huge, 8000.0)
+        assert np.all(np.isfinite(out))
+        assert np.max(np.abs(out)) <= channel._accel.full_scale + 1e-9
+
+    def test_zero_length_audio(self):
+        channel = VibrationChannel("oneplus7t")
+        out = channel.transmit(np.zeros(0), 8000.0)
+        assert out.size <= 1
+
+    def test_dc_only_audio(self):
+        channel = VibrationChannel("oneplus7t")
+        out = channel.transmit(np.ones(8000) * 0.5, 8000.0)
+        assert np.all(np.isfinite(out))
+
+
+class TestCorpusEdgeCases:
+    def test_single_emotion_corpus_features(self):
+        corpus = build_tess(words_per_emotion=3, seed=6).filter_emotions(["angry"])
+        channel = VibrationChannel("oneplus7t")
+        dataset = collect_feature_dataset(corpus, channel, seed=0)
+        assert set(dataset.y) <= {"angry"}
+
+    def test_render_with_distinct_voices_differs(self):
+        corpus = build_tess(words_per_emotion=1, seed=7)
+        spec = corpus.specs[0]
+        other_speaker = [s for s in corpus.specs
+                        if s.speaker_id != spec.speaker_id][0]
+        same_seed = UtteranceSpec(
+            utterance_id="x",
+            speaker_id=other_speaker.speaker_id,
+            emotion=spec.emotion,
+            seed=spec.seed,
+            mean_syllables=spec.mean_syllables,
+            carrier=spec.carrier,
+        )
+        a = corpus.render(spec)
+        b = corpus.render(same_seed)
+        assert not np.allclose(a[: min(a.size, b.size)], b[: min(a.size, b.size)])
+
+
+class TestCleanFeaturesContract:
+    def test_mask_alignment(self):
+        X = np.ones((6, 3))
+        X[2, 1] = np.inf
+        y = np.arange(6)
+        Xc, yc, mask = clean_features(X, y)
+        assert Xc.shape[0] == 5
+        assert 2 not in yc
+        assert mask.sum() == 5

@@ -1,0 +1,79 @@
+"""Tests for repro.ml.crossval."""
+
+import numpy as np
+import pytest
+
+from repro.ml.crossval import StratifiedKFold, cross_val_confusion, cross_val_score
+from repro.ml.logistic import LogisticRegression
+
+
+def blobs(n_per_class=30, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 4.0, size=(k, 4))
+    X = np.vstack(
+        [centers[i] + 0.5 * rng.normal(size=(n_per_class, 4)) for i in range(k)]
+    )
+    y = np.repeat([f"c{i}" for i in range(k)], n_per_class)
+    return X, y
+
+
+class TestStratifiedKFold:
+    def test_fold_count(self):
+        _, y = blobs()
+        folds = list(StratifiedKFold(5).split(y))
+        assert len(folds) == 5
+
+    def test_partitions_cover_everything(self):
+        _, y = blobs()
+        seen = np.zeros(y.shape[0], dtype=int)
+        for _, test_idx in StratifiedKFold(5).split(y):
+            seen[test_idx] += 1
+        assert np.all(seen == 1)
+
+    def test_train_test_disjoint(self):
+        _, y = blobs()
+        for train_idx, test_idx in StratifiedKFold(4).split(y):
+            assert not set(train_idx) & set(test_idx)
+
+    def test_stratification(self):
+        _, y = blobs(n_per_class=30, k=3)
+        for _, test_idx in StratifiedKFold(5).split(y):
+            _, counts = np.unique(y[test_idx], return_counts=True)
+            assert counts.max() - counts.min() <= 1
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(10).split(np.array(["a", "b"])))
+
+    def test_invalid_splits(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(1)
+
+    def test_deterministic(self):
+        _, y = blobs()
+        a = [tuple(t) for _, t in StratifiedKFold(5, seed=2).split(y)]
+        b = [tuple(t) for _, t in StratifiedKFold(5, seed=2).split(y)]
+        assert a == b
+
+
+class TestCrossValScore:
+    def test_scores_high_on_separable(self):
+        X, y = blobs()
+        scores = cross_val_score(LogisticRegression(), X, y, n_splits=5)
+        assert len(scores) == 5
+        assert np.mean(scores) > 0.9
+
+    def test_uses_clones(self):
+        X, y = blobs()
+        model = LogisticRegression()
+        cross_val_score(model, X, y, n_splits=3)
+        assert model.classes_ is None  # original never fitted
+
+
+class TestCrossValConfusion:
+    def test_pooled_matrix(self):
+        X, y = blobs()
+        M, labels, acc = cross_val_confusion(LogisticRegression(), X, y, n_splits=5)
+        assert M.sum() == y.shape[0]
+        assert acc > 0.9
+        assert list(labels) == sorted(set(y))

@@ -1,0 +1,137 @@
+"""Tests for repro.ml.forest, repro.ml.subspace, repro.ml.multiclass, repro.ml.lmt."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForest
+from repro.ml.lmt import LogisticModelTree
+from repro.ml.logistic import LogisticRegression
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.subspace import RandomSubspace
+from repro.ml.tree import DecisionTree
+
+
+def blobs(n_per_class=50, k=3, d=6, spread=0.8, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(k, d))
+    X = np.vstack(
+        [centers[i] + spread * rng.normal(size=(n_per_class, d)) for i in range(k)]
+    )
+    y = np.repeat([f"c{i}" for i in range(k)], n_per_class)
+    return X, y
+
+
+def xor_data(n=240, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = np.where((X[:, 0] > 0) ^ (X[:, 1] > 0), "odd", "even")
+    return X, y
+
+
+class TestRandomForest:
+    def test_accuracy_on_blobs(self):
+        X, y = blobs()
+        model = RandomForest(n_estimators=15, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_solves_xor(self):
+        X, y = xor_data()
+        model = RandomForest(n_estimators=20, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_proba_valid(self):
+        X, y = blobs()
+        P = RandomForest(n_estimators=10, seed=0).fit(X, y).predict_proba(X)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert np.all((P >= 0) & (P <= 1))
+
+    def test_deterministic_given_seed(self):
+        X, y = blobs()
+        a = RandomForest(n_estimators=8, seed=3).fit(X, y).predict(X)
+        b = RandomForest(n_estimators=8, seed=3).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_every_class_predictable(self):
+        """Bootstraps are patched to include all classes."""
+        X, y = blobs(n_per_class=8, k=5)
+        model = RandomForest(n_estimators=5, seed=0).fit(X, y)
+        assert model.predict_proba(X).shape[1] == 5
+
+    def test_invalid_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForest(n_estimators=0)
+
+
+class TestRandomSubspace:
+    def test_accuracy_on_blobs(self):
+        X, y = blobs()
+        model = RandomSubspace(n_estimators=10, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_members_use_feature_subsets(self):
+        X, y = blobs(d=10)
+        model = RandomSubspace(n_estimators=5, subspace_fraction=0.3, seed=0).fit(X, y)
+        for features, _ in model.members_:
+            assert features.size == 3
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            RandomSubspace(subspace_fraction=0.0)
+
+    def test_full_fraction_uses_all_features(self):
+        X, y = blobs(d=4)
+        model = RandomSubspace(n_estimators=3, subspace_fraction=1.0, seed=0).fit(X, y)
+        for features, _ in model.members_:
+            assert features.size == 4
+
+
+class TestOneVsRest:
+    def test_accuracy_on_blobs(self):
+        X, y = blobs()
+        model = OneVsRestClassifier().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_one_estimator_per_class(self):
+        X, y = blobs(k=4)
+        model = OneVsRestClassifier().fit(X, y)
+        assert len(model.estimators_) == 4
+
+    def test_custom_base(self):
+        X, y = blobs()
+        model = OneVsRestClassifier(base=DecisionTree(max_depth=4)).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_proba_normalised(self):
+        X, y = blobs()
+        P = OneVsRestClassifier().fit(X, y).predict_proba(X)
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+
+class TestLogisticModelTree:
+    def test_accuracy_on_blobs(self):
+        X, y = blobs()
+        model = LogisticModelTree().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_beats_plain_logistic_on_xor(self):
+        """Leaf logistic models inherit the tree's non-linear partition."""
+        X, y = xor_data(400)
+        lmt_score = LogisticModelTree(max_depth=2).fit(X, y).score(X, y)
+        logistic_score = LogisticRegression().fit(X, y).score(X, y)
+        assert lmt_score > logistic_score + 0.2
+
+    def test_proba_valid(self):
+        X, y = blobs()
+        P = LogisticModelTree().fit(X, y).predict_proba(X)
+        assert np.allclose(P.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(P >= 0)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            LogisticModelTree(smoothing=1.0)
+
+    def test_small_dataset_falls_back_to_priors(self):
+        X = np.vstack([np.zeros((4, 2)), np.ones((4, 2))])
+        y = np.array(["a"] * 4 + ["b"] * 4)
+        model = LogisticModelTree(min_leaf_fraction=0.9).fit(X, y)
+        assert model.score(X, y) == 1.0  # priors per pure leaf suffice

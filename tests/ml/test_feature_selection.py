@@ -1,0 +1,96 @@
+"""Tests for repro.ml.feature_selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.feature_selection import InfoGainSelector, rank_features
+
+
+def labelled_matrix(n=200, seed=0):
+    """Three columns: strong signal, weak signal, pure noise."""
+    rng = np.random.default_rng(seed)
+    y = np.repeat(["a", "b"], n // 2)
+    strong = np.concatenate([np.zeros(n // 2), np.ones(n // 2)])
+    weak = strong + rng.normal(0, 1.2, n)
+    noise = rng.normal(size=n)
+    return np.column_stack([noise, strong, weak]), y
+
+
+class TestRankFeatures:
+    def test_ordering(self):
+        X, y = labelled_matrix()
+        ranking = rank_features(X, y, ["noise", "strong", "weak"])
+        names = [name for name, _ in ranking]
+        assert names[0] == "strong"
+        assert names[-1] == "noise"
+
+    def test_default_names(self):
+        X, y = labelled_matrix()
+        ranking = rank_features(X, y)
+        assert {name for name, _ in ranking} == {"f0", "f1", "f2"}
+
+    def test_gains_nonnegative_sorted(self):
+        X, y = labelled_matrix()
+        gains = [gain for _, gain in rank_features(X, y)]
+        assert all(g >= 0 for g in gains)
+        assert gains == sorted(gains, reverse=True)
+
+    def test_name_mismatch(self):
+        X, y = labelled_matrix()
+        with pytest.raises(ValueError):
+            rank_features(X, y, ["just-one"])
+
+
+class TestInfoGainSelector:
+    def test_selects_informative_columns(self):
+        X, y = labelled_matrix()
+        selector = InfoGainSelector(k=2).fit(X, y)
+        assert 1 in selector.selected_indices_  # "strong"
+        assert 0 not in selector.selected_indices_  # "noise"
+
+    def test_transform_shape(self):
+        X, y = labelled_matrix()
+        Z = InfoGainSelector(k=2).fit_transform(X, y)
+        assert Z.shape == (X.shape[0], 2)
+
+    def test_column_order_preserved(self):
+        X, y = labelled_matrix()
+        selector = InfoGainSelector(k=2).fit(X, y)
+        assert list(selector.selected_indices_) == sorted(
+            selector.selected_indices_
+        )
+
+    def test_k_larger_than_columns(self):
+        X, y = labelled_matrix()
+        selector = InfoGainSelector(k=10).fit(X, y)
+        assert selector.selected_indices_.size == 3
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            InfoGainSelector(k=1).transform(np.ones((2, 3)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            InfoGainSelector(k=0)
+
+    def test_narrow_transform_rejected(self):
+        X, y = labelled_matrix()
+        selector = InfoGainSelector(k=3).fit(X, y)
+        with pytest.raises(ValueError):
+            selector.transform(np.ones((4, 2)))
+
+    def test_selection_keeps_accuracy(self):
+        """Dropping the noise column should not hurt a classifier."""
+        from repro.ml.logistic import LogisticRegression
+        from repro.ml.preprocessing import train_test_split
+
+        X, y = labelled_matrix(400)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, 0.25, 0)
+        selector = InfoGainSelector(k=2).fit(X_train, y_train)
+        full = LogisticRegression().fit(X_train, y_train).score(X_test, y_test)
+        reduced = (
+            LogisticRegression()
+            .fit(selector.transform(X_train), y_train)
+            .score(selector.transform(X_test), y_test)
+        )
+        assert reduced >= full - 0.05

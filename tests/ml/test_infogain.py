@@ -1,0 +1,81 @@
+"""Tests for repro.ml.infogain."""
+
+import numpy as np
+import pytest
+
+from repro.ml.infogain import entropy, information_gain, information_gain_table
+
+
+class TestEntropy:
+    def test_uniform_two_classes(self):
+        assert entropy(np.array(["a", "b", "a", "b"])) == pytest.approx(1.0)
+
+    def test_pure(self):
+        assert entropy(np.array(["a", "a", "a"])) == pytest.approx(0.0)
+
+    def test_uniform_k_classes(self):
+        y = np.repeat(list("abcdefg"), 10)
+        assert entropy(y) == pytest.approx(np.log2(7))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            entropy(np.array([]))
+
+
+class TestInformationGain:
+    def test_perfect_predictor(self):
+        y = np.repeat(["a", "b"], 100)
+        x = np.concatenate([np.zeros(100), np.ones(100)])
+        assert information_gain(x, y) == pytest.approx(1.0, abs=0.05)
+
+    def test_useless_predictor(self):
+        rng = np.random.default_rng(0)
+        y = np.repeat(["a", "b"], 500)
+        x = rng.normal(size=1000)
+        assert information_gain(x, y) < 0.05
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            x = rng.normal(size=100)
+            y = rng.choice(["a", "b", "c"], 100)
+            assert information_gain(x, y) >= 0.0
+
+    def test_handles_nan_values(self):
+        y = np.repeat(["a", "b"], 50)
+        x = np.concatenate([np.full(50, np.nan), np.ones(50)])
+        # NaN presence pattern itself is informative here.
+        assert information_gain(x, y) > 0.9
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            information_gain(np.ones(5), np.array(["a"] * 4))
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            information_gain(np.ones(5), np.array(["a"] * 5), n_bins=1)
+
+    def test_monotone_transform_invariance(self):
+        """Equal-frequency binning is invariant to monotone transforms."""
+        rng = np.random.default_rng(2)
+        y = np.repeat(["a", "b"], 200)
+        x = np.concatenate([rng.normal(0, 1, 200), rng.normal(2, 1, 200)])
+        g1 = information_gain(x, y)
+        g2 = information_gain(np.exp(x), y)
+        assert g1 == pytest.approx(g2, abs=1e-9)
+
+
+class TestInformationGainTable:
+    def test_keys_and_ordering(self):
+        rng = np.random.default_rng(3)
+        y = np.repeat(["a", "b"], 100)
+        informative = np.concatenate([np.zeros(100), np.ones(100)])
+        noise = rng.normal(size=200)
+        X = np.column_stack([informative, noise])
+        table = information_gain_table(X, y, ["signal", "noise"])
+        assert set(table) == {"signal", "noise"}
+        assert table["signal"] > table["noise"] + 0.5
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            information_gain_table(np.ones((5, 2)), np.array(["a"] * 5), ["only-one"])

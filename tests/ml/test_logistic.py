@@ -1,0 +1,91 @@
+"""Tests for repro.ml.logistic."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegression, softmax
+
+
+def blobs(n_per_class=60, k=3, d=4, spread=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(k, d))
+    X = np.vstack(
+        [centers[i] + spread * rng.normal(size=(n_per_class, d)) for i in range(k)]
+    )
+    y = np.repeat([f"class{i}" for i in range(k)], n_per_class)
+    return X, y
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        P = softmax(rng.normal(size=(10, 5)))
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_stable_with_large_logits(self):
+        P = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(P).all()
+        assert P[0, 0] == pytest.approx(1.0)
+
+
+class TestLogisticRegression:
+    def test_separable_blobs(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_binary(self):
+        X, y = blobs(k=2)
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_predict_proba_valid(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        P = model.predict_proba(X)
+        assert P.shape == (X.shape[0], 3)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert np.all(P >= 0)
+
+    def test_string_labels_round_trip(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        assert set(model.predict(X)) <= set(y)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.ones((2, 3)))
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((5, 2)), np.array(["a"] * 5))
+
+    def test_nan_features_rejected(self):
+        X, y = blobs()
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(X, y)
+
+    def test_ridge_shrinks_weights(self):
+        X, y = blobs()
+        loose = LogisticRegression(ridge=1e-6).fit(X, y)
+        tight = LogisticRegression(ridge=10.0).fit(X, y)
+        assert np.abs(tight.coef_).sum() < np.abs(loose.coef_).sum()
+
+    def test_scale_invariance_via_internal_standardisation(self):
+        X, y = blobs()
+        a = LogisticRegression().fit(X, y).score(X, y)
+        b = LogisticRegression().fit(X * 1000.0, y).score(X * 1000.0, y)
+        assert a == pytest.approx(b, abs=0.05)
+
+    def test_clone_unfitted(self):
+        model = LogisticRegression(ridge=0.5, max_iter=10)
+        cloned = model.clone()
+        assert cloned.ridge == 0.5
+        assert cloned.max_iter == 10
+        assert cloned.classes_ is None
+
+    def test_clone_after_fit_is_unfitted(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        assert model.clone().classes_ is None

@@ -1,0 +1,75 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score, classification_report, confusion_matrix
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score(["a", "b"], ["a", "a"]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(["a"], ["a", "b"])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        y = ["a", "b", "c", "a"]
+        M, labels = confusion_matrix(y, y)
+        assert np.trace(M) == 4
+        assert M.sum() == 4
+
+    def test_rows_are_true_class(self):
+        M, labels = confusion_matrix(["a", "a"], ["a", "b"], labels=["a", "b"])
+        assert M[0, 0] == 1 and M[0, 1] == 1
+        assert M[1].sum() == 0
+
+    def test_explicit_label_order(self):
+        M, labels = confusion_matrix(["b"], ["b"], labels=["b", "a"])
+        assert list(labels) == ["b", "a"]
+        assert M[0, 0] == 1
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(["a"], ["z"], labels=["a", "b"])
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.choice(list("abc"), 100)
+        y_pred = rng.choice(list("abc"), 100)
+        M, _ = confusion_matrix(y_true, y_pred)
+        assert M.sum() == 100
+
+
+class TestClassificationReport:
+    def test_perfect_scores(self):
+        y = ["a", "b", "a"]
+        report = classification_report(y, y)
+        assert report["accuracy"] == 1.0
+        assert report["a"]["precision"] == 1.0
+        assert report["a"]["recall"] == 1.0
+        assert report["a"]["f1"] == 1.0
+        assert report["a"]["support"] == 2
+
+    def test_zero_division_safe(self):
+        report = classification_report(["a", "a"], ["b", "b"], labels=["a", "b"])
+        assert report["a"]["recall"] == 0.0
+        assert report["b"]["precision"] == 0.0
+
+    def test_f1_harmonic_mean(self):
+        report = classification_report(
+            ["a", "a", "b", "b"], ["a", "b", "b", "b"], labels=["a", "b"]
+        )
+        p = report["b"]["precision"]
+        r = report["b"]["recall"]
+        assert report["b"]["f1"] == pytest.approx(2 * p * r / (p + r))

@@ -1,0 +1,82 @@
+"""Tests for repro.ml.persistence (pickle-free classifier serialisation)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForest
+from repro.ml.lmt import LogisticModelTree
+from repro.ml.logistic import LogisticRegression
+from repro.ml.persistence import (
+    classifier_from_dict,
+    classifier_to_dict,
+    load_classifier,
+    save_classifier,
+)
+from repro.ml.subspace import RandomSubspace
+from repro.ml.tree import DecisionTree
+
+
+def blobs(n_per_class=40, k=3, d=5, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(k, d))
+    X = np.vstack(
+        [centers[i] + 0.6 * rng.normal(size=(n_per_class, d)) for i in range(k)]
+    )
+    y = np.repeat([f"c{i}" for i in range(k)], n_per_class)
+    return X, y
+
+
+@pytest.fixture()
+def data():
+    return blobs()
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: LogisticRegression(),
+            lambda: DecisionTree(max_depth=5),
+            lambda: RandomForest(n_estimators=6, seed=0),
+            lambda: RandomSubspace(n_estimators=4, seed=0),
+        ],
+        ids=["logistic", "tree", "forest", "subspace"],
+    )
+    def test_predictions_preserved(self, data, factory, tmp_path):
+        X, y = data
+        model = factory().fit(X, y)
+        path = tmp_path / "model.json"
+        save_classifier(model, path)
+        restored = load_classifier(path)
+        assert np.array_equal(model.predict(X), restored.predict(X))
+        assert np.allclose(model.predict_proba(X), restored.predict_proba(X))
+
+    def test_dict_is_json_safe(self, data):
+        X, y = data
+        payload = classifier_to_dict(LogisticRegression().fit(X, y))
+        json.dumps(payload)  # must not raise
+
+    def test_string_labels_survive(self, data, tmp_path):
+        X, y = data
+        model = DecisionTree().fit(X, y)
+        save_classifier(model, tmp_path / "t.json")
+        restored = load_classifier(tmp_path / "t.json")
+        assert set(restored.predict(X)) <= {"c0", "c1", "c2"}
+
+
+class TestSafety:
+    def test_unsupported_type_rejected(self, data):
+        X, y = data
+        model = LogisticModelTree().fit(X, y)
+        with pytest.raises(TypeError):
+            classifier_to_dict(model)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown classifier kind"):
+            classifier_from_dict({"kind": "os.system"})
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            classifier_to_dict(LogisticRegression())

@@ -1,0 +1,139 @@
+"""Tests for repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    StandardScaler,
+    clean_features,
+    train_test_split,
+)
+
+
+class TestCleanFeatures:
+    def test_drops_nan_rows(self):
+        X = np.array([[1.0, 2.0], [np.nan, 3.0], [4.0, 5.0]])
+        y = np.array(["a", "b", "c"])
+        Xc, yc, mask = clean_features(X, y)
+        assert Xc.shape == (2, 2)
+        assert list(yc) == ["a", "c"]
+        assert list(mask) == [True, False, True]
+
+    def test_drops_inf_rows(self):
+        X = np.array([[1.0, np.inf], [2.0, 3.0]])
+        Xc, _, _ = clean_features(X)
+        assert Xc.shape == (1, 2)
+
+    def test_no_labels(self):
+        X = np.ones((3, 2))
+        Xc, yc, mask = clean_features(X)
+        assert yc is None
+        assert mask.all()
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            clean_features(np.ones((3, 2)), np.array(["a"]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            clean_features(np.ones(5))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(500, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_uses_training_stats(self):
+        scaler = StandardScaler().fit(np.zeros((5, 2)) + [[1.0, 2.0]])
+        Z = scaler.transform(np.array([[1.0, 2.0]]))
+        assert np.allclose(Z, 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestLabelEncoder:
+    def test_round_trip(self):
+        y = np.array(["sad", "angry", "sad", "happy"])
+        enc = LabelEncoder()
+        codes = enc.fit_transform(y)
+        assert codes.dtype == int
+        assert list(enc.inverse_transform(codes)) == list(y)
+
+    def test_codes_contiguous(self):
+        enc = LabelEncoder().fit(["c", "a", "b"])
+        codes = enc.transform(["a", "b", "c"])
+        assert sorted(codes) == [0, 1, 2]
+
+    def test_unseen_label(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="unseen label"):
+            enc.transform(["z"])
+
+    def test_bad_code(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            enc.inverse_transform([5])
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(["a"])
+
+
+class TestTrainTestSplit:
+    def _data(self, n=100):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(n, 3))
+        y = np.array((["a"] * (n // 2)) + (["b"] * (n // 2)))
+        return X, y
+
+    def test_sizes(self):
+        X, y = self._data()
+        X_train, X_test, y_train, y_test = train_test_split(X, y, 0.2, 0)
+        assert X_test.shape[0] == 20
+        assert X_train.shape[0] == 80
+
+    def test_stratified(self):
+        X, y = self._data()
+        _, _, _, y_test = train_test_split(X, y, 0.2, 0)
+        assert np.sum(y_test == "a") == np.sum(y_test == "b")
+
+    def test_disjoint_and_complete(self):
+        X, y = self._data(40)
+        X_train, X_test, _, _ = train_test_split(X, y, 0.25, 1)
+        combined = np.vstack([X_train, X_test])
+        assert combined.shape[0] == 40
+        # Every original row appears exactly once.
+        assert len({tuple(row) for row in combined}) == 40
+
+    def test_deterministic(self):
+        X, y = self._data()
+        a = train_test_split(X, y, 0.2, 7)
+        b = train_test_split(X, y, 0.2, 7)
+        assert np.array_equal(a[1], b[1])
+
+    def test_small_class_keeps_train_member(self):
+        X = np.arange(8.0).reshape(4, 2)
+        y = np.array(["a", "a", "a", "b"])
+        X_train, X_test, y_train, y_test = train_test_split(X, y, 0.5, 0)
+        assert "b" in y_train or "b" in y_test
+
+    def test_invalid_fraction(self):
+        X, y = self._data()
+        with pytest.raises(ValueError):
+            train_test_split(X, y, 1.5)
+
+    def test_mismatched(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 2)), np.ones(3))

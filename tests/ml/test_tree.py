@@ -1,0 +1,92 @@
+"""Tests for repro.ml.tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTree
+
+
+def xor_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = np.where((X[:, 0] > 0) ^ (X[:, 1] > 0), "odd", "even")
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_xor(self):
+        """XOR is non-linear: trees must solve it (logistic cannot)."""
+        X, y = xor_data()
+        tree = DecisionTree(max_depth=4).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_pure_leaves_on_training_data(self):
+        X, y = xor_data(100)
+        tree = DecisionTree().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_max_depth_respected(self):
+        X, y = xor_data(300)
+        tree = DecisionTree(max_depth=3).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_depth_zero_like_stump(self):
+        X, y = xor_data()
+        tree = DecisionTree(max_depth=1).fit(X, y)
+        assert tree.depth() <= 1
+
+    def test_min_samples_leaf(self):
+        X, y = xor_data(100)
+        tree = DecisionTree(min_samples_leaf=20).fit(X, y)
+
+        def smallest_leaf(node, X_sub, y_sub):
+            if node.is_leaf:
+                return len(y_sub)
+            mask = X_sub[:, node.feature] <= node.threshold
+            return min(
+                smallest_leaf(node.left, X_sub[mask], y_sub[mask]),
+                smallest_leaf(node.right, X_sub[~mask], y_sub[~mask]),
+            )
+
+        assert smallest_leaf(tree.root_, X, y) >= 20
+
+    def test_proba_shape_and_sum(self):
+        X, y = xor_data()
+        tree = DecisionTree(max_depth=5).fit(X, y)
+        P = tree.predict_proba(X)
+        assert P.shape == (X.shape[0], 2)
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_entropy_criterion(self):
+        X, y = xor_data()
+        tree = DecisionTree(max_depth=4, criterion="entropy").fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_invalid_criterion(self):
+        with pytest.raises(ValueError):
+            DecisionTree(criterion="chi2")
+
+    def test_constant_features_fallback_to_leaf(self):
+        X = np.ones((20, 3))
+        y = np.array(["a"] * 10 + ["b"] * 10)
+        tree = DecisionTree().fit(X, y)
+        P = tree.predict_proba(X[:2])
+        assert np.allclose(P, 0.5)
+
+    def test_max_features_randomisation(self):
+        X, y = xor_data(300)
+        a = DecisionTree(max_features=1, rng_seed=1).fit(X, y)
+        b = DecisionTree(max_features=1, rng_seed=2).fit(X, y)
+        # Different feature subsets at the root usually give different trees.
+        assert (
+            a.root_.feature != b.root_.feature
+            or a.root_.threshold != b.root_.threshold
+            or a.depth() != b.depth()
+        )
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(3)
+        X = np.vstack([rng.normal(i * 3, 0.4, size=(40, 2)) for i in range(4)])
+        y = np.repeat(list("abcd"), 40)
+        tree = DecisionTree(max_depth=6).fit(X, y)
+        assert tree.score(X, y) > 0.95

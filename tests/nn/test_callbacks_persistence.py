@@ -1,0 +1,147 @@
+"""Tests for NN callbacks and model weight persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.callbacks import EarlyStopping, StepDecay
+from repro.nn.layers import BatchNorm, Conv1D, Dense, Flatten, MaxPool1D, ReLU
+from repro.nn.model import History, Sequential
+from repro.nn.optim import Adam, SGD
+
+
+def blobs(n_per_class=50, k=3, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(k, d))
+    X = np.vstack(
+        [centers[i] + 0.6 * rng.normal(size=(n_per_class, d)) for i in range(k)]
+    )
+    y = np.repeat(np.arange(k), n_per_class)
+    return X, y
+
+
+def mlp(k=3, seed=0):
+    return Sequential([Dense(16), ReLU(), Dense(k)], n_classes=k, seed=seed)
+
+
+class TestEarlyStopping:
+    def test_stops_on_plateau(self):
+        X, y = blobs()
+        model = mlp()
+        # min_delta sets the plateau bar: stop once per-epoch improvement
+        # drops below 0.01 nats for 3 consecutive epochs.
+        stopper = EarlyStopping(monitor="loss", patience=2, min_delta=0.01)
+        history = model.fit(X, y, epochs=200, callbacks=[stopper])
+        assert len(history.loss) < 200
+        assert stopper.stopped_epoch_ is not None
+
+    def test_monitors_validation(self):
+        X, y = blobs()
+        model = mlp()
+        stopper = EarlyStopping(monitor="val_accuracy", patience=3)
+        history = model.fit(
+            X, y, epochs=100, validation_data=(X, y), callbacks=[stopper]
+        )
+        assert len(history.val_accuracy) <= 100
+
+    def test_no_validation_series_is_noop(self):
+        X, y = blobs()
+        model = mlp()
+        stopper = EarlyStopping(monitor="val_loss", patience=0)
+        history = model.fit(X, y, epochs=5, callbacks=[stopper])
+        assert len(history.loss) == 5  # nothing to monitor, never stops
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(monitor="f1")
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=-1)
+
+    def test_reusable_across_fits(self):
+        X, y = blobs()
+        stopper = EarlyStopping(monitor="loss", patience=1)
+        for _ in range(2):
+            model = mlp()
+            model.fit(X, y, epochs=30, callbacks=[stopper])
+        # on_train_begin reset state; second run also trained.
+        assert stopper.best_ is not None
+
+
+class TestStepDecay:
+    def test_decays_lr(self):
+        X, y = blobs()
+        model = mlp()
+        optimizer = Adam(lr=1e-2)
+        model.fit(
+            X, y, epochs=10, optimizer=optimizer,
+            callbacks=[StepDecay(factor=0.5, every=5)],
+        )
+        assert optimizer.lr == pytest.approx(1e-2 * 0.25)
+
+    def test_min_lr_floor(self):
+        X, y = blobs()
+        model = mlp()
+        optimizer = SGD(lr=1e-3)
+        model.fit(
+            X, y, epochs=20, optimizer=optimizer,
+            callbacks=[StepDecay(factor=0.1, every=1, min_lr=1e-5)],
+        )
+        assert optimizer.lr == pytest.approx(1e-5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            StepDecay(factor=0.0)
+        with pytest.raises(ValueError):
+            StepDecay(every=0)
+
+
+class TestWeightPersistence:
+    def test_round_trip_mlp(self, tmp_path):
+        X, y = blobs()
+        model = mlp()
+        model.fit(X, y, epochs=20)
+        path = tmp_path / "weights.npz"
+        model.save_weights(path)
+        clone = mlp()
+        clone.load_weights(path, input_shape=(6,))
+        assert np.allclose(model.predict_proba(X), clone.predict_proba(X))
+
+    def test_round_trip_with_batchnorm(self, tmp_path):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 8, 1))
+        y = (X.mean(axis=(1, 2)) > 0).astype(int)
+        def build():
+            return Sequential(
+                [Conv1D(4, 3), BatchNorm(), ReLU(), MaxPool1D(2),
+                 Flatten(), Dense(2)],
+                n_classes=2, seed=0,
+            )
+        model = build()
+        model.fit(X, y, epochs=10)
+        path = tmp_path / "bn.npz"
+        model.save_weights(path)
+        clone = build()
+        clone.load_weights(path, input_shape=(8, 1))
+        assert np.allclose(model.predict_proba(X), clone.predict_proba(X))
+
+    def test_unbuilt_save_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            mlp().save_weights(tmp_path / "x.npz")
+
+    def test_load_needs_shape_when_unbuilt(self, tmp_path):
+        X, y = blobs()
+        model = mlp()
+        model.fit(X, y, epochs=2)
+        path = tmp_path / "w.npz"
+        model.save_weights(path)
+        with pytest.raises(RuntimeError):
+            mlp().load_weights(path)
+
+    def test_shape_mismatch_detected(self, tmp_path):
+        X, y = blobs()
+        model = mlp()
+        model.fit(X, y, epochs=2)
+        path = tmp_path / "w.npz"
+        model.save_weights(path)
+        other = Sequential([Dense(8), ReLU(), Dense(3)], n_classes=3, seed=0)
+        with pytest.raises(ValueError):
+            other.load_weights(path, input_shape=(6,))

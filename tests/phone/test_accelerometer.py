@@ -1,0 +1,74 @@
+"""Tests for repro.phone.accelerometer."""
+
+import numpy as np
+import pytest
+
+from repro.phone.accelerometer import GRAVITY, Accelerometer
+
+
+def tone(freq, fs=8000.0, duration=1.0, amp=0.1):
+    t = np.arange(int(duration * fs)) / fs
+    return amp * np.sin(2 * np.pi * freq * t)
+
+
+class TestAccelerometer:
+    def test_output_rate(self):
+        accel = Accelerometer(fs=420.0)
+        out = accel.sample(np.zeros(8000), 8000.0, np.random.default_rng(0))
+        assert out.size == pytest.approx(420, abs=2)
+
+    def test_gravity_offset(self):
+        accel = Accelerometer(fs=420.0, noise_rms=0.0, lsb=0.0)
+        out = accel.sample(np.zeros(8000), 8000.0, np.random.default_rng(0))
+        assert np.allclose(out, GRAVITY)
+
+    def test_gravity_disabled(self):
+        accel = Accelerometer(fs=420.0, noise_rms=0.0, lsb=0.0, include_gravity=False)
+        out = accel.sample(np.zeros(8000), 8000.0, np.random.default_rng(0))
+        assert np.allclose(out, 0.0)
+
+    def test_noise_floor(self):
+        accel = Accelerometer(fs=420.0, noise_rms=0.01, lsb=0.0)
+        out = accel.sample(np.zeros(80000), 8000.0, np.random.default_rng(1))
+        assert np.std(out) == pytest.approx(0.01, rel=0.15)
+
+    def test_quantisation(self):
+        accel = Accelerometer(fs=420.0, noise_rms=0.0, lsb=0.01)
+        out = accel.sample(tone(50.0), 8000.0, np.random.default_rng(0))
+        steps = np.round(out / 0.01)
+        assert np.allclose(out, steps * 0.01, atol=1e-12)
+
+    def test_clipping(self):
+        accel = Accelerometer(fs=420.0, noise_rms=0.0, lsb=0.0, full_scale=10.0)
+        big = 100.0 * np.ones(8000)
+        out = accel.sample(big, 8000.0, np.random.default_rng(0))
+        assert np.max(out) <= 10.0
+
+    def test_aliasing_preserved(self):
+        """A 300 Hz vibration appears at 120 Hz in the 420 Hz stream."""
+        accel = Accelerometer(fs=420.0, noise_rms=0.0, lsb=0.0, include_gravity=False)
+        out = accel.sample(tone(300.0, duration=2.0, amp=1.0), 8000.0,
+                           np.random.default_rng(2))
+        spectrum = np.abs(np.fft.rfft(out * np.hanning(out.size)))
+        freqs = np.fft.rfftfreq(out.size, 1 / 420.0)
+        assert freqs[np.argmax(spectrum)] == pytest.approx(120.0, abs=2.0)
+
+    def test_slow_component_added(self):
+        accel = Accelerometer(fs=420.0, noise_rms=0.0, lsb=0.0, include_gravity=False)
+        slow = 0.5 * np.ones(8000)
+        out = accel.sample(np.zeros(8000), 8000.0, np.random.default_rng(0), slow)
+        assert np.allclose(out, 0.5)
+
+    def test_slow_component_shape_mismatch(self):
+        accel = Accelerometer()
+        with pytest.raises(ValueError):
+            accel.sample(np.zeros(100), 8000.0, np.random.default_rng(0), np.zeros(50))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Accelerometer(fs=0.0)
+
+    def test_android_cap_rate(self):
+        accel = Accelerometer(fs=200.0)
+        out = accel.sample(np.zeros(8000), 8000.0, np.random.default_rng(0))
+        assert out.size == pytest.approx(200, abs=2)

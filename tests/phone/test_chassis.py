@@ -1,0 +1,48 @@
+"""Tests for repro.phone.chassis."""
+
+import numpy as np
+import pytest
+
+from repro.phone.chassis import ChassisTransfer
+
+
+def tone(freq, fs=8000.0, duration=1.0):
+    t = np.arange(int(duration * fs)) / fs
+    return np.sin(2 * np.pi * freq * t)
+
+
+class TestChassisTransfer:
+    def test_output_shape(self):
+        transfer = ChassisTransfer()
+        out = transfer.transfer(np.random.default_rng(0).normal(size=1000), 8000.0)
+        assert out.shape == (1000,)
+
+    def test_resonance_emphasis(self):
+        transfer = ChassisTransfer(resonance_hz=900.0, q_factor=6.0, attenuation=1.0)
+        at_resonance = transfer.transfer(tone(900.0), 8000.0)
+        off_resonance = transfer.transfer(tone(3000.0), 8000.0)
+        assert np.std(at_resonance[500:]) > np.std(off_resonance[500:])
+
+    def test_attenuation_scales_output(self):
+        x = tone(900.0)
+        strong = ChassisTransfer(attenuation=1.0).transfer(x, 8000.0)
+        weak = ChassisTransfer(attenuation=0.1).transfer(x, 8000.0)
+        assert np.std(weak) == pytest.approx(0.1 * np.std(strong), rel=1e-6)
+
+    def test_resonance_clamped_to_nyquist(self):
+        transfer = ChassisTransfer(resonance_hz=10_000.0)
+        out = transfer.transfer(tone(100.0, fs=2000.0), 2000.0)
+        assert np.all(np.isfinite(out))
+
+    def test_empty(self):
+        assert ChassisTransfer().transfer(np.zeros(0), 8000.0).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ChassisTransfer().transfer(np.zeros((2, 2)), 8000.0)
+
+    def test_broadband_component_passes(self):
+        """Some non-resonant energy must survive (conductive path)."""
+        transfer = ChassisTransfer(resonance_hz=900.0)
+        out = transfer.transfer(tone(100.0), 8000.0)
+        assert np.std(out) > 0.05

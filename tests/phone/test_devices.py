@@ -1,0 +1,73 @@
+"""Tests for repro.phone.devices."""
+
+import pytest
+
+from repro.phone.devices import DEVICES, device_names, get_device
+
+
+class TestDeviceRegistry:
+    def test_six_devices(self):
+        assert len(DEVICES) == 6
+
+    def test_paper_device_set(self):
+        expected = {
+            "oneplus7t",
+            "oneplus9",
+            "pixel5",
+            "galaxys10",
+            "galaxys21",
+            "galaxys21ultra",
+        }
+        assert set(DEVICES) == expected
+
+    def test_all_stereo(self):
+        """Section V-A: all evaluated phones have stereo speakers."""
+        assert all(d.stereo_ear_speaker for d in DEVICES.values())
+
+    def test_lookup_by_alias(self):
+        assert get_device("OnePlus 7T").name == "oneplus7t"
+        assert get_device("Samsung Galaxy S21 Ultra").name == "galaxys21ultra"
+
+    def test_lookup_canonical(self):
+        assert get_device("pixel5").display_name == "Google Pixel 5"
+
+    def test_unknown_device(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("iphone14")
+
+    def test_device_names_sorted(self):
+        names = device_names()
+        assert list(names) == sorted(names)
+
+
+class TestDevicePhysics:
+    def test_ear_much_weaker_than_loudspeaker(self):
+        for device in DEVICES.values():
+            assert device.ear_gain < 0.3 * device.loud_gain
+
+    def test_oneplus_7t_best_coupling(self):
+        """OnePlus 7T tops Table V; its profile must reflect that."""
+        op7t = get_device("oneplus7t")
+        others = [d for d in DEVICES.values() if d.name != "oneplus7t"]
+        assert all(op7t.loud_gain >= d.loud_gain for d in others)
+        assert all(op7t.noise_rms <= d.noise_rms for d in others)
+
+    def test_oneplus_ear_speakers_strongest(self):
+        """Table VI only evaluates OnePlus ear speakers (most powerful)."""
+        op = {get_device("oneplus7t").ear_gain, get_device("oneplus9").ear_gain}
+        rest = [
+            d.ear_gain
+            for d in DEVICES.values()
+            if d.name not in ("oneplus7t", "oneplus9")
+        ]
+        assert min(op) > max(rest)
+
+    def test_sampling_rates_plausible(self):
+        for device in DEVICES.values():
+            assert 200.0 < device.accel_fs <= 500.0
+
+    def test_positive_parameters(self):
+        for device in DEVICES.values():
+            assert device.noise_rms > 0
+            assert device.resonance_hz > 0
+            assert device.q_factor > 0

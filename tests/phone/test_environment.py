@@ -1,0 +1,85 @@
+"""Tests for repro.phone.environment and the channel environment option."""
+
+import numpy as np
+import pytest
+
+from repro.phone.channel import VibrationChannel
+from repro.phone.environment import ENVIRONMENTS, EnvironmentNoise, get_environment
+
+
+class TestEnvironmentProfiles:
+    def test_three_environments(self):
+        assert set(ENVIRONMENTS) == {"quiet_room", "busy_office", "vehicle"}
+
+    def test_lookup(self):
+        assert get_environment("Busy_Office").name == "busy_office"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_environment("spacecraft")
+
+    def test_severity_ordering(self):
+        quiet = get_environment("quiet_room")
+        office = get_environment("busy_office")
+        vehicle = get_environment("vehicle")
+        assert quiet.hum_rms < office.hum_rms < vehicle.hum_rms
+
+
+class TestNoiseGeneration:
+    def test_length(self):
+        env = get_environment("busy_office")
+        out = env.noise(4000, 8000.0, np.random.default_rng(0))
+        assert out.shape == (4000,)
+
+    def test_zero_length(self):
+        env = get_environment("quiet_room")
+        assert env.noise(0, 8000.0, np.random.default_rng(0)).size == 0
+
+    def test_rms_scaling(self):
+        rng = np.random.default_rng(1)
+        quiet = get_environment("quiet_room").noise(80000, 8000.0, rng)
+        rng = np.random.default_rng(1)
+        vehicle = get_environment("vehicle").noise(80000, 8000.0, rng)
+        assert np.std(vehicle) > 5 * np.std(quiet)
+
+    def test_bumps_present_in_office(self):
+        env = EnvironmentNoise(
+            name="x", hum_rms=0.0, hum_low_hz=5, hum_high_hz=60,
+            bump_rate_hz=5.0, bump_amp=0.1,
+        )
+        out = env.noise(80000, 8000.0, np.random.default_rng(2))
+        assert np.max(np.abs(out)) > 0.02  # at least one transient landed
+
+
+class TestChannelEnvironment:
+    def _speech(self):
+        t = np.arange(8000) / 8000.0
+        return 0.3 * np.sin(2 * np.pi * 500 * t)
+
+    def test_environment_by_name(self):
+        channel = VibrationChannel("oneplus7t", environment="vehicle")
+        out = channel.transmit(np.zeros(8000), 8000.0)
+        quiet = VibrationChannel("oneplus7t").transmit(np.zeros(8000), 8000.0)
+        assert np.std(out) > 2 * np.std(quiet)
+
+    def test_environment_instance(self):
+        env = get_environment("busy_office")
+        channel = VibrationChannel("oneplus7t", environment=env)
+        out = channel.transmit(self._speech(), 8000.0)
+        assert np.all(np.isfinite(out))
+
+    def test_none_is_default(self):
+        channel = VibrationChannel("oneplus7t")
+        assert channel.environment is None
+
+    def test_vehicle_degrades_snr(self):
+        x = self._speech()
+        clean = VibrationChannel("oneplus7t", environment="quiet_room")
+        noisy = VibrationChannel("oneplus7t", environment="vehicle")
+        sig_clean = clean.transmit(x, 8000.0)
+        ref_clean = clean.transmit(np.zeros(8000), 8000.0)
+        sig_noisy = noisy.transmit(x, 8000.0)
+        ref_noisy = noisy.transmit(np.zeros(8000), 8000.0)
+        snr_clean = np.std(sig_clean) / np.std(ref_clean)
+        snr_noisy = np.std(sig_noisy) / np.std(ref_noisy)
+        assert snr_noisy < snr_clean

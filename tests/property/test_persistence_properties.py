@@ -1,0 +1,51 @@
+"""Property-based round-trip tests for model persistence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.forest import RandomForest
+from repro.ml.logistic import LogisticRegression
+from repro.ml.persistence import classifier_from_dict, classifier_to_dict
+from repro.ml.tree import DecisionTree
+
+
+def blobs(n_per_class, k, d, spread, seed):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(k, d))
+    X = np.vstack(
+        [centers[i] + spread * rng.normal(size=(n_per_class, d)) for i in range(k)]
+    )
+    y = np.repeat([f"c{i}" for i in range(k)], n_per_class)
+    return X, y
+
+
+class TestPersistenceProperties:
+    @given(
+        st.integers(2, 4),
+        st.integers(2, 5),
+        st.floats(0.3, 2.0),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_logistic_round_trip(self, k, d, spread, seed):
+        X, y = blobs(15, k, d, spread, seed)
+        model = LogisticRegression(max_iter=50).fit(X, y)
+        restored = classifier_from_dict(classifier_to_dict(model))
+        assert np.allclose(model.predict_proba(X), restored.predict_proba(X))
+
+    @given(st.integers(2, 4), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_tree_round_trip(self, k, seed):
+        X, y = blobs(15, k, 3, 0.8, seed)
+        model = DecisionTree(max_depth=4).fit(X, y)
+        restored = classifier_from_dict(classifier_to_dict(model))
+        assert np.array_equal(model.predict(X), restored.predict(X))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_forest_round_trip(self, seed):
+        X, y = blobs(12, 3, 4, 0.7, seed)
+        model = RandomForest(n_estimators=4, seed=seed).fit(X, y)
+        restored = classifier_from_dict(classifier_to_dict(model))
+        assert np.allclose(model.predict_proba(X), restored.predict_proba(X))

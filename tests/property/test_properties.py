@@ -1,0 +1,257 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covers the numerical substrates the whole pipeline leans on: DSP
+transforms, the feature extractor, the ML primitives and the NN layers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attack.features import FEATURE_NAMES, extract_features
+from repro.dsp.envelope import moving_average, moving_rms
+from repro.dsp.resample import sample_and_decimate
+from repro.dsp.spectrogram import resize_image, spectrogram_image
+from repro.dsp.stft import frame_signal, istft, stft
+from repro.dsp.windows import get_window
+from repro.ml.infogain import entropy, information_gain
+from repro.ml.logistic import softmax
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.ml.preprocessing import StandardScaler, train_test_split
+from repro.nn.activations import relu
+from repro.nn.layers import Dense, MaxPool1D
+
+finite_signal = arrays(
+    np.float64,
+    st.integers(min_value=16, max_value=300),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestDSPProperties:
+    @given(finite_signal, st.integers(2, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_moving_average_bounded_by_extremes(self, x, window):
+        out = moving_average(x, window)
+        assert np.all(out <= x.max() + 1e-9)
+        assert np.all(out >= x.min() - 1e-9)
+
+    @given(finite_signal, st.integers(2, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_moving_rms_nonnegative(self, x, window):
+        assert np.all(moving_rms(x, window) >= 0)
+
+    @given(finite_signal)
+    @settings(max_examples=30, deadline=None)
+    def test_framing_covers_all_samples(self, x):
+        frames = frame_signal(x, 16, 8, pad=True)
+        assert frames.shape[0] * 8 + 8 >= x.size
+
+    @given(st.integers(8, 128))
+    @settings(max_examples=20, deadline=None)
+    def test_window_bounds(self, length):
+        for name in ("hann", "hamming", "blackman"):
+            w = get_window(name, length)
+            assert np.all(w >= -1e-12)
+            assert np.all(w <= 1.0 + 1e-12)
+
+    @given(finite_signal)
+    @settings(max_examples=20, deadline=None)
+    def test_stft_parseval_like(self, x):
+        """STFT energy scales with signal energy (no blow-up, no loss)."""
+        _, _, Z = stft(x, 100.0, frame_length=16, hop_length=8)
+        if np.sum(x**2) > 1e-9:
+            ratio = np.sum(np.abs(Z) ** 2) / np.sum(x**2)
+            assert 0.01 < ratio < 100.0
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 20), st.integers(2, 20)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        ),
+        st.integers(1, 40),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_resize_respects_bounds(self, img, rows, cols):
+        out = resize_image(img, (rows, cols))
+        assert out.shape == (rows, cols)
+        assert out.min() >= img.min() - 1e-9
+        assert out.max() <= img.max() + 1e-9
+
+    @given(finite_signal)
+    @settings(max_examples=30, deadline=None)
+    def test_spectrogram_image_normalised(self, x):
+        img = spectrogram_image(x, 100.0, size=16)
+        assert img.shape == (16, 16)
+        assert img.min() >= 0.0 and img.max() <= 1.0 + 1e-12
+
+    @given(finite_signal, st.floats(0.0, 0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_sample_and_decimate_bounded(self, x, phase):
+        out = sample_and_decimate(x, 100.0, 37.0, phase=phase)
+        assert out.min() >= x.min() - 1e-9
+        assert out.max() <= x.max() + 1e-9
+
+
+class TestFeatureProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(16, 400),
+            elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_feature_vector_shape_and_mostly_finite(self, region):
+        vec = extract_features(region, 420.0)
+        assert vec.shape == (len(FEATURE_NAMES),)
+        # Only cv/frequency_ratio may legitimately be NaN (zero mean /
+        # zero low band); everything else must be finite.
+        allowed_nan = {
+            FEATURE_NAMES.index("cv"),
+            FEATURE_NAMES.index("frequency_ratio"),
+        }
+        for i, value in enumerate(vec):
+            if i not in allowed_nan:
+                assert np.isfinite(value), FEATURE_NAMES[i]
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(16, 200),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scale_equivariance_of_level_features(self, region, scale):
+        a = extract_features(region, 420.0)
+        b = extract_features(region * scale, 420.0)
+        for name in ("min", "max", "mean", "std", "range"):
+            i = FEATURE_NAMES.index(name)
+            assert b[i] == pytest.approx(a[i] * scale, rel=1e-6, abs=1e-9)
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(16, 200),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_entropy_feature_bounded(self, region):
+        vec = extract_features(region, 420.0)
+        assert 0.0 <= vec[FEATURE_NAMES.index("entropy")] <= 1.0
+
+
+class TestMLProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 20), st.integers(2, 6)),
+            elements=st.floats(-20, 20, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_simplex(self, logits):
+        P = softmax(logits)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert np.all(P >= 0)
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_entropy_bounds(self, labels):
+        h = entropy(np.array(labels))
+        assert 0.0 <= h <= np.log2(3) + 1e-9
+
+    @given(
+        st.lists(st.sampled_from(["a", "b"]), min_size=10, max_size=100),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_information_gain_bounded_by_entropy(self, labels, seed):
+        y = np.array(labels)
+        x = np.random.default_rng(seed).normal(size=y.size)
+        assert 0.0 <= information_gain(x, y) <= entropy(y) + 1e-9
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(5, 50), st.integers(1, 6)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scaler_round_trip_statistics(self, X):
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-7)
+
+    @given(st.integers(10, 200), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_split_partitions(self, n, seed):
+        X = np.arange(2 * n, dtype=float).reshape(n, 2)
+        y = np.array(["a", "b"] * (n // 2) + ["a"] * (n % 2))
+        X_train, X_test, y_train, y_test = train_test_split(X, y, 0.25, seed)
+        assert X_train.shape[0] + X_test.shape[0] == n
+        ids = np.concatenate([X_train[:, 0], X_test[:, 0]])
+        assert np.unique(ids).size == n
+
+    @given(st.lists(st.sampled_from(list("abc")), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_confusion_total_and_accuracy_consistency(self, labels):
+        y_true = np.array(labels)
+        y_pred = np.roll(y_true, 1)
+        M, _ = confusion_matrix(y_true, y_pred)
+        assert M.sum() == y_true.size
+        assert np.trace(M) / M.sum() == pytest.approx(
+            accuracy_score(y_true, y_pred)
+        )
+
+
+class TestNNProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 8), st.integers(1, 16)),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_relu_idempotent_and_nonnegative(self, x):
+        out = relu(x)
+        assert np.all(out >= 0)
+        assert np.allclose(relu(out), out)
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 4), st.integers(2, 12), st.integers(1, 3)),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_maxpool_output_bounded(self, x):
+        layer = MaxPool1D(2)
+        out = layer.forward(x, training=True)
+        assert out.max() <= x.max() + 1e-12
+        assert out.min() >= x.min() - 1e-12
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 6), st.integers(2, 10)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_dense_linearity(self, x):
+        layer = Dense(4)
+        layer.build((x.shape[1],), np.random.default_rng(0))
+        a = layer.forward(x, training=False)
+        b = layer.forward(2 * x, training=False)
+        # Affine: f(2x) - f(x) = (W·x), i.e. b - a = a - bias
+        assert np.allclose(b - a, a - layer.b, atol=1e-9)

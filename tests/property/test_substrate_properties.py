@@ -1,0 +1,103 @@
+"""Property-based tests for the speech and phone substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phone.accelerometer import GRAVITY, Accelerometer
+from repro.phone.chassis import ChassisTransfer
+from repro.phone.motion import HandheldMotion, MotionProcess
+from repro.phone.speaker import SpeakerModel
+from repro.speech.glottal import rosenberg_pulse
+from repro.speech.prosody import EMOTIONS, emotion_profile, perturbed_profile
+from repro.speech.synthesizer import SpeakerVoice, Synthesizer
+
+
+class TestProsodyProperties:
+    @given(
+        st.sampled_from(EMOTIONS),
+        st.integers(0, 10_000),
+        st.floats(0.0, 2.0),
+        st.floats(0.0, 0.6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_perturbed_profiles_always_valid(self, emotion, seed, expr, var):
+        profile = perturbed_profile(
+            emotion_profile(emotion),
+            np.random.default_rng(seed),
+            expressiveness=expr,
+            variability=var,
+        )
+        assert profile.f0_scale > 0
+        assert profile.rate_scale > 0
+        assert profile.jitter > 0
+        assert 0.0 <= profile.breathiness <= 0.8
+        assert np.isfinite(profile.energy_db)
+
+    @given(st.integers(2, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_rosenberg_pulse_normalised(self, length):
+        pulse = rosenberg_pulse(length)
+        assert pulse.shape == (length,)
+        assert np.max(np.abs(pulse)) <= 1.0 + 1e-12
+
+
+class TestSynthesizerProperties:
+    @given(st.sampled_from(EMOTIONS), st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_waveform_contract(self, emotion, seed):
+        synth = Synthesizer(fs=8000.0)
+        voice = SpeakerVoice.random(np.random.default_rng(seed % 17))
+        wave = synth.render(
+            voice, emotion_profile(emotion), np.random.default_rng(seed)
+        )
+        assert wave.ndim == 1
+        assert wave.size > 400
+        assert np.all(np.abs(wave) <= 1.0)
+        assert np.all(np.isfinite(wave))
+
+
+class TestPhoneProperties:
+    @given(
+        st.floats(0.01, 2.0),
+        st.integers(0, 1_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_speaker_drive_scales_with_gain(self, gain, seed):
+        rng = np.random.default_rng(seed)
+        x = 0.05 * rng.normal(size=2000)
+        weak = SpeakerModel(drive_gain=gain, compression=0.0).drive(x, 8000.0)
+        strong = SpeakerModel(drive_gain=2 * gain, compression=0.0).drive(x, 8000.0)
+        assert np.allclose(strong, 2 * weak, rtol=1e-9, atol=1e-12)
+
+    @given(st.floats(200.0, 3000.0), st.floats(0.5, 10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_chassis_stable(self, resonance, q):
+        transfer = ChassisTransfer(resonance_hz=resonance, q_factor=q)
+        rng = np.random.default_rng(0)
+        out = transfer.transfer(rng.normal(size=4000), 8000.0)
+        assert np.all(np.isfinite(out))
+        assert np.std(out) < 100 * 1.0  # no blow-up
+
+    @given(st.floats(50.0, 500.0), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_accelerometer_rate_contract(self, fs, seed):
+        accel = Accelerometer(fs=fs, noise_rms=0.0, lsb=0.0)
+        out = accel.sample(np.zeros(16000), 8000.0, np.random.default_rng(seed))
+        assert out.size == pytest.approx(2 * fs, abs=2)
+        assert np.allclose(out, GRAVITY)
+
+    @given(st.integers(0, 2_000), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_motion_chunking_invariance(self, seed, n_chunks):
+        """Any chunking of the motion process gives the same waveform."""
+        total = 3000
+        whole = MotionProcess(
+            HandheldMotion(), np.random.default_rng(seed)
+        ).advance(total, 8000.0)
+        chunked = MotionProcess(HandheldMotion(), np.random.default_rng(seed))
+        sizes = np.full(n_chunks, total // n_chunks)
+        sizes[-1] += total - sizes.sum()
+        parts = np.concatenate([chunked.advance(int(n), 8000.0) for n in sizes])
+        assert np.allclose(whole, parts)

@@ -1,0 +1,56 @@
+"""Tests for repro.speech.formants."""
+
+import numpy as np
+import pytest
+
+from repro.speech.formants import VOWELS, formant_filter, vowel_formants
+
+
+class TestVowelFormants:
+    @pytest.mark.parametrize("vowel", sorted(VOWELS))
+    def test_all_vowels(self, vowel):
+        f1, f2, f3 = vowel_formants(vowel)
+        assert 0 < f1 < f2 < f3
+
+    def test_tract_scale(self):
+        male = vowel_formants("a", 1.0)
+        female = vowel_formants("a", 1.16)
+        assert all(f > m for f, m in zip(female, male))
+
+    def test_unknown_vowel(self):
+        with pytest.raises(ValueError, match="unknown vowel"):
+            vowel_formants("x")
+
+
+class TestFormantFilter:
+    def test_output_shape_and_normalised(self):
+        rng = np.random.default_rng(0)
+        out = formant_filter(rng.normal(size=4000), vowel_formants("a"), 8000.0)
+        assert out.shape == (4000,)
+        assert np.max(np.abs(out)) == pytest.approx(1.0)
+
+    def test_resonance_emphasis(self):
+        """White noise through /i/ should peak near F2 more than near 1 kHz gap."""
+        rng = np.random.default_rng(1)
+        fs = 8000.0
+        out = formant_filter(rng.normal(size=16000), vowel_formants("i"), fs)
+        spectrum = np.abs(np.fft.rfft(out)) ** 2
+        freqs = np.fft.rfftfreq(out.size, 1 / fs)
+        def band(lo, hi):
+            return spectrum[(freqs >= lo) & (freqs < hi)].mean()
+        # /i/: F1=270, F2=2290 -> the 1-1.5 kHz valley is weaker than F2 region.
+        assert band(2100, 2500) > band(1000, 1500)
+
+    def test_zero_input(self):
+        out = formant_filter(np.zeros(100), vowel_formants("a"), 8000.0)
+        assert np.allclose(out, 0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            formant_filter(np.zeros((2, 2)), vowel_formants("a"), 8000.0)
+
+    def test_formant_above_nyquist_clamped(self):
+        # Should not blow up at a low sampling rate.
+        out = formant_filter(np.random.default_rng(2).normal(size=500),
+                             (730.0, 1090.0, 2440.0), 2000.0)
+        assert np.all(np.isfinite(out))

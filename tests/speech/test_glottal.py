@@ -1,0 +1,84 @@
+"""Tests for repro.speech.glottal."""
+
+import numpy as np
+import pytest
+
+from repro.speech.glottal import glottal_source, rosenberg_pulse
+
+
+class TestRosenbergPulse:
+    def test_length(self):
+        assert rosenberg_pulse(40).shape == (40,)
+
+    def test_tiny_length(self):
+        assert rosenberg_pulse(1).shape == (1,)
+
+    def test_normalised(self):
+        pulse = rosenberg_pulse(50)
+        assert np.max(np.abs(pulse)) == pytest.approx(1.0)
+
+    def test_has_closure_spike(self):
+        """The flow derivative has a strong negative spike at closure."""
+        pulse = rosenberg_pulse(60)
+        assert pulse.min() < -0.5 or pulse.max() > 0.5
+
+
+class TestGlottalSource:
+    def _f0(self, n, value=150.0):
+        return np.full(n, value)
+
+    def test_output_length(self):
+        rng = np.random.default_rng(0)
+        out = glottal_source(self._f0(2000), 8000.0, rng)
+        assert out.shape == (2000,)
+
+    def test_periodicity_matches_f0(self):
+        rng = np.random.default_rng(1)
+        fs = 8000.0
+        f0 = 200.0
+        out = glottal_source(self._f0(8000, f0), fs, rng, jitter=0.0, breathiness=0.0)
+        spectrum = np.abs(np.fft.rfft(out * np.hanning(out.size)))
+        freqs = np.fft.rfftfreq(out.size, 1 / fs)
+        # Strongest component at f0 or a low harmonic of it.
+        peak = freqs[np.argmax(spectrum[1:]) + 1]
+        ratio = peak / f0
+        assert abs(ratio - round(ratio)) < 0.1
+
+    def test_unvoiced_regions_are_quiet(self):
+        rng = np.random.default_rng(2)
+        f0 = np.concatenate([np.zeros(4000), np.full(4000, 150.0)])
+        out = glottal_source(f0, 8000.0, rng, breathiness=0.1)
+        assert np.std(out[:3500]) < 0.5 * np.std(out[4500:])
+
+    def test_breathiness_raises_noise_floor(self):
+        f0 = self._f0(8000)
+        clean = glottal_source(f0, 8000.0, np.random.default_rng(3), breathiness=0.0)
+        breathy = glottal_source(f0, 8000.0, np.random.default_rng(3), breathiness=0.6)
+        def hf_energy(x):
+            spectrum = np.abs(np.fft.rfft(x))
+            return spectrum[len(spectrum) // 2 :].sum() / spectrum.sum()
+        assert hf_energy(breathy) > hf_energy(clean)
+
+    def test_dark_tilt_reduces_high_frequencies(self):
+        f0 = self._f0(8000)
+        bright = glottal_source(
+            f0, 8000.0, np.random.default_rng(4), tilt_db_per_octave=-4.0,
+            breathiness=0.0,
+        )
+        dark = glottal_source(
+            f0, 8000.0, np.random.default_rng(4), tilt_db_per_octave=-20.0,
+            breathiness=0.0,
+        )
+        def centroid(x):
+            spectrum = np.abs(np.fft.rfft(x)) ** 2
+            freqs = np.fft.rfftfreq(x.size, 1 / 8000.0)
+            return np.sum(freqs * spectrum) / np.sum(spectrum)
+        assert centroid(dark) < centroid(bright)
+
+    def test_empty_contour(self):
+        out = glottal_source(np.zeros(0), 8000.0, np.random.default_rng(0))
+        assert out.size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            glottal_source(np.zeros((2, 2)), 8000.0, np.random.default_rng(0))

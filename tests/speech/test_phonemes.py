@@ -1,0 +1,68 @@
+"""Tests for repro.speech.phonemes."""
+
+import numpy as np
+import pytest
+
+from repro.speech.phonemes import Syllable, UtterancePlan, plan_utterance
+
+
+class TestUtterancePlan:
+    def test_pause_count_validation(self):
+        syllables = [Syllable("a", 0.1), Syllable("e", 0.1)]
+        with pytest.raises(ValueError):
+            UtterancePlan(syllables=syllables, pauses_s=[0.05, 0.05])
+
+    def test_duration(self):
+        plan = UtterancePlan(
+            syllables=[Syllable("a", 0.2, onset_noise_s=0.05)], pauses_s=[]
+        )
+        assert plan.duration_s == pytest.approx(0.25)
+
+    def test_empty_plan(self):
+        plan = UtterancePlan(syllables=[], pauses_s=[])
+        assert plan.duration_s == 0.0
+
+
+class TestPlanUtterance:
+    def test_deterministic(self):
+        a = plan_utterance(np.random.default_rng(5))
+        b = plan_utterance(np.random.default_rng(5))
+        assert a == b
+
+    def test_minimum_two_syllables(self):
+        for seed in range(30):
+            plan = plan_utterance(np.random.default_rng(seed), mean_syllables=1.0)
+            assert len(plan.syllables) >= 2
+
+    def test_explicit_count(self):
+        plan = plan_utterance(np.random.default_rng(0), n_syllables=5)
+        assert len(plan.syllables) == 5
+        assert len(plan.pauses_s) == 4
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            plan_utterance(np.random.default_rng(0), n_syllables=0)
+
+    def test_carrier_structure_fixed(self):
+        """Carrier plans share everything except the final target word."""
+        a = plan_utterance(np.random.default_rng(1), carrier=True)
+        b = plan_utterance(np.random.default_rng(2), carrier=True)
+        assert len(a.syllables) == len(b.syllables) == 4
+        assert a.syllables[:-1] == b.syllables[:-1]
+        assert a.pauses_s == b.pauses_s
+
+    def test_carrier_target_word_varies(self):
+        plans = [
+            plan_utterance(np.random.default_rng(seed), carrier=True)
+            for seed in range(20)
+        ]
+        vowels = {p.syllables[-1].vowel for p in plans}
+        assert len(vowels) > 1
+
+    def test_carrier_minimum_syllables(self):
+        with pytest.raises(ValueError):
+            plan_utterance(np.random.default_rng(0), n_syllables=1, carrier=True)
+
+    def test_free_plans_vary(self):
+        plans = [plan_utterance(np.random.default_rng(s)) for s in range(10)]
+        assert len({len(p.syllables) for p in plans}) > 1

@@ -1,0 +1,121 @@
+"""Tests for repro.speech.prosody."""
+
+import numpy as np
+import pytest
+
+from repro.speech.prosody import (
+    CREMAD_EMOTIONS,
+    EMOTIONS,
+    ProsodyProfile,
+    emotion_profile,
+    perturbed_profile,
+)
+
+
+class TestInventories:
+    def test_seven_emotions(self):
+        assert len(EMOTIONS) == 7
+
+    def test_cremad_six_emotions(self):
+        assert len(CREMAD_EMOTIONS) == 6
+        assert "surprise" not in CREMAD_EMOTIONS
+
+    def test_cremad_subset(self):
+        assert set(CREMAD_EMOTIONS) <= set(EMOTIONS)
+
+
+class TestEmotionProfile:
+    @pytest.mark.parametrize("emotion", EMOTIONS)
+    def test_all_emotions_defined(self, emotion):
+        assert isinstance(emotion_profile(emotion), ProsodyProfile)
+
+    def test_aliases(self):
+        assert emotion_profile("pleasant_surprise") == emotion_profile("surprise")
+        assert emotion_profile("anger") == emotion_profile("angry")
+        assert emotion_profile("sadness") == emotion_profile("sad")
+
+    def test_case_insensitive(self):
+        assert emotion_profile("ANGRY") == emotion_profile("angry")
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown emotion"):
+            emotion_profile("melancholy")
+
+    def test_neutral_is_reference(self):
+        neutral = emotion_profile("neutral")
+        assert neutral.f0_scale == 1.0
+        assert neutral.energy_db == 0.0
+        assert neutral.rate_scale == 1.0
+
+    def test_angry_louder_faster_higher(self):
+        angry = emotion_profile("angry")
+        assert angry.energy_db > 3.0
+        assert angry.rate_scale > 1.0
+        assert angry.f0_scale > 1.1
+
+    def test_sad_quieter_slower_lower(self):
+        sad = emotion_profile("sad")
+        assert sad.energy_db < -3.0
+        assert sad.rate_scale < 1.0
+        assert sad.f0_scale < 1.0
+
+    def test_fear_breathy_and_jittery(self):
+        fear = emotion_profile("fear")
+        neutral = emotion_profile("neutral")
+        assert fear.breathiness > neutral.breathiness
+        assert fear.jitter > neutral.jitter
+
+    def test_angry_brighter_than_sad(self):
+        assert (
+            emotion_profile("angry").tilt_db_per_octave
+            > emotion_profile("sad").tilt_db_per_octave
+        )
+
+
+class TestPerturbedProfile:
+    def test_deterministic_given_seed(self):
+        base = emotion_profile("happy")
+        a = perturbed_profile(base, np.random.default_rng(9))
+        b = perturbed_profile(base, np.random.default_rng(9))
+        assert a == b
+
+    def test_zero_expressiveness_collapses_to_neutral(self):
+        base = emotion_profile("angry")
+        out = perturbed_profile(
+            base, np.random.default_rng(0), expressiveness=0.0, variability=0.0
+        )
+        neutral = emotion_profile("neutral")
+        assert out.f0_scale == pytest.approx(neutral.f0_scale)
+        assert out.energy_db == pytest.approx(neutral.energy_db)
+
+    def test_full_expressiveness_no_noise_is_canonical(self):
+        base = emotion_profile("angry")
+        out = perturbed_profile(
+            base, np.random.default_rng(0), expressiveness=1.0, variability=0.0
+        )
+        assert out.f0_scale == pytest.approx(base.f0_scale)
+        assert out.rate_scale == pytest.approx(base.rate_scale)
+
+    def test_variability_spreads_realisations(self):
+        base = emotion_profile("happy")
+        rng = np.random.default_rng(3)
+        values = [
+            perturbed_profile(base, rng, variability=0.3).f0_scale for _ in range(40)
+        ]
+        assert np.std(values) > 0.02
+
+    def test_breathiness_clipped(self):
+        base = emotion_profile("fear")
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            out = perturbed_profile(base, rng, variability=1.0)
+            assert 0.0 <= out.breathiness <= 0.8
+
+    def test_positive_parameters_stay_positive(self):
+        base = emotion_profile("sad")
+        rng = np.random.default_rng(8)
+        for _ in range(50):
+            out = perturbed_profile(base, rng, variability=0.8)
+            assert out.f0_scale > 0
+            assert out.rate_scale > 0
+            assert out.jitter > 0

@@ -1,0 +1,87 @@
+"""Tests for repro.speech.synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.speech.phonemes import plan_utterance
+from repro.speech.prosody import emotion_profile
+from repro.speech.synthesizer import SpeakerVoice, Synthesizer
+
+
+@pytest.fixture()
+def synth():
+    return Synthesizer(fs=8000.0)
+
+
+@pytest.fixture()
+def voice():
+    return SpeakerVoice()
+
+
+class TestSpeakerVoice:
+    def test_random_female_higher_f0(self):
+        rng = np.random.default_rng(0)
+        females = [SpeakerVoice.random(rng, female=True).base_f0_hz for _ in range(20)]
+        males = [SpeakerVoice.random(rng, female=False).base_f0_hz for _ in range(20)]
+        assert np.mean(females) > 1.4 * np.mean(males)
+
+    def test_random_female_shorter_tract(self):
+        rng = np.random.default_rng(1)
+        voice = SpeakerVoice.random(rng, female=True)
+        assert voice.tract_scale > 1.05
+
+    def test_deterministic(self):
+        a = SpeakerVoice.random(np.random.default_rng(7))
+        b = SpeakerVoice.random(np.random.default_rng(7))
+        assert a == b
+
+
+class TestSynthesizer:
+    def test_rejects_low_rate(self):
+        with pytest.raises(ValueError):
+            Synthesizer(fs=1000.0)
+
+    def test_render_in_range(self, synth, voice):
+        wave = synth.render(voice, emotion_profile("neutral"), np.random.default_rng(0))
+        assert np.all(np.abs(wave) <= 1.0)
+        assert wave.size > 800
+
+    def test_render_deterministic(self, synth, voice):
+        a = synth.render(voice, emotion_profile("happy"), np.random.default_rng(3))
+        b = synth.render(voice, emotion_profile("happy"), np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_angry_louder_than_sad(self, synth, voice):
+        angry = synth.render(voice, emotion_profile("angry"), np.random.default_rng(1))
+        sad = synth.render(voice, emotion_profile("sad"), np.random.default_rng(1))
+        assert np.sqrt(np.mean(angry**2)) > 2 * np.sqrt(np.mean(sad**2))
+
+    def test_sad_slower_than_angry(self, synth, voice):
+        plan = plan_utterance(np.random.default_rng(2), n_syllables=5)
+        angry = synth.render(
+            voice, emotion_profile("angry"), np.random.default_rng(1), plan
+        )
+        sad = synth.render(voice, emotion_profile("sad"), np.random.default_rng(1), plan)
+        assert sad.size > 1.3 * angry.size
+
+    def test_high_f0_emotion_raises_pitch(self, synth, voice):
+        def dominant_low_freq(wave):
+            spectrum = np.abs(np.fft.rfft(wave * np.hanning(wave.size)))
+            freqs = np.fft.rfftfreq(wave.size, 1 / 8000.0)
+            low = freqs < 600
+            return freqs[low][np.argmax(spectrum[low])]
+
+        plan = plan_utterance(np.random.default_rng(5), n_syllables=4)
+        surprise = synth.render(
+            voice, emotion_profile("surprise"), np.random.default_rng(4), plan
+        )
+        sad = synth.render(voice, emotion_profile("sad"), np.random.default_rng(4), plan)
+        assert dominant_low_freq(surprise) > dominant_low_freq(sad)
+
+    def test_render_uses_supplied_plan_length(self, synth, voice):
+        plan = plan_utterance(np.random.default_rng(0), n_syllables=3)
+        wave = synth.render(
+            voice, emotion_profile("neutral"), np.random.default_rng(0), plan
+        )
+        expected = plan.duration_s * 8000
+        assert wave.size == pytest.approx(expected, rel=0.4)
