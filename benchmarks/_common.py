@@ -6,22 +6,23 @@ paper's classifiers, prints the same rows the paper reports (side by side
 with the published numbers), and asserts the result *shape* (who wins, by
 roughly what factor — not absolute accuracy).
 
-Collection results are cached per (dataset, device, mode, rate) so that
-a table's five classifier rows share one collection pass, and
-``benchmark.pedantic(..., rounds=1)`` is used everywhere: the quantity of
-interest is the experiment outcome, not a timing distribution.
+Collection goes through the engine's :class:`CollectionCache`, so a
+table's five classifier rows — including the spectrogram CNN row — share
+one render→transmit→detect pass per scenario. Set ``EMOLEAK_N_JOBS`` to
+fan the collection out over the engine's worker pool (results are
+identical at any worker count). ``benchmark.pedantic(..., rounds=1)`` is
+used everywhere: the quantity of interest is the experiment outcome, not
+a timing distribution.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
-from typing import Optional, Tuple
+from typing import Optional
 
-from repro.attack.pipeline import (
-    EmoLeakAttack,
-    FeatureDataset,
-    SpectrogramDataset,
-)
+from repro.attack.engine import CollectionCache, collect_datasets
+from repro.attack.pipeline import FeatureDataset, SpectrogramDataset
 from repro.datasets import build_corpus
 from repro.eval.experiment import (
     run_feature_experiment,
@@ -44,6 +45,13 @@ _TESS_WORDS = 30          # 2 x 7 x 30 = 420 utterances
 _CREMAD_CLIPS = 1200      # of 7442
 _SAVEE_FULL = True        # 480 utterances: always run SAVEE in full
 
+#: Collection-engine worker count (results identical at any value).
+N_JOBS = int(os.environ.get("EMOLEAK_N_JOBS", "1"))
+
+#: One shared cache for the whole benchmark session: every scenario's
+#: render→transmit→detect pass runs exactly once.
+CACHE = CollectionCache()
+
 
 @lru_cache(maxsize=None)
 def corpus_for(dataset: str):
@@ -57,7 +65,29 @@ def corpus_for(dataset: str):
     raise ValueError(f"unknown dataset {dataset!r}")
 
 
-@lru_cache(maxsize=None)
+def _collect(
+    dataset: str,
+    device: str,
+    mode: str,
+    placement: str,
+    sample_rate: Optional[float],
+    feature_highpass_hz: Optional[float],
+    seed: int,
+):
+    corpus = corpus_for(dataset)
+    channel = VibrationChannel(
+        device, mode=mode, placement=placement, sample_rate=sample_rate
+    )
+    return collect_datasets(
+        corpus,
+        channel,
+        seed=seed,
+        feature_highpass_hz=feature_highpass_hz,
+        n_jobs=N_JOBS,
+        cache=CACHE,
+    )
+
+
 def features_for(
     dataset: str,
     device: str,
@@ -68,23 +98,11 @@ def features_for(
     seed: int = 0,
 ) -> FeatureDataset:
     """Collect (and cache) the Table II feature dataset for a scenario."""
-    corpus = corpus_for(dataset)
-    channel = VibrationChannel(
-        device, mode=mode, placement=placement, sample_rate=sample_rate
-    )
-    attack = EmoLeakAttack(channel, seed=seed)
-    from repro.attack.pipeline import collect_feature_dataset
-
-    return collect_feature_dataset(
-        corpus,
-        channel,
-        detector=attack.detector,
-        seed=seed,
-        feature_highpass_hz=feature_highpass_hz,
-    )
+    return _collect(
+        dataset, device, mode, placement, sample_rate, feature_highpass_hz, seed
+    ).features
 
 
-@lru_cache(maxsize=None)
 def spectrograms_for(
     dataset: str,
     device: str,
@@ -93,9 +111,7 @@ def spectrograms_for(
     seed: int = 0,
 ) -> SpectrogramDataset:
     """Collect (and cache) the spectrogram dataset for a scenario."""
-    corpus = corpus_for(dataset)
-    channel = VibrationChannel(device, mode=mode, placement=placement)
-    return EmoLeakAttack(channel, seed=seed).collect_spectrograms(corpus)
+    return _collect(dataset, device, mode, placement, None, None, seed).spectrograms
 
 
 def run_cell(

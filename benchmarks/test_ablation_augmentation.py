@@ -10,7 +10,6 @@ Expected shape: with scarce data, augmentation helps or at worst is
 neutral; both configurations beat chance.
 """
 
-import numpy as np
 
 from repro.attack.augmentation import RegionAugmenter, augmented_feature_dataset
 from repro.attack.pipeline import collect_feature_dataset

@@ -12,7 +12,6 @@ accuracy (more for more dissimilar hardware) but typically stays above
 chance — the attack degrades gracefully rather than collapsing.
 """
 
-import numpy as np
 
 from repro.eval.experiment import make_classifier
 from repro.ml.metrics import accuracy_score

@@ -11,7 +11,6 @@ recorded in EXPERIMENTS.md: our Table II features are envelope-dominated,
 so the cap costs only a few points here vs ~15 in the paper.)
 """
 
-import pytest
 
 from repro.eval.experiment import run_feature_experiment
 

@@ -9,7 +9,6 @@ We train the paper's feature CNN in both settings and assert those curve
 shapes from the recorded History.
 """
 
-import numpy as np
 
 from repro.eval.experiment import run_feature_experiment
 

@@ -12,7 +12,6 @@ Expected shape: all methods land ~3-4x above the 6-class chance rate and
 within a narrow band of each other; the spectrogram CNN trails.
 """
 
-import pytest
 
 from benchmarks._common import print_header, run_cell
 

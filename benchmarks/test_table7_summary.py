@@ -14,7 +14,6 @@ import numpy as np
 from repro.attack.features import extract_features
 from repro.eval.experiment import run_feature_experiment
 from repro.eval.reporting import AUDIO_DOMAIN_REFERENCES
-from repro.attack.pipeline import FeatureDataset
 from repro.ml.forest import RandomForest
 from repro.ml.preprocessing import train_test_split
 from repro.ml.metrics import accuracy_score

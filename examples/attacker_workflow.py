@@ -21,7 +21,6 @@ Run:
 import tempfile
 from pathlib import Path
 
-import numpy as np
 
 from repro.attack import EmoLeakAttack, RegionAugmenter, augmented_feature_dataset
 from repro.datasets import build_tess

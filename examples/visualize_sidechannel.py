@@ -14,7 +14,6 @@ Run:
     python examples/visualize_sidechannel.py
 """
 
-import numpy as np
 
 from repro.attack import EmoLeakAttack
 from repro.datasets import build_tess

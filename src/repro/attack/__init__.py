@@ -27,6 +27,15 @@ from repro.attack.features import FEATURE_NAMES, TIME_FEATURES, FREQ_FEATURES, e
 from repro.attack.specimages import region_spectrogram_image
 from repro.attack.labeling import label_regions
 from repro.attack.models import build_spectrogram_cnn, build_feature_cnn
+from repro.attack.engine import (
+    CollectionCache,
+    CollectionResult,
+    CollectionStats,
+    collect_datasets,
+    default_cache,
+    global_stats,
+    reset_global_stats,
+)
 from repro.attack.pipeline import (
     EmoLeakAttack,
     FeatureDataset,
@@ -62,8 +71,15 @@ __all__ = [
     "EmoLeakAttack",
     "FeatureDataset",
     "SpectrogramDataset",
+    "CollectionCache",
+    "CollectionResult",
+    "CollectionStats",
+    "collect_datasets",
     "collect_feature_dataset",
     "collect_spectrogram_dataset",
+    "default_cache",
+    "global_stats",
+    "reset_global_stats",
     "Scenario",
     "SCENARIOS",
     "get_scenario",

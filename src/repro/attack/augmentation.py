@@ -133,11 +133,11 @@ def augmented_feature_dataset(
     seed: int = 0,
 ) -> FeatureDataset:
     """Collect regions through a channel and expand them with augmentation."""
-    from repro.attack.pipeline import _iter_region_samples
+    from repro.attack.engine import iter_region_samples
 
     regions, labels = [], []
     specs_list = list(specs if specs is not None else corpus.specs)
-    for label, region, trace in _iter_region_samples(
+    for label, region, trace in iter_region_samples(
         corpus, channel, specs_list, detector, continuous=None, seed=seed
     ):
         regions.append(region.slice(trace))

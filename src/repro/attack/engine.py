@@ -1,0 +1,823 @@
+"""Parallel collection engine: work items, executors, caching, stats.
+
+The collection stage — render each utterance, transmit it through the
+vibration channel, detect speech regions, extract the Table II features
+and the 32x32 spectrogram image — dominates the cost of regenerating a
+paper table, and the per-utterance (table-top) protocol is embarrassingly
+parallel. This module turns that loop into an engine:
+
+- **Deterministic work items**: every utterance gets its *own* RNG
+  derived from ``(seed, item index)``, so the collected datasets are
+  byte-identical at any worker count and under any executor.
+- **Pluggable executors**: ``serial`` (the reference path), ``thread``
+  and ``process``; selected by name or defaulted from ``n_jobs``.
+- **Single-pass collection**: :func:`collect_datasets` produces the
+  :class:`FeatureDataset` *and* the :class:`SpectrogramDataset` from one
+  shared render→transmit→detect pass, instead of paying collection twice
+  when a table needs both (every ``cnn_spectrogram`` row).
+- **Collection cache**: :class:`CollectionCache` keys a finished pass by
+  ``(corpus, device, placement, rate, seed, …)`` so a whole paper table
+  performs each collection exactly once; an optional on-disk store
+  persists passes across runs (see :mod:`repro.eval.io`).
+- **Instrumentation**: :class:`CollectionStats` counts renders,
+  transmits, detected regions and cache hits and times each stage, both
+  per returned dataset and in the module-wide :data:`GLOBAL_STATS`.
+
+The continuous-session (handheld) protocol is inherently sequential —
+the hand-motion process is one continuous waveform across the session —
+so there the engine parallelises the utterance *rendering* and keeps the
+transmit chain serial, preserving the exact numerics of
+:func:`repro.phone.recording.record_session`.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attack.features import FEATURE_NAMES, extract_features
+from repro.attack.labeling import label_regions
+from repro.attack.regions import Region, RegionDetector
+from repro.attack.specimages import region_spectrogram_image
+from repro.datasets.base import Corpus, UtteranceSpec
+from repro.phone.channel import Placement, VibrationChannel
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "CollectionStats",
+    "FeatureDataset",
+    "SpectrogramDataset",
+    "CollectionResult",
+    "CollectionCache",
+    "collection_key",
+    "collect_datasets",
+    "collect_per_utterance_products",
+    "iter_region_samples",
+    "default_cache",
+    "global_stats",
+    "reset_global_stats",
+    "run_tasks",
+]
+
+#: Seconds of silence padded around each per-utterance playback so the
+#: region detector sees the noise floor (matches the paper's protocol).
+_UTTERANCE_PAD_S = 0.3
+
+EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CollectionStats:
+    """Counters and stage timers for one (or many) collection passes.
+
+    Stage timers are *summed across workers*, so with ``n_jobs > 1`` they
+    can exceed ``total_s`` (which is wall time). ``cache_hits`` counts
+    whole passes served from a :class:`CollectionCache`.
+    """
+
+    renders: int = 0
+    transmits: int = 0
+    regions_detected: int = 0
+    regions_used: int = 0
+    n_played: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    render_s: float = 0.0
+    transmit_s: float = 0.0
+    detect_s: float = 0.0
+    product_s: float = 0.0
+    total_s: float = 0.0
+    n_jobs: int = 1
+    executor: str = "serial"
+
+    def add(self, other: "CollectionStats") -> None:
+        """Accumulate another stats record into this one (in place)."""
+        for name in (
+            "renders", "transmits", "regions_detected", "regions_used",
+            "n_played", "cache_hits", "cache_misses",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name in ("render_s", "transmit_s", "detect_s", "product_s", "total_s"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        # An aggregate reports the widest pool it saw (cache-hit records
+        # carry the defaults and must not mask a parallel pass).
+        if other.n_jobs > self.n_jobs:
+            self.n_jobs = other.n_jobs
+            self.executor = other.executor
+
+    def summary(self) -> str:
+        """One-line human-readable account of the pass."""
+        return (
+            f"transmits={self.transmits} renders={self.renders} "
+            f"regions={self.regions_used}/{self.regions_detected} "
+            f"cache={self.cache_hits}h/{self.cache_misses}m "
+            f"[render {self.render_s:.2f}s, transmit {self.transmit_s:.2f}s, "
+            f"detect {self.detect_s:.2f}s, featurize {self.product_s:.2f}s; "
+            f"wall {self.total_s:.2f}s, {self.executor} x{self.n_jobs}]"
+        )
+
+
+#: Process-wide accumulator across every collection pass (used by the CLI
+#: stats printout and the one-pass-per-scenario tests).
+GLOBAL_STATS = CollectionStats()
+_GLOBAL_LOCK = threading.Lock()
+
+
+def global_stats() -> CollectionStats:
+    """The process-wide collection counters."""
+    return GLOBAL_STATS
+
+
+def reset_global_stats() -> None:
+    """Zero the process-wide collection counters."""
+    with _GLOBAL_LOCK:
+        GLOBAL_STATS.__init__()
+
+
+def _publish(stats: CollectionStats) -> None:
+    with _GLOBAL_LOCK:
+        GLOBAL_STATS.add(stats)
+
+
+# ---------------------------------------------------------------------------
+# Datasets
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FeatureDataset:
+    """Extracted Table II features with labels and provenance."""
+
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: Tuple[str, ...] = FEATURE_NAMES
+    fs: float = 0.0
+    n_played: int = 0
+    stats: Optional[CollectionStats] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"X has {self.X.shape[0]} rows but y has {self.y.shape[0]}"
+            )
+
+    @property
+    def extraction_rate(self) -> float:
+        """Fraction of played utterances that yielded a usable region."""
+        return self.X.shape[0] / self.n_played if self.n_played else 0.0
+
+
+@dataclass
+class SpectrogramDataset:
+    """Region spectrogram images with labels."""
+
+    images: np.ndarray  # (n, size, size, 1)
+    y: np.ndarray
+    fs: float = 0.0
+    n_played: int = 0
+    stats: Optional[CollectionStats] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.images.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"images has {self.images.shape[0]} rows but y has {self.y.shape[0]}"
+            )
+
+    @property
+    def extraction_rate(self) -> float:
+        return self.images.shape[0] / self.n_played if self.n_played else 0.0
+
+
+@dataclass
+class CollectionResult:
+    """Both datasets from one shared render→transmit→detect pass."""
+
+    features: FeatureDataset
+    spectrograms: SpectrogramDataset
+    stats: CollectionStats
+
+    def __iter__(self):
+        yield self.features
+        yield self.spectrograms
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+# Per-worker context for the process executor; installed once per worker
+# via the pool initializer so the corpus/channel are pickled once, not
+# once per work item.
+_WORKER_CONTEXT: Optional["_PassConfig"] = None
+
+
+def _init_worker(config: "_PassConfig") -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = config
+
+
+def _process_entry(index_and_spec: Tuple[int, UtteranceSpec]):
+    index, spec = index_and_spec
+    return _run_work_item(_WORKER_CONTEXT, index, spec)
+
+
+def run_tasks(
+    fn: Callable,
+    items: Sequence,
+    n_jobs: int = 1,
+    executor: Optional[str] = None,
+) -> List:
+    """Run ``fn`` over ``items`` with the chosen executor, preserving order.
+
+    ``executor=None`` selects ``serial`` for ``n_jobs <= 1`` and
+    ``thread`` otherwise. The ``process`` executor requires ``fn`` to be
+    the engine's own work-item entry point (module-level, picklable).
+    """
+    name = _resolve_executor(n_jobs, executor)
+    items = list(items)
+    if name == "serial" or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = max(1, int(n_jobs))
+    if name == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    raise ValueError(
+        "the process executor runs through collect_datasets(); "
+        "run_tasks() only supports 'serial' and 'thread'"
+    )
+
+
+def _resolve_executor(n_jobs: int, executor: Optional[str]) -> str:
+    if executor is None:
+        return "serial" if n_jobs <= 1 else "thread"
+    key = str(executor).lower().strip()
+    if key not in EXECUTOR_NAMES:
+        raise ValueError(
+            f"unknown executor {executor!r}; available: {EXECUTOR_NAMES}"
+        )
+    return key
+
+
+# ---------------------------------------------------------------------------
+# Work items (per-utterance protocol)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PassConfig:
+    """Everything a worker needs to process one utterance work item."""
+
+    corpus: Corpus
+    channel: VibrationChannel
+    detector: RegionDetector
+    seed: int
+    size: int
+    feature_highpass_hz: Optional[float]
+
+
+def _item_rng(seed: int, index: int) -> np.random.Generator:
+    """The work item's own RNG: identical at any worker count."""
+    return np.random.default_rng([0x454D4F, seed & 0xFFFFFFFF, index])
+
+
+def _item_channel(config: _PassConfig, index: int) -> VibrationChannel:
+    """A channel safe for this work item.
+
+    Table-top transmission is stateless given an explicit RNG, so the
+    shared channel can be used from any worker. Handheld transmission
+    advances the motion process, so each item gets its own reseeded copy
+    — which is also what makes per-utterance handheld collection
+    deterministic under parallelism.
+    """
+    if config.channel.placement is not Placement.HANDHELD:
+        return config.channel
+    channel = copy.deepcopy(config.channel)
+    channel.reseed(int(config.seed & 0xFFFFFF) * 1000003 + index)
+    return channel
+
+
+def _transmit_and_detect(config: _PassConfig, index: int, spec: UtteranceSpec):
+    """Render→transmit→detect one utterance work item.
+
+    Returns ``(trace, best_region|None, stats)``; the region is None when
+    the detector missed the utterance (the paper's dropped ~10 %).
+    """
+    stats = CollectionStats()
+    rng = _item_rng(config.seed, index)
+    corpus, detector = config.corpus, config.detector
+
+    t0 = time.perf_counter()
+    audio = corpus.render(spec)
+    stats.renders += 1
+    stats.render_s += time.perf_counter() - t0
+
+    # Pad with silence so the detector sees the noise floor.
+    pad = np.zeros(int(_UTTERANCE_PAD_S * corpus.audio_fs))
+    audio = np.concatenate([pad, audio, pad])
+
+    channel = _item_channel(config, index)
+    t0 = time.perf_counter()
+    trace = channel.transmit(audio, corpus.audio_fs, rng)
+    stats.transmits += 1
+    stats.transmit_s += time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    regions = detector.detect(trace, channel.accel_fs)
+    stats.detect_s += time.perf_counter() - t0
+    stats.regions_detected += len(regions)
+    if not regions:
+        return trace, None, stats
+
+    # One utterance => take the most energetic region.
+    best = max(
+        regions,
+        key=lambda r: float(np.sum((r.slice(trace) - np.mean(r.slice(trace))) ** 2)),
+    )
+    stats.regions_used += 1
+    return trace, best, stats
+
+
+def _run_work_item(config: _PassConfig, index: int, spec: UtteranceSpec):
+    """One utterance through the full pipeline.
+
+    Returns ``(index, label|None, features|None, image|None, stats)``.
+    """
+    trace, best, stats = _transmit_and_detect(config, index, spec)
+    if best is None:
+        return index, None, None, None, stats
+
+    t0 = time.perf_counter()
+    features = _feature_row(
+        trace, best, config.channel.accel_fs, config.feature_highpass_hz
+    )
+    image = _image_product(trace, best, config.size)
+    stats.product_s += time.perf_counter() - t0
+    return index, spec.emotion, features, image, stats
+
+
+def _feature_row(
+    trace: np.ndarray,
+    region: Region,
+    fs: float,
+    feature_highpass_hz: Optional[float],
+) -> Optional[np.ndarray]:
+    """Table II feature vector for one region (None if too short)."""
+    samples = region.slice(trace)
+    if samples.size < 4:
+        return None
+    if feature_highpass_hz is not None and samples.size > 32:
+        from repro.dsp.filters import highpass
+
+        samples = highpass(samples, feature_highpass_hz, fs)
+    return extract_features(samples, fs)
+
+
+def _image_product(
+    trace: np.ndarray, region: Region, size: int
+) -> Optional[np.ndarray]:
+    """Spectrogram image for one region (None if too short)."""
+    if region.end - region.start < 8:
+        return None
+    return region_spectrogram_image(trace, region, size=size)
+
+
+def _collect_per_utterance(
+    config: _PassConfig,
+    specs: List[UtteranceSpec],
+    n_jobs: int,
+    executor: str,
+) -> Tuple[List, CollectionStats]:
+    """Fan the per-utterance work items out over the chosen executor."""
+    stats = CollectionStats(n_jobs=max(1, int(n_jobs)), executor=executor)
+    indexed = list(enumerate(specs))
+    if executor == "process" and len(indexed) > 1 and n_jobs > 1:
+        with ProcessPoolExecutor(
+            max_workers=max(1, int(n_jobs)),
+            initializer=_init_worker,
+            initargs=(config,),
+        ) as pool:
+            results = list(pool.map(_process_entry, indexed, chunksize=4))
+    else:
+        def run_one(pair):
+            return _run_work_item(config, pair[0], pair[1])
+
+        results = run_tasks(
+            run_one,
+            indexed,
+            n_jobs=n_jobs,
+            executor="serial" if executor == "process" else executor,
+        )
+    products = []
+    for result in results:
+        index, label, features, image, item_stats = result
+        stats.add(item_stats)
+        if label is not None:
+            products.append((index, label, features, image))
+    return products, stats
+
+
+def collect_per_utterance_products(
+    corpus: Corpus,
+    channel: VibrationChannel,
+    specs: Optional[Sequence[UtteranceSpec]] = None,
+    detector: Optional[RegionDetector] = None,
+    seed: int = 0,
+    size: int = 32,
+    feature_highpass_hz: Optional[float] = None,
+    n_jobs: int = 1,
+    executor: Optional[str] = None,
+) -> Tuple[List[Tuple[int, str, Optional[np.ndarray], Optional[np.ndarray]]], CollectionStats]:
+    """Per-utterance work items with spec provenance.
+
+    Returns ``(products, stats)`` where each product is
+    ``(spec_index, label, features|None, image|None)`` — the building
+    block for consumers that need row→utterance alignment (e.g. the
+    Spearphone speaker/gender baseline).
+    """
+    detector = detector or _default_detector(channel)
+    specs = list(specs if specs is not None else corpus.specs)
+    config = _PassConfig(
+        corpus=corpus,
+        channel=channel,
+        detector=detector,
+        seed=int(seed),
+        size=int(size),
+        feature_highpass_hz=feature_highpass_hz,
+    )
+    products, stats = _collect_per_utterance(
+        config, specs, n_jobs, _resolve_executor(n_jobs, executor)
+    )
+    stats.n_played = len(specs)
+    _publish(stats)
+    return products, stats
+
+
+def iter_region_samples(
+    corpus: Corpus,
+    channel: VibrationChannel,
+    specs: Optional[Sequence[UtteranceSpec]] = None,
+    detector: Optional[RegionDetector] = None,
+    continuous: Optional[bool] = None,
+    seed: int = 0,
+):
+    """Yield ``(label, region, trace)`` triples for every usable region.
+
+    Serial generator over the engine's deterministic work items — the
+    raw-material path for consumers that need region *samples* rather
+    than finished features/images (e.g. data augmentation).
+    """
+    detector = detector or _default_detector(channel)
+    if continuous is None:
+        continuous = channel.placement is Placement.HANDHELD
+    specs = list(specs if specs is not None else corpus.specs)
+
+    if continuous:
+        from repro.phone.recording import record_session
+
+        session = record_session(corpus, channel, specs=specs, seed=seed)
+        regions = detector.detect(session.trace, session.fs)
+        for region, label in label_regions(regions, session.events):
+            yield label, region, session.trace
+        return
+
+    config = _PassConfig(
+        corpus=corpus,
+        channel=channel,
+        detector=detector,
+        seed=int(seed),
+        size=32,
+        feature_highpass_hz=None,
+    )
+    for index, spec in enumerate(specs):
+        trace, best, _stats = _transmit_and_detect(config, index, spec)
+        if best is not None:
+            yield spec.emotion, best, trace
+
+
+# ---------------------------------------------------------------------------
+# Continuous-session protocol
+# ---------------------------------------------------------------------------
+
+
+def _collect_continuous(
+    config: _PassConfig,
+    specs: List[UtteranceSpec],
+    n_jobs: int,
+    executor: str,
+) -> Tuple[List, CollectionStats]:
+    """One continuous recording session, labelled from the playback log.
+
+    The transmit chain is inherently serial (the hand-motion process is
+    continuous across the session), so parallelism is applied to the
+    utterance rendering only; the session numerics are identical to a
+    fully serial run.
+    """
+    from repro.phone.recording import record_session
+
+    stats = CollectionStats(n_jobs=max(1, int(n_jobs)), executor=executor)
+
+    # Pre-render in parallel; the session then looks waveforms up.
+    t0 = time.perf_counter()
+    render_executor = "serial" if executor == "process" else executor
+    waves = run_tasks(
+        config.corpus.render, specs, n_jobs=n_jobs, executor=render_executor
+    )
+    rendered: Dict[UtteranceSpec, np.ndarray] = dict(zip(specs, waves))
+    stats.renders += len(specs)
+    stats.render_s += time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    session = record_session(
+        config.corpus,
+        config.channel,
+        specs=specs,
+        seed=config.seed,
+        renderer=rendered.__getitem__,
+    )
+    # record_session transmits a leading gap, then wave+gap per utterance.
+    stats.transmits += 1 + 2 * len(specs)
+    stats.transmit_s += time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    regions = config.detector.detect(session.trace, session.fs)
+    stats.detect_s += time.perf_counter() - t0
+    stats.regions_detected += len(regions)
+
+    t0 = time.perf_counter()
+    products = []
+    for region, label in label_regions(regions, session.events):
+        stats.regions_used += 1
+        features = _feature_row(
+            session.trace, region, session.fs, config.feature_highpass_hz
+        )
+        image = _image_product(session.trace, region, config.size)
+        products.append((-1, label, features, image))
+    stats.product_s += time.perf_counter() - t0
+    return products, stats
+
+
+# ---------------------------------------------------------------------------
+# Collection cache
+# ---------------------------------------------------------------------------
+
+
+def collection_key(
+    corpus: Corpus,
+    channel: VibrationChannel,
+    specs: Sequence[UtteranceSpec],
+    detector: RegionDetector,
+    continuous: bool,
+    seed: int,
+    size: int = 32,
+    feature_highpass_hz: Optional[float] = None,
+) -> str:
+    """Stable key for one collection pass.
+
+    Readable prefix ``corpus-device-placement-rate-seed`` plus a digest
+    over everything else that changes the numerics (spec list, device
+    profile, detector configuration, sensor, environment, image size,
+    feature-path filter). Executor choice and worker count are
+    deliberately excluded: they do not change the result.
+    """
+    import hashlib
+
+    fingerprint = repr((
+        corpus.name,
+        corpus.audio_fs,
+        corpus.expressiveness,
+        corpus.variability,
+        tuple(
+            (s.utterance_id, s.speaker_id, s.emotion, s.seed,
+             s.mean_syllables, s.carrier)
+            for s in specs
+        ),
+        repr(channel.device),
+        channel.mode.value,
+        channel.placement.value,
+        channel.accel_fs,
+        channel.sensor,
+        repr(channel.environment),
+        tuple(sorted((k, v) for k, v in vars(detector).items())),
+        bool(continuous),
+        int(seed),
+        int(size),
+        feature_highpass_hz,
+    )).encode()
+    digest = hashlib.sha256(fingerprint).hexdigest()[:16]
+    rate = f"{channel.accel_fs:g}"
+    return (
+        f"{corpus.name}-{channel.device.name}-{channel.placement.value}"
+        f"-{rate}hz-s{int(seed)}-{digest}"
+    )
+
+
+class CollectionCache:
+    """Registry of finished collection passes.
+
+    In-memory by default; pass ``cache_dir`` to also persist each pass as
+    an ``.npz`` bundle (via :mod:`repro.eval.io`) that later processes —
+    or later runs — can reload instead of re-collecting.
+    """
+
+    def __init__(self, cache_dir=None):
+        self._entries: Dict[str, CollectionResult] = {}
+        self._lock = threading.Lock()
+        self.cache_dir = None
+        if cache_dir is not None:
+            from pathlib import Path
+
+            self.cache_dir = Path(cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or self._disk_path(key) is not None
+
+    def _disk_path(self, key: str):
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{key}.npz"
+        return path if path.exists() else None
+
+    def lookup(self, key: str) -> Optional[CollectionResult]:
+        """Return the cached pass for ``key``, or None."""
+        with self._lock:
+            result = self._entries.get(key)
+        if result is not None:
+            return result
+        path = self._disk_path(key)
+        if path is not None:
+            from repro.eval.io import load_collection
+
+            result = load_collection(path)
+            with self._lock:
+                self._entries[key] = result
+            return result
+        return None
+
+    def store(self, key: str, result: CollectionResult) -> None:
+        """Register a finished pass under ``key`` (and on disk if enabled)."""
+        with self._lock:
+            self._entries[key] = result
+        if self.cache_dir is not None:
+            from repro.eval.io import save_collection
+
+            save_collection(result, self.cache_dir / f"{key}.npz")
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (on-disk bundles are kept)."""
+        with self._lock:
+            self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The module-default cache shared by the suite, benchmarks and CLI.
+DEFAULT_CACHE = CollectionCache()
+
+
+def default_cache() -> CollectionCache:
+    """The shared module-level collection cache."""
+    return DEFAULT_CACHE
+
+
+# ---------------------------------------------------------------------------
+# The one-call collection API
+# ---------------------------------------------------------------------------
+
+
+def _default_detector(channel: VibrationChannel) -> RegionDetector:
+    return RegionDetector.for_setting(channel.placement.value)
+
+
+def collect_datasets(
+    corpus: Corpus,
+    channel: VibrationChannel,
+    specs: Optional[Sequence[UtteranceSpec]] = None,
+    detector: Optional[RegionDetector] = None,
+    continuous: Optional[bool] = None,
+    seed: int = 0,
+    size: int = 32,
+    feature_highpass_hz: Optional[float] = None,
+    n_jobs: int = 1,
+    executor: Optional[str] = None,
+    cache: Optional[CollectionCache] = None,
+) -> CollectionResult:
+    """Collect the feature *and* spectrogram datasets in one shared pass.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker count for the per-utterance protocol (and the rendering
+        stage of the continuous protocol). Results are identical at any
+        value.
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"``; None picks serial
+        for ``n_jobs <= 1`` and threads otherwise.
+    cache:
+        Optional :class:`CollectionCache`; a hit skips the pass entirely
+        and returns the registered result object.
+    """
+    detector = detector or _default_detector(channel)
+    if continuous is None:
+        continuous = channel.placement is Placement.HANDHELD
+    specs = list(specs if specs is not None else corpus.specs)
+    executor_name = _resolve_executor(n_jobs, executor)
+
+    key = None
+    if cache is not None:
+        key = collection_key(
+            corpus, channel, specs, detector, continuous, seed, size,
+            feature_highpass_hz,
+        )
+        hit = cache.lookup(key)
+        if hit is not None:
+            cache.hits += 1
+            _publish(CollectionStats(cache_hits=1))
+            if hit.stats is not None:
+                hit.stats.cache_hits += 1
+            return hit
+        cache.misses += 1
+
+    t_start = time.perf_counter()
+    config = _PassConfig(
+        corpus=corpus,
+        channel=channel,
+        detector=detector,
+        seed=int(seed),
+        size=int(size),
+        feature_highpass_hz=feature_highpass_hz,
+    )
+    if continuous:
+        products, stats = _collect_continuous(config, specs, n_jobs, executor_name)
+    else:
+        products, stats = _collect_per_utterance(
+            config, specs, n_jobs, executor_name
+        )
+    stats.n_played = len(specs)
+    stats.cache_misses = 1 if cache is not None else 0
+    stats.total_s = time.perf_counter() - t_start
+    _publish(stats)
+
+    rows = [(label, f) for _, label, f, _ in products if f is not None]
+    X = np.vstack([f for _, f in rows]) if rows else np.empty((0, len(FEATURE_NAMES)))
+    features = FeatureDataset(
+        X=X,
+        y=np.array([label for label, _ in rows]),
+        fs=channel.accel_fs,
+        n_played=len(specs),
+        stats=stats,
+    )
+    shots = [(label, img) for _, label, _, img in products if img is not None]
+    stack = (
+        np.stack([img for _, img in shots])[..., None]
+        if shots
+        else np.empty((0, size, size, 1))
+    )
+    spectrograms = SpectrogramDataset(
+        images=stack,
+        y=np.array([label for label, _ in shots]),
+        fs=channel.accel_fs,
+        n_played=len(specs),
+        stats=stats,
+    )
+    result = CollectionResult(
+        features=features, spectrograms=spectrograms, stats=stats
+    )
+    if cache is not None and key is not None:
+        cache.store(key, result)
+    return result
+
+
+def _rebuild_result(
+    X: np.ndarray,
+    y_features: np.ndarray,
+    images: np.ndarray,
+    y_images: np.ndarray,
+    fs: float,
+    n_played: int,
+) -> CollectionResult:
+    """Reassemble a CollectionResult from persisted arrays (see eval.io)."""
+    stats = CollectionStats(n_played=n_played)
+    features = FeatureDataset(
+        X=X, y=y_features, fs=fs, n_played=n_played, stats=stats
+    )
+    spectrograms = SpectrogramDataset(
+        images=images, y=y_images, fs=fs, n_played=n_played, stats=stats
+    )
+    return CollectionResult(features=features, spectrograms=spectrograms, stats=stats)

@@ -13,126 +13,53 @@ Two collection procedures mirror the paper's settings:
 
 Both produce a :class:`FeatureDataset` (Table II features) and/or a
 :class:`SpectrogramDataset` (32x32 images) ready for the classifiers.
+
+The heavy lifting lives in :mod:`repro.attack.engine`: deterministic
+per-utterance work items, serial/thread/process executors (``n_jobs``),
+a single shared render→transmit→detect pass for both dataset kinds, and
+the collection cache. This module keeps the stable user-facing API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.attack.features import FEATURE_NAMES, extract_features
-from repro.attack.labeling import label_regions
+from repro.attack.engine import (
+    CollectionCache,
+    CollectionResult,
+    CollectionStats,
+    FeatureDataset,
+    SpectrogramDataset,
+    _default_detector,
+    collect_datasets,
+)
 from repro.attack.regions import RegionDetector
-from repro.attack.specimages import region_spectrogram_image
 from repro.datasets.base import Corpus, UtteranceSpec
-from repro.phone.channel import Placement, VibrationChannel
-from repro.phone.recording import record_session
+from repro.phone.channel import VibrationChannel
 
 __all__ = [
     "FeatureDataset",
     "SpectrogramDataset",
+    "CollectionResult",
+    "CollectionStats",
+    "collect_datasets",
     "collect_feature_dataset",
     "collect_spectrogram_dataset",
     "EmoLeakAttack",
 ]
 
 
-@dataclass
-class FeatureDataset:
-    """Extracted Table II features with labels and provenance."""
-
-    X: np.ndarray
-    y: np.ndarray
-    feature_names: Tuple[str, ...] = FEATURE_NAMES
-    fs: float = 0.0
-    n_played: int = 0
-
-    def __post_init__(self) -> None:
-        if self.X.shape[0] != self.y.shape[0]:
-            raise ValueError(
-                f"X has {self.X.shape[0]} rows but y has {self.y.shape[0]}"
-            )
-
-    @property
-    def extraction_rate(self) -> float:
-        """Fraction of played utterances that yielded a usable region."""
-        return self.X.shape[0] / self.n_played if self.n_played else 0.0
-
-
-@dataclass
-class SpectrogramDataset:
-    """Region spectrogram images with labels."""
-
-    images: np.ndarray  # (n, size, size, 1)
-    y: np.ndarray
-    fs: float = 0.0
-    n_played: int = 0
-
-    def __post_init__(self) -> None:
-        if self.images.shape[0] != self.y.shape[0]:
-            raise ValueError(
-                f"images has {self.images.shape[0]} rows but y has {self.y.shape[0]}"
-            )
-
-    @property
-    def extraction_rate(self) -> float:
-        return self.images.shape[0] / self.n_played if self.n_played else 0.0
-
-
-def _default_detector(channel: VibrationChannel) -> RegionDetector:
-    return RegionDetector.for_setting(channel.placement.value)
-
-
-def _iter_region_samples(
-    corpus: Corpus,
-    channel: VibrationChannel,
-    specs: Optional[Sequence[UtteranceSpec]],
-    detector: Optional[RegionDetector],
-    continuous: Optional[bool],
-    seed: int,
-):
-    """Yield ``(label, region, trace)`` triples for every usable region."""
-    detector = detector or _default_detector(channel)
-    if continuous is None:
-        continuous = channel.placement is Placement.HANDHELD
-    specs = list(specs if specs is not None else corpus.specs)
-
-    if continuous:
-        session = record_session(corpus, channel, specs=specs, seed=seed)
-        regions = detector.detect(session.trace, session.fs)
-        for region, label in label_regions(regions, session.events):
-            yield label, region, session.trace
-        return
-
-    channel.reseed(seed)
-    rng = np.random.default_rng(seed + 29)
-    for spec in specs:
-        audio = corpus.render(spec)
-        # Pad with silence so the detector sees the noise floor.
-        pad = np.zeros(int(0.3 * corpus.audio_fs))
-        audio = np.concatenate([pad, audio, pad])
-        trace = channel.transmit(audio, corpus.audio_fs, rng)
-        regions = detector.detect(trace, channel.accel_fs)
-        if not regions:
-            continue
-        # One utterance => take the most energetic region.
-        best = max(
-            regions,
-            key=lambda r: float(np.sum((r.slice(trace) - np.mean(r.slice(trace))) ** 2)),
-        )
-        yield spec.emotion, best, trace
-
-
 def collect_feature_dataset(
     corpus: Corpus,
     channel: VibrationChannel,
-    specs: Sequence[UtteranceSpec] = None,
-    detector: RegionDetector = None,
-    continuous: bool = None,
+    specs: Optional[Sequence[UtteranceSpec]] = None,
+    detector: Optional[RegionDetector] = None,
+    continuous: Optional[bool] = None,
     seed: int = 0,
-    feature_highpass_hz: float = None,
+    feature_highpass_hz: Optional[float] = None,
+    n_jobs: int = 1,
+    executor: Optional[str] = None,
+    cache: Optional[CollectionCache] = None,
 ) -> FeatureDataset:
     """Run the attack's collection + feature-extraction stages.
 
@@ -140,60 +67,50 @@ def collect_feature_dataset(
     before extraction — the paper's Table I ablation, which shows that
     even a 1 Hz filter destroys the raw time-domain feature information.
     The paper's actual attack never filters the feature path.
-    """
-    rows: List[np.ndarray] = []
-    labels: List[str] = []
-    n_played = len(specs if specs is not None else corpus.specs)
-    for label, region, trace in _iter_region_samples(
-        corpus, channel, specs, detector, continuous, seed
-    ):
-        samples = region.slice(trace)
-        if samples.size < 4:
-            continue
-        if feature_highpass_hz is not None and samples.size > 32:
-            from repro.dsp.filters import highpass
 
-            samples = highpass(samples, feature_highpass_hz, channel.accel_fs)
-        rows.append(extract_features(samples, channel.accel_fs))
-        labels.append(label)
-    X = np.vstack(rows) if rows else np.empty((0, len(FEATURE_NAMES)))
-    return FeatureDataset(
-        X=X,
-        y=np.array(labels),
-        fs=channel.accel_fs,
-        n_played=n_played,
-    )
+    ``n_jobs``/``executor`` select the engine's parallel collection path;
+    results are identical at any worker count (see
+    :mod:`repro.attack.engine`).
+    """
+    return collect_datasets(
+        corpus,
+        channel,
+        specs=specs,
+        detector=detector,
+        continuous=continuous,
+        seed=seed,
+        feature_highpass_hz=feature_highpass_hz,
+        n_jobs=n_jobs,
+        executor=executor,
+        cache=cache,
+    ).features
 
 
 def collect_spectrogram_dataset(
     corpus: Corpus,
     channel: VibrationChannel,
-    specs: Sequence[UtteranceSpec] = None,
-    detector: RegionDetector = None,
-    continuous: bool = None,
+    specs: Optional[Sequence[UtteranceSpec]] = None,
+    detector: Optional[RegionDetector] = None,
+    continuous: Optional[bool] = None,
     size: int = 32,
     seed: int = 0,
+    n_jobs: int = 1,
+    executor: Optional[str] = None,
+    cache: Optional[CollectionCache] = None,
 ) -> SpectrogramDataset:
     """Run the attack's collection + spectrogram-image stages."""
-    images: List[np.ndarray] = []
-    labels: List[str] = []
-    n_played = len(specs if specs is not None else corpus.specs)
-    for label, region, trace in _iter_region_samples(
-        corpus, channel, specs, detector, continuous, seed
-    ):
-        if region.end - region.start < 8:
-            continue
-        images.append(region_spectrogram_image(trace, region, size=size))
-        labels.append(label)
-    stack = (
-        np.stack(images)[..., None] if images else np.empty((0, size, size, 1))
-    )
-    return SpectrogramDataset(
-        images=stack,
-        y=np.array(labels),
-        fs=channel.accel_fs,
-        n_played=n_played,
-    )
+    return collect_datasets(
+        corpus,
+        channel,
+        specs=specs,
+        detector=detector,
+        continuous=continuous,
+        seed=seed,
+        size=size,
+        n_jobs=n_jobs,
+        executor=executor,
+        cache=cache,
+    ).spectrograms
 
 
 class EmoLeakAttack:
@@ -209,23 +126,34 @@ class EmoLeakAttack:
     >>> features = attack.collect_features(corpus)
     >>> features.X.shape[1]
     24
+
+    ``n_jobs``/``executor`` fan the collection out over the engine's
+    worker pool; ``cache`` registers every pass in a
+    :class:`~repro.attack.engine.CollectionCache` so repeated collections
+    of the same scenario are free.
     """
 
     def __init__(
         self,
         channel: VibrationChannel,
-        detector: RegionDetector = None,
+        detector: Optional[RegionDetector] = None,
         seed: int = 0,
+        n_jobs: int = 1,
+        executor: Optional[str] = None,
+        cache: Optional[CollectionCache] = None,
     ):
         self.channel = channel
         self.detector = detector or _default_detector(channel)
         self.seed = int(seed)
+        self.n_jobs = int(n_jobs)
+        self.executor = executor
+        self.cache = cache
 
     def collect_features(
         self,
         corpus: Corpus,
-        specs: Sequence[UtteranceSpec] = None,
-        continuous: bool = None,
+        specs: Optional[Sequence[UtteranceSpec]] = None,
+        continuous: Optional[bool] = None,
     ) -> FeatureDataset:
         """Collect the Table II feature dataset for this scenario."""
         return collect_feature_dataset(
@@ -235,13 +163,16 @@ class EmoLeakAttack:
             detector=self.detector,
             continuous=continuous,
             seed=self.seed,
+            n_jobs=self.n_jobs,
+            executor=self.executor,
+            cache=self.cache,
         )
 
     def collect_spectrograms(
         self,
         corpus: Corpus,
-        specs: Sequence[UtteranceSpec] = None,
-        continuous: bool = None,
+        specs: Optional[Sequence[UtteranceSpec]] = None,
+        continuous: Optional[bool] = None,
         size: int = 32,
     ) -> SpectrogramDataset:
         """Collect the spectrogram-image dataset for this scenario."""
@@ -253,4 +184,28 @@ class EmoLeakAttack:
             continuous=continuous,
             size=size,
             seed=self.seed,
+            n_jobs=self.n_jobs,
+            executor=self.executor,
+            cache=self.cache,
+        )
+
+    def collect_datasets(
+        self,
+        corpus: Corpus,
+        specs: Optional[Sequence[UtteranceSpec]] = None,
+        continuous: Optional[bool] = None,
+        size: int = 32,
+    ) -> CollectionResult:
+        """Collect both datasets from one shared transmit/detect pass."""
+        return collect_datasets(
+            corpus,
+            self.channel,
+            specs=specs,
+            detector=self.detector,
+            continuous=continuous,
+            seed=self.seed,
+            size=size,
+            n_jobs=self.n_jobs,
+            executor=self.executor,
+            cache=self.cache,
         )

@@ -17,12 +17,13 @@ exactly how Spearphone's classifier consumed its features.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.attack.features import FEATURE_NAMES, extract_features
-from repro.attack.pipeline import FeatureDataset, _iter_region_samples
+from repro.attack.engine import collect_per_utterance_products
+from repro.attack.features import FEATURE_NAMES
+from repro.attack.pipeline import FeatureDataset
 from repro.attack.regions import RegionDetector
 from repro.datasets.base import Corpus, UtteranceSpec
 from repro.phone.channel import VibrationChannel
@@ -37,10 +38,12 @@ _GENDER_F0_SPLIT = 160.0
 def collect_speaker_dataset(
     corpus: Corpus,
     channel: VibrationChannel,
-    specs: Sequence[UtteranceSpec] = None,
-    detector: RegionDetector = None,
-    continuous: bool = None,
+    specs: Optional[Sequence[UtteranceSpec]] = None,
+    detector: Optional[RegionDetector] = None,
+    continuous: Optional[bool] = None,
     seed: int = 0,
+    n_jobs: int = 1,
+    executor: Optional[str] = None,
 ) -> Tuple[FeatureDataset, np.ndarray, np.ndarray]:
     """Collect features labelled with speaker id and gender.
 
@@ -49,19 +52,27 @@ def collect_speaker_dataset(
     rows. Requires per-utterance collection so rows map to utterances;
     continuous sessions label regions by playback emotion group only.
     """
-    spec_by_emotion_region: List[Tuple[str, str]] = []
     rows: List[np.ndarray] = []
     emotions: List[str] = []
     speaker_ids: List[str] = []
     specs = list(specs if specs is not None else corpus.specs)
-    # Reuse the pipeline's per-utterance path with explicit bookkeeping.
-    for spec in specs:
-        ds = _single_utterance_features(corpus, channel, spec, detector, seed)
-        if ds is None:
+    # The engine's per-utterance work items carry spec provenance, so
+    # every feature row maps back to its speaker.
+    products, _ = collect_per_utterance_products(
+        corpus,
+        channel,
+        specs=specs,
+        detector=detector,
+        seed=seed,
+        n_jobs=n_jobs,
+        executor=executor,
+    )
+    for index, label, features, _image in products:
+        if features is None:
             continue
-        rows.append(ds)
-        emotions.append(spec.emotion)
-        speaker_ids.append(spec.speaker_id)
+        rows.append(features)
+        emotions.append(label)
+        speaker_ids.append(specs[index].speaker_id)
     X = np.vstack(rows) if rows else np.empty((0, len(FEATURE_NAMES)))
     dataset = FeatureDataset(
         X=X, y=np.array(emotions), fs=channel.accel_fs, n_played=len(specs)
@@ -75,17 +86,6 @@ def collect_speaker_dataset(
         ]
     )
     return dataset, np.array(speaker_ids), genders
-
-
-def _single_utterance_features(corpus, channel, spec, detector, seed):
-    """Features of one utterance's best region, or None if undetected."""
-    for label, region, trace in _iter_region_samples(
-        corpus, channel, [spec], detector, continuous=False, seed=seed
-    ):
-        samples = region.slice(trace)
-        if samples.size >= 4:
-            return extract_features(samples, channel.accel_fs)
-    return None
 
 
 @dataclass
@@ -105,7 +105,7 @@ class SpearphoneBaseline:
     seed: int = 0
 
     def collect(
-        self, corpus: Corpus, specs: Sequence[UtteranceSpec] = None
+        self, corpus: Corpus, specs: Optional[Sequence[UtteranceSpec]] = None
     ) -> Tuple[FeatureDataset, np.ndarray, np.ndarray]:
         """Collect ``(features, speaker_ids, genders)`` for a corpus."""
         return collect_speaker_dataset(

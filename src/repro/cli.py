@@ -19,6 +19,12 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.attack.engine import (
+    EXECUTOR_NAMES,
+    CollectionCache,
+    global_stats,
+    reset_global_stats,
+)
 from repro.attack.pipeline import EmoLeakAttack
 from repro.attack.scenarios import SCENARIOS, get_scenario
 from repro.datasets import build_corpus
@@ -78,6 +84,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="shrink CNNs/ensembles for a quick run",
     )
     parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="collection-engine worker count (results are identical "
+             "at any value; default: 1)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default=None,
+        help="collection executor (default: serial for --n-jobs 1, "
+             "thread otherwise)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist collection passes as .npz bundles under DIR and "
+             "reuse them on later runs",
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="list canonical scenarios and exit",
@@ -100,16 +128,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_scenarios:
         _list_scenarios()
         return 0
+    cache = CollectionCache(cache_dir=args.cache_dir)
     if args.table:
         from repro.eval.suite import run_table
 
+        reset_global_stats()
         suite = run_table(
             args.table,
             subsample=args.subsample or 20,
             seed=args.seed,
             fast=True,
+            n_jobs=args.n_jobs,
+            executor=args.executor,
+            cache=cache,
         )
         print(suite.render())
+        print(f"\ncollection: {global_stats().summary()}")
         return 0
     if not args.scenario:
         print("error: --scenario or --table is required "
@@ -122,7 +156,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         corpus = corpus.subsample(per_class=args.subsample, seed=args.seed)
 
     channel = scenario.channel(sample_rate=args.sample_rate, seed=args.seed)
-    attack = EmoLeakAttack(channel, seed=args.seed)
+    attack = EmoLeakAttack(
+        channel,
+        seed=args.seed,
+        n_jobs=args.n_jobs,
+        executor=args.executor,
+        cache=cache,
+    )
 
     print(f"scenario  : {scenario.name} ({scenario.paper_table})")
     print(f"corpus    : {scenario.dataset}, {len(corpus)} utterances")
@@ -133,11 +173,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         data = attack.collect_spectrograms(corpus)
         print(f"collected : {data.images.shape[0]} spectrograms "
               f"({data.extraction_rate:.0%} extraction)")
+        if data.stats is not None:
+            print(f"engine    : {data.stats.summary()}")
         result = run_spectrogram_experiment(data, seed=args.seed, fast=args.fast)
     else:
         data = attack.collect_features(corpus)
         print(f"collected : {data.X.shape[0]} feature vectors "
               f"({data.extraction_rate:.0%} extraction)")
+        if data.stats is not None:
+            print(f"engine    : {data.stats.summary()}")
         result = run_feature_experiment(
             data, args.classifier, seed=args.seed, fast=args.fast
         )

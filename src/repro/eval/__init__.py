@@ -13,12 +13,21 @@ from repro.eval.experiment import (
     SpectrogramCNNClassifier,
     make_classifier,
     run_feature_experiment,
+    run_scenario_experiment,
     run_spectrogram_experiment,
 )
 from repro.eval.tables import format_table, format_confusion
 from repro.eval.reporting import paper_comparison, random_guess_rate
 from repro.eval.plots import line_plot, multi_line_plot, heatmap
-from repro.eval.io import to_arff, to_csv, save_spectrograms, load_spectrograms, result_to_json
+from repro.eval.io import (
+    to_arff,
+    to_csv,
+    save_spectrograms,
+    load_spectrograms,
+    save_collection,
+    load_collection,
+    result_to_json,
+)
 from repro.eval.suite import TableSuite, run_table
 
 __all__ = [
@@ -28,6 +37,7 @@ __all__ = [
     "SpectrogramCNNClassifier",
     "make_classifier",
     "run_feature_experiment",
+    "run_scenario_experiment",
     "run_spectrogram_experiment",
     "format_table",
     "format_confusion",
@@ -40,6 +50,8 @@ __all__ = [
     "to_csv",
     "save_spectrograms",
     "load_spectrograms",
+    "save_collection",
+    "load_collection",
     "result_to_json",
     "TableSuite",
     "run_table",

@@ -34,6 +34,7 @@ __all__ = [
     "make_classifier",
     "run_feature_experiment",
     "run_spectrogram_experiment",
+    "run_scenario_experiment",
 ]
 
 
@@ -267,6 +268,47 @@ def run_feature_experiment(
         history=getattr(model, "history_", None),
         extraction_rate=dataset.extraction_rate,
     )
+
+
+def run_scenario_experiment(
+    scenario,
+    classifier: str,
+    subsample: Optional[int] = 20,
+    seed: int = 0,
+    fast: bool = True,
+    n_jobs: int = 1,
+    executor: Optional[str] = None,
+    cache=None,
+) -> ExperimentResult:
+    """Run one (scenario, classifier) cell through the collection engine.
+
+    ``scenario`` is a canonical scenario name or a
+    :class:`~repro.attack.scenarios.Scenario`. Collection goes through a
+    :class:`~repro.attack.engine.CollectionCache` (the module-wide
+    default when ``cache`` is None), so evaluating several classifiers on
+    the same scenario performs exactly one render→transmit→detect pass.
+    """
+    from repro.attack.engine import collect_datasets, default_cache
+    from repro.attack.scenarios import get_scenario
+    from repro.datasets import build_corpus
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    corpus = build_corpus(scenario.dataset)
+    if subsample:
+        corpus = corpus.subsample(per_class=subsample, seed=seed)
+    channel = scenario.channel(seed=seed)
+    bundle = collect_datasets(
+        corpus,
+        channel,
+        seed=seed,
+        n_jobs=n_jobs,
+        executor=executor,
+        cache=cache if cache is not None else default_cache(),
+    )
+    if classifier == "cnn_spectrogram":
+        return run_spectrogram_experiment(bundle.spectrograms, seed=seed, fast=fast)
+    return run_feature_experiment(bundle.features, classifier, seed=seed, fast=fast)
 
 
 def run_spectrogram_experiment(

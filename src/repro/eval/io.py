@@ -18,6 +18,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.attack.engine import CollectionResult, _rebuild_result
 from repro.attack.pipeline import FeatureDataset, SpectrogramDataset
 from repro.eval.experiment import ExperimentResult
 
@@ -26,6 +27,8 @@ __all__ = [
     "to_csv",
     "save_spectrograms",
     "load_spectrograms",
+    "save_collection",
+    "load_collection",
     "result_to_json",
 ]
 
@@ -85,6 +88,37 @@ def load_spectrograms(path: _PathLike) -> SpectrogramDataset:
         return SpectrogramDataset(
             images=bundle["images"],
             y=bundle["labels"],
+            fs=float(bundle["fs"][0]),
+            n_played=int(bundle["n_played"][0]),
+        )
+
+
+def save_collection(result: CollectionResult, path: _PathLike) -> None:
+    """Persist one collection pass (both datasets) as an ``.npz`` bundle.
+
+    The on-disk leg of the engine's :class:`CollectionCache`: a pass
+    saved here can be reloaded by a later process instead of re-running
+    render→transmit→detect.
+    """
+    np.savez_compressed(
+        Path(path),
+        X=result.features.X,
+        y_features=np.asarray(result.features.y, dtype=str),
+        images=result.spectrograms.images,
+        y_images=np.asarray(result.spectrograms.y, dtype=str),
+        fs=np.array([result.features.fs]),
+        n_played=np.array([result.features.n_played]),
+    )
+
+
+def load_collection(path: _PathLike) -> CollectionResult:
+    """Load a collection pass saved by :func:`save_collection`."""
+    with np.load(Path(path), allow_pickle=False) as bundle:
+        return _rebuild_result(
+            X=bundle["X"],
+            y_features=bundle["y_features"],
+            images=bundle["images"],
+            y_images=bundle["y_images"],
             fs=float(bundle["fs"][0]),
             n_played=int(bundle["n_played"][0]),
         )

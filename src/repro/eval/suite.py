@@ -11,14 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.attack.pipeline import EmoLeakAttack
-from repro.attack.scenarios import SCENARIOS, Scenario
-from repro.datasets import build_corpus
-from repro.eval.experiment import (
-    ExperimentResult,
-    run_feature_experiment,
-    run_spectrogram_experiment,
-)
+from repro.attack.engine import CollectionCache
+from repro.attack.scenarios import SCENARIOS
+from repro.eval.experiment import ExperimentResult, run_scenario_experiment
 from repro.eval.reporting import PAPER_RESULTS
 from repro.eval.tables import format_table
 
@@ -85,21 +80,15 @@ class TableSuite:
         return format_table(f"Table {self.table} (reproduced)", rows, headers)
 
 
-def _collect_for(scenario: Scenario, subsample: Optional[int], seed: int):
-    corpus = build_corpus(scenario.dataset)
-    if subsample:
-        corpus = corpus.subsample(per_class=subsample, seed=seed)
-    channel = scenario.channel(seed=seed)
-    attack = EmoLeakAttack(channel, seed=seed)
-    return corpus, attack
-
-
 def run_table(
     table: str,
     subsample: Optional[int] = 20,
     seed: int = 0,
     fast: bool = True,
-    classifiers: Tuple[str, ...] = None,
+    classifiers: Optional[Tuple[str, ...]] = None,
+    n_jobs: int = 1,
+    executor: Optional[str] = None,
+    cache: Optional[CollectionCache] = None,
 ) -> TableSuite:
     """Regenerate one paper table.
 
@@ -114,6 +103,12 @@ def run_table(
         Use the CI-scale classifier configurations.
     classifiers:
         Optional subset of the table's classifier rows.
+    n_jobs / executor:
+        Collection-engine parallelism (see :mod:`repro.attack.engine`).
+    cache:
+        Collection cache; a private per-call cache is used when None, so
+        each scenario's render→transmit→detect pass runs exactly once
+        regardless of how many classifier rows consume it.
     """
     key = table.upper().strip()
     if key not in TABLE_DEFINITIONS:
@@ -134,24 +129,18 @@ def run_table(
     if unknown:
         raise ValueError(f"classifiers {sorted(unknown)} not part of Table {key}")
 
+    cache = cache if cache is not None else CollectionCache()
     suite = TableSuite(table=key)
     for name in scenario_names:
-        scenario = SCENARIOS[name]
-        corpus, attack = _collect_for(scenario, subsample, seed)
-        features = None
-        spectrograms = None
         for classifier in chosen:
-            if classifier == "cnn_spectrogram":
-                if spectrograms is None:
-                    spectrograms = attack.collect_spectrograms(corpus)
-                result = run_spectrogram_experiment(
-                    spectrograms, seed=seed, fast=fast
-                )
-            else:
-                if features is None:
-                    features = attack.collect_features(corpus)
-                result = run_feature_experiment(
-                    features, classifier, seed=seed, fast=fast
-                )
-            suite.cells[(name, classifier)] = result
+            suite.cells[(name, classifier)] = run_scenario_experiment(
+                name,
+                classifier,
+                subsample=subsample,
+                seed=seed,
+                fast=fast,
+                n_jobs=n_jobs,
+                executor=executor,
+                cache=cache,
+            )
     return suite

@@ -23,7 +23,7 @@ __all__ = ["rank_features", "InfoGainSelector"]
 def rank_features(
     X: np.ndarray,
     y: np.ndarray,
-    feature_names: Sequence[str] = None,
+    feature_names: Optional[Sequence[str]] = None,
     n_bins: int = 10,
 ) -> List[Tuple[str, float]]:
     """Rank features by information gain, best first.

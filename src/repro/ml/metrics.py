@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ def accuracy_score(y_true, y_pred) -> float:
 
 
 def confusion_matrix(
-    y_true, y_pred, labels: Sequence = None
+    y_true, y_pred, labels: Optional[Sequence] = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Confusion matrix; rows = true class, columns = predicted class.
 
@@ -44,7 +44,9 @@ def confusion_matrix(
     return matrix, labels
 
 
-def classification_report(y_true, y_pred, labels: Sequence = None) -> Dict:
+def classification_report(
+    y_true, y_pred, labels: Optional[Sequence] = None
+) -> Dict:
     """Per-class precision/recall/F1 plus overall accuracy.
 
     Returns a dict ``{label: {precision, recall, f1, support}, ...,

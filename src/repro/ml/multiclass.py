@@ -28,7 +28,7 @@ class OneVsRestClassifier(Classifier):
         :class:`LogisticRegression`, matching Weka).
     """
 
-    def __init__(self, base: Classifier = None):
+    def __init__(self, base: Optional[Classifier] = None):
         self.base = base if base is not None else LogisticRegression()
         self.estimators_: Optional[List[Classifier]] = None
 

@@ -16,7 +16,7 @@ __all__ = ["clean_features", "StandardScaler", "LabelEncoder", "train_test_split
 
 
 def clean_features(
-    X: np.ndarray, y: np.ndarray = None
+    X: np.ndarray, y: Optional[np.ndarray] = None
 ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
     """Drop rows containing NaN/inf entries.
 

@@ -205,7 +205,7 @@ class Sequential:
                 arrays[f"layer{i}_running_var"] = layer.running_var
         np.savez_compressed(path, **arrays)
 
-    def load_weights(self, path, input_shape: Tuple[int, ...] = None) -> None:
+    def load_weights(self, path, input_shape: Optional[Tuple[int, ...]] = None) -> None:
         """Restore parameters saved by :meth:`save_weights`.
 
         An unbuilt model needs ``input_shape`` to allocate its layers

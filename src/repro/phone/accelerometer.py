@@ -18,6 +18,7 @@ Android 12's privacy cap is expressed by constructing the sensor with
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -67,7 +68,7 @@ class Accelerometer:
         vibration: np.ndarray,
         fs_in: float,
         rng: np.random.Generator,
-        slow_component: np.ndarray = None,
+        slow_component: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Digitise a high-rate vibration waveform.
 

@@ -129,7 +129,10 @@ class VibrationChannel:
         )
 
     def transmit(
-        self, audio: np.ndarray, audio_fs: float, rng: np.random.Generator = None
+        self,
+        audio: np.ndarray,
+        audio_fs: float,
+        rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Play ``audio`` through the scenario and return the accel trace.
 

@@ -17,6 +17,7 @@ ablation can *measure* the design rationale rather than assert it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -64,7 +65,7 @@ class Gyroscope:
         vibration: np.ndarray,
         fs_in: float,
         rng: np.random.Generator,
-        slow_component: np.ndarray = None,
+        slow_component: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Digitise chassis vibration into an angular-rate stream."""
         vibration = np.asarray(vibration, dtype=float)

@@ -11,7 +11,7 @@ returns both the accelerometer trace and the ground-truth playback log.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -74,10 +74,11 @@ class RecordingSession:
 def record_session(
     corpus: Corpus,
     channel: VibrationChannel,
-    specs: Sequence[UtteranceSpec] = None,
+    specs: Optional[Sequence[UtteranceSpec]] = None,
     gap_s: float = 0.35,
     group_by_emotion: bool = True,
     seed: int = 0,
+    renderer: Optional[Callable[[UtteranceSpec], np.ndarray]] = None,
 ) -> RecordingSession:
     """Play corpus utterances through a channel as one continuous session.
 
@@ -91,10 +92,17 @@ def record_session(
         Play all utterances of one emotion consecutively, as the paper's
         collection procedure does so a single logged interval per emotion
         group suffices for labelling.
+    renderer:
+        Waveform source per spec (default ``corpus.render``). The
+        collection engine passes a lookup into a pre-rendered pool so
+        the rendering stage can run in parallel while the transmit chain
+        stays serial.
     """
     if gap_s < 0:
         raise ValueError("gap_s must be non-negative")
     specs = list(specs if specs is not None else corpus.specs)
+    if renderer is None:
+        renderer = corpus.render
     if group_by_emotion:
         order = {emotion: i for i, emotion in enumerate(corpus.emotions)}
         specs.sort(key=lambda s: (order[s.emotion], s.utterance_id))
@@ -125,7 +133,7 @@ def record_session(
         _transmit(gap_audio)
 
     for spec in specs:
-        wave = corpus.render(spec)
+        wave = renderer(spec)
         start_s = accel_samples / fs_out
         n_wave_accel = _transmit(wave)
         end_s = (accel_samples) / fs_out

@@ -12,7 +12,7 @@ flat), enabling an axis-fusion ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class TriaxialAccelerometer:
         vibration: np.ndarray,
         fs_in: float,
         rng: np.random.Generator,
-        slow_component: np.ndarray = None,
+        slow_component: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Digitise vibration onto three axes; returns shape ``(n, 3)``.
 

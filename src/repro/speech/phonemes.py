@@ -10,7 +10,7 @@ emotion's rate/pause modifiers stretch or compress the plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -64,7 +64,7 @@ class UtterancePlan:
 
 def plan_utterance(
     rng: np.random.Generator,
-    n_syllables: int = None,
+    n_syllables: Optional[int] = None,
     mean_syllables: float = 5.0,
     carrier: bool = False,
 ) -> UtterancePlan:

@@ -9,6 +9,7 @@ envelope with emotion-dependent attack sharpness modulates intensity.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -92,7 +93,7 @@ class Synthesizer:
         voice: SpeakerVoice,
         profile: ProsodyProfile,
         rng: np.random.Generator,
-        plan: UtterancePlan = None,
+        plan: Optional[UtterancePlan] = None,
     ) -> np.ndarray:
         """Render one utterance to a waveform in [-1, 1].
 

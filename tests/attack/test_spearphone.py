@@ -1,10 +1,9 @@
 """Tests for the Spearphone prior-work baseline."""
 
-import numpy as np
 import pytest
 
 from repro.attack.spearphone import SpearphoneBaseline, collect_speaker_dataset
-from repro.datasets import build_cremad, build_savee
+from repro.datasets import build_cremad
 from repro.ml.forest import RandomForest
 from repro.phone.channel import VibrationChannel
 

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.attack.pipeline import EmoLeakAttack
-from repro.datasets import build_savee, build_tess
+from repro.datasets import build_tess
 from repro.phone import VibrationChannel
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets.base import Corpus, UtteranceSpec
+from repro.datasets.base import UtteranceSpec
 from repro.datasets import build_tess
 
 

@@ -1,6 +1,5 @@
 """Tests for the three corpus builders and the registry."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import (

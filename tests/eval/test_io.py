@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.attack.pipeline import FeatureDataset, SpectrogramDataset
-from repro.eval.experiment import ExperimentResult, run_feature_experiment
+from repro.eval.experiment import run_feature_experiment
 from repro.eval.io import (
     load_spectrograms,
     result_to_json,

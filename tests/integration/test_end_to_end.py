@@ -12,7 +12,7 @@ import pytest
 
 from repro.attack.pipeline import EmoLeakAttack
 from repro.attack.regions import RegionDetector, detection_rate
-from repro.datasets import build_savee, build_tess
+from repro.datasets import build_savee
 from repro.eval.experiment import run_feature_experiment
 from repro.ml.crossval import cross_val_confusion
 from repro.ml.logistic import LogisticRegression

@@ -15,7 +15,6 @@ from repro.datasets.base import Corpus, UtteranceSpec
 from repro.eval.experiment import run_feature_experiment
 from repro.ml.preprocessing import clean_features
 from repro.phone.channel import VibrationChannel
-from repro.speech.synthesizer import SpeakerVoice
 
 
 def _silent_corpus():

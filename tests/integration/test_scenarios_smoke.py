@@ -5,7 +5,6 @@ subsamples — guards the scenario registry, both collection modes, and
 both speaker/placement pairings against regressions in any substrate.
 """
 
-import numpy as np
 import pytest
 
 from repro.attack.pipeline import EmoLeakAttack

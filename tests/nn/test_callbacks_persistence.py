@@ -5,7 +5,7 @@ import pytest
 
 from repro.nn.callbacks import EarlyStopping, StepDecay
 from repro.nn.layers import BatchNorm, Conv1D, Dense, Flatten, MaxPool1D, ReLU
-from repro.nn.model import History, Sequential
+from repro.nn.model import Sequential
 from repro.nn.optim import Adam, SGD
 
 

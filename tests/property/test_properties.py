@@ -14,7 +14,7 @@ from repro.attack.features import FEATURE_NAMES, extract_features
 from repro.dsp.envelope import moving_average, moving_rms
 from repro.dsp.resample import sample_and_decimate
 from repro.dsp.spectrogram import resize_image, spectrogram_image
-from repro.dsp.stft import frame_signal, istft, stft
+from repro.dsp.stft import frame_signal, stft
 from repro.dsp.windows import get_window
 from repro.ml.infogain import entropy, information_gain
 from repro.ml.logistic import softmax
