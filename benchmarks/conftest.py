@@ -1,0 +1,21 @@
+"""Benchmark-session hooks.
+
+Set ``EMOLEAK_TRACE_OUT=<path>`` to export the whole benchmark
+session's span trace as JSON Lines when pytest finishes — CI uploads
+the smoke run's trace as a build artifact so a slow benchmark can be
+diagnosed from the trace instead of a rerun under a profiler.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("EMOLEAK_TRACE_OUT")
+    if not path:
+        return
+    from repro.obs import tracer
+
+    n_spans = tracer().export_jsonl(path)
+    print(f"\n[emoleak] wrote {n_spans} trace spans to {path}")

@@ -19,9 +19,13 @@ parallel. This module turns that loop into an engine:
   ``(corpus, device, placement, rate, seed, …)`` so a whole paper table
   performs each collection exactly once; an optional on-disk store
   persists passes across runs (see :mod:`repro.eval.io`).
-- **Instrumentation**: :class:`CollectionStats` counts renders,
-  transmits, detected regions and cache hits and times each stage, both
-  per returned dataset and in the module-wide :data:`GLOBAL_STATS`.
+- **Instrumentation**: every stage runs inside a :mod:`repro.obs` span
+  (``render`` → ``transmit`` → ``detect`` → ``product`` under a
+  ``collect`` pass span), so timings survive exceptions and land in the
+  process-wide metrics registry with per-scenario labels.
+  :class:`CollectionStats` remains the backward-compatible summary
+  object: per-pass records are built from the span durations, and
+  :func:`global_stats` is a thin view over the registry.
 
 The continuous-session (handheld) protocol is inherently sequential —
 the hand-motion process is one continuous waveform across the session —
@@ -34,7 +38,6 @@ from __future__ import annotations
 
 import copy
 import threading
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -46,6 +49,7 @@ from repro.attack.labeling import label_regions
 from repro.attack.regions import Region, RegionDetector
 from repro.attack.specimages import region_spectrogram_image
 from repro.datasets.base import Corpus, UtteranceSpec
+from repro.obs import MetricsRegistry, metrics, trace, tracer
 from repro.phone.channel import Placement, VibrationChannel
 
 __all__ = [
@@ -103,12 +107,9 @@ class CollectionStats:
 
     def add(self, other: "CollectionStats") -> None:
         """Accumulate another stats record into this one (in place)."""
-        for name in (
-            "renders", "transmits", "regions_detected", "regions_used",
-            "n_played", "cache_hits", "cache_misses",
-        ):
+        for name in _COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
-        for name in ("render_s", "transmit_s", "detect_s", "product_s", "total_s"):
+        for name in _TIMER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         # An aggregate reports the widest pool it saw (cache-hit records
         # carry the defaults and must not mask a parallel pass).
@@ -127,27 +128,94 @@ class CollectionStats:
             f"wall {self.total_s:.2f}s, {self.executor} x{self.n_jobs}]"
         )
 
+    # -- registry view ------------------------------------------------------
+    def to_registry(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Express this record as observability metrics.
 
-#: Process-wide accumulator across every collection pass (used by the CLI
-#: stats printout and the one-pass-per-scenario tests).
-GLOBAL_STATS = CollectionStats()
-_GLOBAL_LOCK = threading.Lock()
+        Counter fields become counters, stage timers become one timer
+        observation each (``total_s`` under the ``collect`` timer), and
+        the worker pool becomes the high-water ``engine.n_jobs`` gauge —
+        so :meth:`add` on two records agrees with
+        :meth:`MetricsRegistry.merge` on their registries.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        for name in _COUNTER_FIELDS:
+            value = getattr(self, name)
+            if value:
+                registry.count(name, value)
+        for name, timer in _TIMER_FIELDS.items():
+            value = getattr(self, name)
+            if value:
+                registry.observe(timer, value)
+        registry.gauge("engine.n_jobs", self.n_jobs, executor=self.executor)
+        return registry
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "CollectionStats":
+        """Thin :class:`CollectionStats` view over a metrics registry."""
+        stats = cls()
+        for name in _COUNTER_FIELDS:
+            setattr(stats, name, int(registry.counter_total(name)))
+        for name, timer in _TIMER_FIELDS.items():
+            setattr(stats, name, registry.timer_total(timer).total_s)
+        pools = [
+            (value, dict(labels).get("executor", "serial"))
+            for (gauge, labels), value in registry.snapshot()["gauges"].items()
+            if gauge == "engine.n_jobs"
+        ]
+        if pools:
+            width, executor = max(pools, key=lambda p: (p[0], p[1]))
+            stats.n_jobs = int(width)
+            stats.executor = executor
+        return stats
+
+
+#: CollectionStats counter field -> registry counter of the same name.
+_COUNTER_FIELDS: Tuple[str, ...] = (
+    "renders", "transmits", "regions_detected", "regions_used",
+    "n_played", "cache_hits", "cache_misses",
+)
+
+#: CollectionStats timer field -> registry/span timer name.
+_TIMER_FIELDS: Dict[str, str] = {
+    "render_s": "render",
+    "transmit_s": "transmit",
+    "detect_s": "detect",
+    "product_s": "product",
+    "total_s": "collect",
+}
 
 
 def global_stats() -> CollectionStats:
-    """The process-wide collection counters."""
-    return GLOBAL_STATS
+    """The process-wide collection counters.
+
+    A view assembled from the process-wide metrics registry: counters
+    come from :func:`_publish`, stage timers from the engine's spans —
+    which record on exception paths too, so time spent in a failing
+    pass is still accounted.
+    """
+    return CollectionStats.from_registry(metrics())
 
 
 def reset_global_stats() -> None:
-    """Zero the process-wide collection counters."""
-    with _GLOBAL_LOCK:
-        GLOBAL_STATS.__init__()
+    """Zero the process-wide collection counters (the metrics registry)."""
+    metrics().clear()
 
 
 def _publish(stats: CollectionStats) -> None:
-    with _GLOBAL_LOCK:
-        GLOBAL_STATS.add(stats)
+    """Mirror a finished pass's counters into the process-wide registry.
+
+    Only the *counter* fields are published: stage timers already
+    reached the registry through span exits (or, for process-pool runs,
+    through the aggregate spans recorded by the parent), so publishing
+    them again would double-count.
+    """
+    registry = metrics()
+    for name in _COUNTER_FIELDS:
+        value = getattr(stats, name)
+        if value:
+            registry.count(name, value)
+    registry.gauge("engine.n_jobs", stats.n_jobs, executor=stats.executor)
 
 
 # ---------------------------------------------------------------------------
@@ -317,35 +385,35 @@ def _transmit_and_detect(config: _PassConfig, index: int, spec: UtteranceSpec):
     rng = _item_rng(config.seed, index)
     corpus, detector = config.corpus, config.detector
 
-    t0 = time.perf_counter()
-    audio = corpus.render(spec)
+    with trace("render") as span:
+        audio = corpus.render(spec)
     stats.renders += 1
-    stats.render_s += time.perf_counter() - t0
+    stats.render_s += span.duration_s
 
     # Pad with silence so the detector sees the noise floor.
     pad = np.zeros(int(_UTTERANCE_PAD_S * corpus.audio_fs))
     audio = np.concatenate([pad, audio, pad])
 
     channel = _item_channel(config, index)
-    t0 = time.perf_counter()
-    trace = channel.transmit(audio, corpus.audio_fs, rng)
+    with trace("transmit") as span:
+        signal = channel.transmit(audio, corpus.audio_fs, rng)
     stats.transmits += 1
-    stats.transmit_s += time.perf_counter() - t0
+    stats.transmit_s += span.duration_s
 
-    t0 = time.perf_counter()
-    regions = detector.detect(trace, channel.accel_fs)
-    stats.detect_s += time.perf_counter() - t0
+    with trace("detect") as span:
+        regions = detector.detect(signal, channel.accel_fs)
+    stats.detect_s += span.duration_s
     stats.regions_detected += len(regions)
     if not regions:
-        return trace, None, stats
+        return signal, None, stats
 
     # One utterance => take the most energetic region.
     best = max(
         regions,
-        key=lambda r: float(np.sum((r.slice(trace) - np.mean(r.slice(trace))) ** 2)),
+        key=lambda r: float(np.sum((r.slice(signal) - np.mean(r.slice(signal))) ** 2)),
     )
     stats.regions_used += 1
-    return trace, best, stats
+    return signal, best, stats
 
 
 def _run_work_item(config: _PassConfig, index: int, spec: UtteranceSpec):
@@ -353,27 +421,27 @@ def _run_work_item(config: _PassConfig, index: int, spec: UtteranceSpec):
 
     Returns ``(index, label|None, features|None, image|None, stats)``.
     """
-    trace, best, stats = _transmit_and_detect(config, index, spec)
+    signal, best, stats = _transmit_and_detect(config, index, spec)
     if best is None:
         return index, None, None, None, stats
 
-    t0 = time.perf_counter()
-    features = _feature_row(
-        trace, best, config.channel.accel_fs, config.feature_highpass_hz
-    )
-    image = _image_product(trace, best, config.size)
-    stats.product_s += time.perf_counter() - t0
+    with trace("product") as span:
+        features = _feature_row(
+            signal, best, config.channel.accel_fs, config.feature_highpass_hz
+        )
+        image = _image_product(signal, best, config.size)
+    stats.product_s += span.duration_s
     return index, spec.emotion, features, image, stats
 
 
 def _feature_row(
-    trace: np.ndarray,
+    signal: np.ndarray,
     region: Region,
     fs: float,
     feature_highpass_hz: Optional[float],
 ) -> Optional[np.ndarray]:
     """Table II feature vector for one region (None if too short)."""
-    samples = region.slice(trace)
+    samples = region.slice(signal)
     if samples.size < 4:
         return None
     if feature_highpass_hz is not None and samples.size > 32:
@@ -384,12 +452,12 @@ def _feature_row(
 
 
 def _image_product(
-    trace: np.ndarray, region: Region, size: int
+    signal: np.ndarray, region: Region, size: int
 ) -> Optional[np.ndarray]:
     """Spectrogram image for one region (None if too short)."""
     if region.end - region.start < 8:
         return None
-    return region_spectrogram_image(trace, region, size=size)
+    return region_spectrogram_image(signal, region, size=size)
 
 
 def _collect_per_utterance(
@@ -401,7 +469,8 @@ def _collect_per_utterance(
     """Fan the per-utterance work items out over the chosen executor."""
     stats = CollectionStats(n_jobs=max(1, int(n_jobs)), executor=executor)
     indexed = list(enumerate(specs))
-    if executor == "process" and len(indexed) > 1 and n_jobs > 1:
+    ran_in_pool = executor == "process" and len(indexed) > 1 and n_jobs > 1
+    if ran_in_pool:
         with ProcessPoolExecutor(
             max_workers=max(1, int(n_jobs)),
             initializer=_init_worker,
@@ -424,6 +493,20 @@ def _collect_per_utterance(
         stats.add(item_stats)
         if label is not None:
             products.append((index, label, features, image))
+    if ran_in_pool:
+        # Worker-process spans die with their workers; reconstruct the
+        # stage timings as aggregate spans so the parent's trace and
+        # registry still account for them (exactly once).
+        tr = tracer()
+        for field_name, span_name in _TIMER_FIELDS.items():
+            if span_name == "collect":
+                continue
+            tr.record(
+                span_name,
+                getattr(stats, field_name),
+                aggregated="worker-sum",
+                n_jobs=stats.n_jobs,
+            )
     return products, stats
 
 
@@ -447,6 +530,7 @@ def collect_per_utterance_products(
     """
     detector = detector or _default_detector(channel)
     specs = list(specs if specs is not None else corpus.specs)
+    executor_name = _resolve_executor(n_jobs, executor)
     config = _PassConfig(
         corpus=corpus,
         channel=channel,
@@ -455,11 +539,21 @@ def collect_per_utterance_products(
         size=int(size),
         feature_highpass_hz=feature_highpass_hz,
     )
-    products, stats = _collect_per_utterance(
-        config, specs, n_jobs, _resolve_executor(n_jobs, executor)
-    )
-    stats.n_played = len(specs)
-    _publish(stats)
+    with trace(
+        "collect",
+        corpus=corpus.name,
+        device=channel.device.name,
+        placement=channel.placement.value,
+        executor=executor_name,
+        n_jobs=max(1, int(n_jobs)),
+        api="products",
+    ) as span:
+        products, stats = _collect_per_utterance(
+            config, specs, n_jobs, executor_name
+        )
+        stats.n_played = len(specs)
+        stats.total_s = span.elapsed()
+        _publish(stats)
     return products, stats
 
 
@@ -500,9 +594,9 @@ def iter_region_samples(
         feature_highpass_hz=None,
     )
     for index, spec in enumerate(specs):
-        trace, best, _stats = _transmit_and_detect(config, index, spec)
+        signal, best, _stats = _transmit_and_detect(config, index, spec)
         if best is not None:
-            yield spec.emotion, best, trace
+            yield spec.emotion, best, signal
 
 
 # ---------------------------------------------------------------------------
@@ -528,42 +622,42 @@ def _collect_continuous(
     stats = CollectionStats(n_jobs=max(1, int(n_jobs)), executor=executor)
 
     # Pre-render in parallel; the session then looks waveforms up.
-    t0 = time.perf_counter()
     render_executor = "serial" if executor == "process" else executor
-    waves = run_tasks(
-        config.corpus.render, specs, n_jobs=n_jobs, executor=render_executor
-    )
+    with trace("render", n=len(specs), metric_labels={}) as span:
+        waves = run_tasks(
+            config.corpus.render, specs, n_jobs=n_jobs, executor=render_executor
+        )
     rendered: Dict[UtteranceSpec, np.ndarray] = dict(zip(specs, waves))
     stats.renders += len(specs)
-    stats.render_s += time.perf_counter() - t0
+    stats.render_s += span.duration_s
 
-    t0 = time.perf_counter()
-    session = record_session(
-        config.corpus,
-        config.channel,
-        specs=specs,
-        seed=config.seed,
-        renderer=rendered.__getitem__,
-    )
+    with trace("transmit", continuous=True, metric_labels={}) as span:
+        session = record_session(
+            config.corpus,
+            config.channel,
+            specs=specs,
+            seed=config.seed,
+            renderer=rendered.__getitem__,
+        )
     # record_session transmits a leading gap, then wave+gap per utterance.
     stats.transmits += 1 + 2 * len(specs)
-    stats.transmit_s += time.perf_counter() - t0
+    stats.transmit_s += span.duration_s
 
-    t0 = time.perf_counter()
-    regions = config.detector.detect(session.trace, session.fs)
-    stats.detect_s += time.perf_counter() - t0
+    with trace("detect", metric_labels={}) as span:
+        regions = config.detector.detect(session.trace, session.fs)
+    stats.detect_s += span.duration_s
     stats.regions_detected += len(regions)
 
-    t0 = time.perf_counter()
-    products = []
-    for region, label in label_regions(regions, session.events):
-        stats.regions_used += 1
-        features = _feature_row(
-            session.trace, region, session.fs, config.feature_highpass_hz
-        )
-        image = _image_product(session.trace, region, config.size)
-        products.append((-1, label, features, image))
-    stats.product_s += time.perf_counter() - t0
+    with trace("product", metric_labels={}) as span:
+        products = []
+        for region, label in label_regions(regions, session.events):
+            stats.regions_used += 1
+            features = _feature_row(
+                session.trace, region, session.fs, config.feature_highpass_hz
+            )
+            image = _image_product(session.trace, region, config.size)
+            products.append((-1, label, features, image))
+    stats.product_s += span.duration_s
     return products, stats
 
 
@@ -754,7 +848,6 @@ def collect_datasets(
             return hit
         cache.misses += 1
 
-    t_start = time.perf_counter()
     config = _PassConfig(
         corpus=corpus,
         channel=channel,
@@ -763,16 +856,26 @@ def collect_datasets(
         size=int(size),
         feature_highpass_hz=feature_highpass_hz,
     )
-    if continuous:
-        products, stats = _collect_continuous(config, specs, n_jobs, executor_name)
-    else:
-        products, stats = _collect_per_utterance(
-            config, specs, n_jobs, executor_name
-        )
-    stats.n_played = len(specs)
-    stats.cache_misses = 1 if cache is not None else 0
-    stats.total_s = time.perf_counter() - t_start
-    _publish(stats)
+    with trace(
+        "collect",
+        corpus=corpus.name,
+        device=channel.device.name,
+        placement=channel.placement.value,
+        executor=executor_name,
+        n_jobs=max(1, int(n_jobs)),
+    ) as pass_span:
+        if continuous:
+            products, stats = _collect_continuous(
+                config, specs, n_jobs, executor_name
+            )
+        else:
+            products, stats = _collect_per_utterance(
+                config, specs, n_jobs, executor_name
+            )
+        stats.n_played = len(specs)
+        stats.cache_misses = 1 if cache is not None else 0
+        stats.total_s = pass_span.elapsed()
+        _publish(stats)
 
     rows = [(label, f) for _, label, f, _ in products if f is not None]
     X = np.vstack([f for _, f in rows]) if rows else np.empty((0, len(FEATURE_NAMES)))

@@ -106,11 +106,36 @@ def build_parser() -> argparse.ArgumentParser:
              "reuse them on later runs",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's span trace as JSON Lines (one span per line)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the span tree and per-stage metrics table at exit",
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="list canonical scenarios and exit",
     )
     return parser
+
+
+def _finish_observability(args) -> None:
+    """Export/print the run's trace and metrics per the CLI flags."""
+    from repro.obs import metrics, tracer
+
+    if args.metrics:
+        print("\n--- trace ---")
+        print(tracer().render_tree())
+        print("\n--- metrics ---")
+        print(metrics().render_table())
+    if args.trace_out:
+        n_spans = tracer().export_jsonl(args.trace_out)
+        print(f"\ntrace: wrote {n_spans} spans to {args.trace_out}")
 
 
 def _list_scenarios() -> None:
@@ -144,6 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(suite.render())
         print(f"\ncollection: {global_stats().summary()}")
+        _finish_observability(args)
         return 0
     if not args.scenario:
         print("error: --scenario or --table is required "
@@ -193,6 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     ))
     print()
     print(format_confusion(result.confusion, result.labels))
+    _finish_observability(args)
     return 0
 
 

@@ -24,7 +24,9 @@ from repro.ml.metrics import accuracy_score, confusion_matrix
 from repro.ml.multiclass import OneVsRestClassifier
 from repro.ml.preprocessing import StandardScaler, clean_features, train_test_split
 from repro.ml.subspace import RandomSubspace
+from repro.nn.callbacks import TraceEpochs
 from repro.nn.model import History
+from repro.obs import trace
 
 __all__ = [
     "CLASSIFIER_NAMES",
@@ -90,6 +92,7 @@ class FeatureCNNClassifier(Classifier):
             optimizer=Adam(lr=self.lr),
             validation_data=validation,
             shuffle_seed=self.seed,
+            callbacks=[TraceEpochs()],
         )
         return self
 
@@ -149,6 +152,7 @@ class SpectrogramCNNClassifier(Classifier):
             optimizer=Adam(lr=self.lr),
             validation_data=validation,
             shuffle_seed=self.seed,
+            callbacks=[TraceEpochs()],
         )
         return self
 
@@ -254,9 +258,21 @@ def run_feature_experiment(
         X, y, test_fraction=test_fraction, seed=seed
     )
     model = make_classifier(classifier_name, seed=seed, fast=fast)
-    model.fit(X_train, y_train)
-    predictions = model.predict(X_test)
-    matrix, labels = confusion_matrix(y_test, predictions, labels=np.unique(y))
+    with trace(
+        "train",
+        classifier=classifier_name,
+        n_train=X_train.shape[0],
+        metric_labels={"classifier": classifier_name},
+    ):
+        model.fit(X_train, y_train)
+    with trace(
+        "evaluate",
+        classifier=classifier_name,
+        n_test=X_test.shape[0],
+        metric_labels={"classifier": classifier_name},
+    ):
+        predictions = model.predict(X_test)
+        matrix, labels = confusion_matrix(y_test, predictions, labels=np.unique(y))
     return ExperimentResult(
         classifier=classifier_name,
         accuracy=accuracy_score(y_test, predictions),
@@ -326,11 +342,23 @@ def run_spectrogram_experiment(
         dataset.images, dataset.y, test_fraction=test_fraction, seed=seed
     )
     model = make_classifier("cnn_spectrogram", seed=seed, fast=fast)
-    model.fit(X_train, y_train)
-    predictions = model.predict(X_test)
-    matrix, labels = confusion_matrix(
-        y_test, predictions, labels=np.unique(dataset.y)
-    )
+    with trace(
+        "train",
+        classifier="cnn_spectrogram",
+        n_train=X_train.shape[0],
+        metric_labels={"classifier": "cnn_spectrogram"},
+    ):
+        model.fit(X_train, y_train)
+    with trace(
+        "evaluate",
+        classifier="cnn_spectrogram",
+        n_test=X_test.shape[0],
+        metric_labels={"classifier": "cnn_spectrogram"},
+    ):
+        predictions = model.predict(X_test)
+        matrix, labels = confusion_matrix(
+            y_test, predictions, labels=np.unique(dataset.y)
+        )
     return ExperimentResult(
         classifier="cnn_spectrogram",
         accuracy=accuracy_score(y_test, predictions),

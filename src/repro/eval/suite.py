@@ -16,6 +16,7 @@ from repro.attack.scenarios import SCENARIOS
 from repro.eval.experiment import ExperimentResult, run_scenario_experiment
 from repro.eval.reporting import PAPER_RESULTS
 from repro.eval.tables import format_table
+from repro.obs import trace
 
 __all__ = ["TableSuite", "TABLE_DEFINITIONS", "run_table"]
 
@@ -131,16 +132,18 @@ def run_table(
 
     cache = cache if cache is not None else CollectionCache()
     suite = TableSuite(table=key)
-    for name in scenario_names:
-        for classifier in chosen:
-            suite.cells[(name, classifier)] = run_scenario_experiment(
-                name,
-                classifier,
-                subsample=subsample,
-                seed=seed,
-                fast=fast,
-                n_jobs=n_jobs,
-                executor=executor,
-                cache=cache,
-            )
+    with trace("table", table=key):
+        for name in scenario_names:
+            for classifier in chosen:
+                with trace("cell", scenario=name, classifier=classifier):
+                    suite.cells[(name, classifier)] = run_scenario_experiment(
+                        name,
+                        classifier,
+                        subsample=subsample,
+                        seed=seed,
+                        fast=fast,
+                        n_jobs=n_jobs,
+                        executor=executor,
+                        cache=cache,
+                    )
     return suite

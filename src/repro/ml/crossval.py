@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.ml.base import Classifier
 from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.obs import trace
 
 __all__ = ["StratifiedKFold", "cross_val_score", "cross_val_confusion"]
 
@@ -54,10 +55,15 @@ def cross_val_score(
     X = np.asarray(X)
     y = np.asarray(y)
     scores = []
-    for train_idx, test_idx in StratifiedKFold(n_splits, seed).split(y):
-        model = classifier.clone()
-        model.fit(X[train_idx], y[train_idx])
-        scores.append(accuracy_score(y[test_idx], model.predict(X[test_idx])))
+    folds = StratifiedKFold(n_splits, seed).split(y)
+    for fold, (train_idx, test_idx) in enumerate(folds):
+        with trace("fold", fold=fold, metric_labels={}):
+            model = classifier.clone()
+            with trace("train", metric_labels={"context": "crossval"}):
+                model.fit(X[train_idx], y[train_idx])
+            with trace("evaluate", metric_labels={"context": "crossval"}):
+                predictions = model.predict(X[test_idx])
+            scores.append(accuracy_score(y[test_idx], predictions))
     return scores
 
 
@@ -72,9 +78,13 @@ def cross_val_confusion(
     X = np.asarray(X)
     y = np.asarray(y)
     predictions = np.empty(y.shape, dtype=y.dtype)
-    for train_idx, test_idx in StratifiedKFold(n_splits, seed).split(y):
-        model = classifier.clone()
-        model.fit(X[train_idx], y[train_idx])
-        predictions[test_idx] = model.predict(X[test_idx])
+    folds = StratifiedKFold(n_splits, seed).split(y)
+    for fold, (train_idx, test_idx) in enumerate(folds):
+        with trace("fold", fold=fold, metric_labels={}):
+            model = classifier.clone()
+            with trace("train", metric_labels={"context": "crossval"}):
+                model.fit(X[train_idx], y[train_idx])
+            with trace("evaluate", metric_labels={"context": "crossval"}):
+                predictions[test_idx] = model.predict(X[test_idx])
     matrix, labels = confusion_matrix(y, predictions, labels=np.unique(y))
     return matrix, labels, accuracy_score(y, predictions)

@@ -10,9 +10,10 @@ Keras user would reach for: ``EarlyStopping(patience=...)`` and
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
-__all__ = ["Callback", "EarlyStopping", "StepDecay"]
+__all__ = ["Callback", "EarlyStopping", "StepDecay", "TraceEpochs"]
 
 
 class Callback:
@@ -87,6 +88,44 @@ class EarlyStopping(Callback):
         if self._stale > self.patience:
             self.stopped_epoch_ = epoch
             return True
+        return False
+
+
+class TraceEpochs(Callback):
+    """Record one observability span per training epoch.
+
+    Each epoch becomes a ``train_epoch`` span (nested under whatever
+    span — typically ``train`` — is open on the calling thread) whose
+    labels carry the epoch index and the loss/accuracy series' latest
+    values; the registry timer aggregates label-free so a 70-epoch fit
+    stays one metrics row. Purely observational: never stops training,
+    never touches the optimiser.
+    """
+
+    def __init__(self, tracer=None):
+        self._tracer = tracer
+        self._mark: Optional[float] = None
+
+    def _resolve(self):
+        if self._tracer is not None:
+            return self._tracer
+        from repro.obs import tracer
+
+        return tracer()
+
+    def on_train_begin(self, optimizer) -> None:
+        self._mark = time.perf_counter()
+
+    def on_epoch_end(self, epoch: int, history, optimizer) -> bool:
+        now = time.perf_counter()
+        duration = now - (self._mark if self._mark is not None else now)
+        self._mark = now
+        labels = {"epoch": epoch}
+        if history.loss:
+            labels["loss"] = round(history.loss[-1], 6)
+        if history.val_loss:
+            labels["val_loss"] = round(history.val_loss[-1], 6)
+        self._resolve().record("train_epoch", duration, metric_labels={}, **labels)
         return False
 
 

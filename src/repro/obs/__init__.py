@@ -1,0 +1,23 @@
+"""Observability: span tracing and a labelled metrics registry.
+
+``trace("transmit", scenario=...)`` times a stage as a nested,
+exception-safe span; :func:`metrics` accumulates labelled counters,
+gauges and timers that merge safely across threads and worker
+processes. See :mod:`repro.obs.tracer` and :mod:`repro.obs.metrics`.
+"""
+
+from repro.obs.metrics import MetricsRegistry, TimerStat, metric_key
+from repro.obs.runtime import metrics, reset_observability, trace, tracer
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "TimerStat",
+    "metric_key",
+    "Span",
+    "Tracer",
+    "metrics",
+    "tracer",
+    "trace",
+    "reset_observability",
+]

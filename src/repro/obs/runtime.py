@@ -1,0 +1,44 @@
+"""Process-wide observability runtime: the default tracer and registry.
+
+Every layer of the pipeline (engine, eval suite, training loop,
+cross-validation) emits spans through :func:`trace` and counters
+through :func:`metrics`. The CLI's ``--trace-out`` / ``--metrics``
+flags export exactly this state at the end of a run; tests reset it
+with :func:`reset_observability`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = ["metrics", "tracer", "trace", "reset_observability"]
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer(registry=_REGISTRY)
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer (bound to :func:`metrics`)."""
+    return _TRACER
+
+
+@contextmanager
+def trace(name: str, metric_labels: Optional[Dict[str, Any]] = None, **labels):
+    """Open a span on the process-wide tracer (see :meth:`Tracer.span`)."""
+    with _TRACER.span(name, metric_labels=metric_labels, **labels) as span:
+        yield span
+
+
+def reset_observability() -> None:
+    """Clear the process-wide trace and metrics (for tests and the CLI)."""
+    _TRACER.clear()
+    _REGISTRY.clear()

@@ -47,6 +47,7 @@ class TestMain:
         assert "paper=" in out
         assert "angry" in out  # confusion matrix labels
 
+    @pytest.mark.slow
     def test_table_mode(self, capsys):
         code = main(["--table", "IV", "--subsample", "10"])
         assert code == 0

@@ -101,6 +101,7 @@ class TestRunFeatureExperiment(object):
 
 
 class TestRunSpectrogramExperiment:
+    @pytest.mark.slow
     def test_cell(self, tess_spectrograms):
         result = run_spectrogram_experiment(tess_spectrograms, seed=0, fast=True)
         assert result.classifier == "cnn_spectrogram"
