@@ -1,0 +1,79 @@
+"""Parallel training engine: serial vs fan-out `run_table` comparison.
+
+Times the same warm-cache table run twice — serial, then fanned over the
+process executor — and asserts the parallel wall time wins on a
+multi-core box *without* changing a single cell accuracy. Collection is
+pre-warmed into a shared cache so the comparison isolates the
+training/evaluation engine (the collection engine has its own benchmark
+coverage).
+
+Skipped on single-core machines, where there is no speedup to measure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.attack.engine import CollectionCache
+from repro.eval.experiment import collect_scenario_datasets
+from repro.eval.suite import TABLE_DEFINITIONS, run_table
+
+from benchmarks._common import print_header
+
+_CORES = os.cpu_count() or 1
+
+_TABLE = "III"
+_CLASSIFIERS = ("logistic", "multiclass", "lmt", "cnn")
+_SUBSAMPLE = 20
+
+
+@pytest.mark.skipif(_CORES < 2, reason="needs >= 2 cores to show a speedup")
+def test_parallel_run_table_beats_serial(benchmark):
+    n_jobs = min(4, _CORES)
+    cache = CollectionCache()
+    scenario_names, _ = TABLE_DEFINITIONS[_TABLE]
+    out = {}
+
+    def run():
+        # Warm the collection cache so both timed runs are training-only.
+        for name in scenario_names:
+            collect_scenario_datasets(
+                name, subsample=_SUBSAMPLE, seed=0, cache=cache
+            )
+        t0 = time.perf_counter()
+        serial = run_table(
+            _TABLE, subsample=_SUBSAMPLE, seed=0, fast=True,
+            classifiers=_CLASSIFIERS, cache=cache,
+        )
+        t1 = time.perf_counter()
+        parallel = run_table(
+            _TABLE, subsample=_SUBSAMPLE, seed=0, fast=True,
+            classifiers=_CLASSIFIERS, cache=cache,
+            n_jobs=n_jobs, executor="process",
+        )
+        t2 = time.perf_counter()
+        out["serial"] = serial
+        out["parallel"] = parallel
+        out["serial_s"] = t1 - t0
+        out["parallel_s"] = t2 - t1
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(
+        f"Parallel training engine - Table {_TABLE}, "
+        f"{len(out['serial'].cells)} cells, {n_jobs} process workers"
+    )
+    speedup = out["serial_s"] / max(out["parallel_s"], 1e-9)
+    print(f"  serial   : {out['serial_s']:.2f}s")
+    print(f"  parallel : {out['parallel_s']:.2f}s  ({speedup:.2f}x)")
+
+    # Identical results first: the speedup must be free.
+    assert set(out["parallel"].cells) == set(out["serial"].cells)
+    for key, result in out["serial"].cells.items():
+        assert out["parallel"].cells[key].accuracy == result.accuracy, key
+    # The point of the engine: the fan-out wins on a multi-core box.
+    assert out["parallel_s"] < out["serial_s"]

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import copy
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -50,6 +50,8 @@ from repro.attack.regions import Region, RegionDetector
 from repro.attack.specimages import region_spectrogram_image
 from repro.datasets.base import Corpus, UtteranceSpec
 from repro.obs import MetricsRegistry, metrics, trace, tracer
+from repro.parallel import EXECUTOR_NAMES, resolve_executor
+from repro.parallel import run_tasks as _run_tasks_generic
 from repro.phone.channel import Placement, VibrationChannel
 
 __all__ = [
@@ -72,8 +74,6 @@ __all__ = [
 #: Seconds of silence padded around each per-utterance playback so the
 #: region detector sees the noise floor (matches the paper's protocol).
 _UTTERANCE_PAD_S = 0.3
-
-EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
 
 
 # ---------------------------------------------------------------------------
@@ -308,33 +308,23 @@ def run_tasks(
 ) -> List:
     """Run ``fn`` over ``items`` with the chosen executor, preserving order.
 
-    ``executor=None`` selects ``serial`` for ``n_jobs <= 1`` and
-    ``thread`` otherwise. The ``process`` executor requires ``fn`` to be
-    the engine's own work-item entry point (module-level, picklable).
+    Thin wrapper over :func:`repro.parallel.run_tasks` that keeps the
+    engine's historical restriction: the ``process`` executor runs
+    through :func:`collect_datasets` (which ships the pass config via a
+    pool initializer), not through this helper.
     """
-    name = _resolve_executor(n_jobs, executor)
-    items = list(items)
-    if name == "serial" or len(items) <= 1:
-        return [fn(item) for item in items]
-    workers = max(1, int(n_jobs))
-    if name == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
-    raise ValueError(
-        "the process executor runs through collect_datasets(); "
-        "run_tasks() only supports 'serial' and 'thread'"
-    )
-
-
-def _resolve_executor(n_jobs: int, executor: Optional[str]) -> str:
-    if executor is None:
-        return "serial" if n_jobs <= 1 else "thread"
-    key = str(executor).lower().strip()
-    if key not in EXECUTOR_NAMES:
+    if _resolve_executor(n_jobs, executor) == "process":
         raise ValueError(
-            f"unknown executor {executor!r}; available: {EXECUTOR_NAMES}"
+            "the process executor runs through collect_datasets(); "
+            "run_tasks() only supports 'serial' and 'thread'"
         )
-    return key
+    return _run_tasks_generic(fn, items, n_jobs=n_jobs, executor=executor)
+
+
+#: Executor-name resolution now lives in :mod:`repro.parallel` (shared
+#: with the training/evaluation engine); kept under the old name for the
+#: engine's internal call sites.
+_resolve_executor = resolve_executor
 
 
 # ---------------------------------------------------------------------------

@@ -84,7 +84,10 @@ def extract_time_features(region: np.ndarray) -> Dict[str, float]:
     mean = float(x.mean())
     std = float(x.std())
     crossings = np.sum(np.diff(np.signbit(x - mean)) != 0)
-    cv = std / abs(mean) if abs(mean) > 1e-12 else np.nan
+    # Zero-mean regions (gravity-compensated or axis-differenced traces)
+    # get cv = 0.0: a NaN here would silently drop the whole row in
+    # clean_features and shrink the training set.
+    cv = std / abs(mean) if abs(mean) > 1e-12 else 0.0
     return {
         "min": float(x.min()),
         "max": float(x.max()),
@@ -138,7 +141,10 @@ def extract_freq_features(region: np.ndarray, fs: float) -> Dict[str, float]:
     split = fs / 8.0
     high = power[freqs >= split].sum()
     low = power[freqs < split].sum()
-    freq_ratio = float(high / low) if low > 1e-24 else np.nan
+    # An empty/silent low band means "no low-frequency energy to compare
+    # against"; report 0.0 rather than a NaN sentinel that would get the
+    # row dropped downstream.
+    freq_ratio = float(high / low) if low > 1e-24 else 0.0
 
     # Irregularity K (Krimphoff): deviation from the 3-point local mean.
     if spectrum.size >= 3:

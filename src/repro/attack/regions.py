@@ -228,8 +228,12 @@ def detection_rate(
 ) -> float:
     """Fraction of ground-truth playback intervals hit by >=1 detection.
 
-    An interval counts as extracted when some detected region's centre
-    (or any overlap) falls inside it — the paper's "extraction rate".
+    An interval counts as extracted when some detected region *overlaps*
+    it with positive duration, i.e. ``region.start_s < t_end`` and
+    ``region.end_s > t_start`` — the paper's "extraction rate". A region
+    that merely touches an interval's edge (zero-length intersection)
+    does not count; a region's centre falling outside the interval is
+    fine as long as the region itself overlaps it.
     """
     if not truth_intervals:
         raise ValueError("need at least one ground-truth interval")

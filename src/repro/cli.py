@@ -88,15 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="collection-engine worker count (results are identical "
-             "at any value; default: 1)",
+        help="worker count for the collection engine and, with --table, "
+             "the training/evaluation cell fan-out (results are "
+             "identical at any value; default: 1)",
     )
     parser.add_argument(
         "--executor",
         choices=EXECUTOR_NAMES,
         default=None,
-        help="collection executor (default: serial for --n-jobs 1, "
-             "thread otherwise)",
+        help="executor for collection and cell training (default: "
+             "serial for --n-jobs 1, thread otherwise)",
     )
     parser.add_argument(
         "--cache-dir",

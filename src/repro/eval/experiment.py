@@ -33,7 +33,9 @@ __all__ = [
     "ExperimentResult",
     "FeatureCNNClassifier",
     "SpectrogramCNNClassifier",
+    "collect_scenario_datasets",
     "make_classifier",
+    "run_bundle_experiment",
     "run_feature_experiment",
     "run_spectrogram_experiment",
     "run_scenario_experiment",
@@ -286,6 +288,59 @@ def run_feature_experiment(
     )
 
 
+def collect_scenario_datasets(
+    scenario,
+    subsample: Optional[int] = 20,
+    seed: int = 0,
+    n_jobs: int = 1,
+    executor: Optional[str] = None,
+    cache=None,
+):
+    """Collect a scenario's feature+spectrogram bundle through the engine.
+
+    ``scenario`` is a canonical scenario name or a
+    :class:`~repro.attack.scenarios.Scenario`. Collection goes through a
+    :class:`~repro.attack.engine.CollectionCache` (the module-wide
+    default when ``cache`` is None), so several classifiers — or a whole
+    table — consuming the same scenario perform exactly one
+    render→transmit→detect pass.
+    """
+    from repro.attack.engine import collect_datasets, default_cache
+    from repro.attack.scenarios import get_scenario
+    from repro.datasets import build_corpus
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    corpus = build_corpus(scenario.dataset)
+    if subsample:
+        corpus = corpus.subsample(per_class=subsample, seed=seed)
+    channel = scenario.channel(seed=seed)
+    return collect_datasets(
+        corpus,
+        channel,
+        seed=seed,
+        n_jobs=n_jobs,
+        executor=executor,
+        cache=cache if cache is not None else default_cache(),
+    )
+
+
+def run_bundle_experiment(
+    bundle,
+    classifier: str,
+    seed: int = 0,
+    fast: bool = True,
+) -> ExperimentResult:
+    """Evaluate one classifier on an already-collected bundle.
+
+    The training half of a table cell: dispatches to the spectrogram or
+    feature experiment depending on the classifier row.
+    """
+    if classifier == "cnn_spectrogram":
+        return run_spectrogram_experiment(bundle.spectrograms, seed=seed, fast=fast)
+    return run_feature_experiment(bundle.features, classifier, seed=seed, fast=fast)
+
+
 def run_scenario_experiment(
     scenario,
     classifier: str,
@@ -298,33 +353,18 @@ def run_scenario_experiment(
 ) -> ExperimentResult:
     """Run one (scenario, classifier) cell through the collection engine.
 
-    ``scenario`` is a canonical scenario name or a
-    :class:`~repro.attack.scenarios.Scenario`. Collection goes through a
-    :class:`~repro.attack.engine.CollectionCache` (the module-wide
-    default when ``cache`` is None), so evaluating several classifiers on
-    the same scenario performs exactly one render→transmit→detect pass.
+    Collection and evaluation in one call — see
+    :func:`collect_scenario_datasets` and :func:`run_bundle_experiment`.
     """
-    from repro.attack.engine import collect_datasets, default_cache
-    from repro.attack.scenarios import get_scenario
-    from repro.datasets import build_corpus
-
-    if isinstance(scenario, str):
-        scenario = get_scenario(scenario)
-    corpus = build_corpus(scenario.dataset)
-    if subsample:
-        corpus = corpus.subsample(per_class=subsample, seed=seed)
-    channel = scenario.channel(seed=seed)
-    bundle = collect_datasets(
-        corpus,
-        channel,
+    bundle = collect_scenario_datasets(
+        scenario,
+        subsample=subsample,
         seed=seed,
         n_jobs=n_jobs,
         executor=executor,
-        cache=cache if cache is not None else default_cache(),
+        cache=cache,
     )
-    if classifier == "cnn_spectrogram":
-        return run_spectrogram_experiment(bundle.spectrograms, seed=seed, fast=fast)
-    return run_feature_experiment(bundle.features, classifier, seed=seed, fast=fast)
+    return run_bundle_experiment(bundle, classifier, seed=seed, fast=fast)
 
 
 def run_spectrogram_experiment(

@@ -13,10 +13,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.attack.engine import CollectionCache
 from repro.attack.scenarios import SCENARIOS
-from repro.eval.experiment import ExperimentResult, run_scenario_experiment
+from repro.eval.experiment import (
+    ExperimentResult,
+    collect_scenario_datasets,
+    run_bundle_experiment,
+)
 from repro.eval.reporting import PAPER_RESULTS
 from repro.eval.tables import format_table
-from repro.obs import trace
+from repro.obs import capture_observability, merge_worker_trace, trace
+from repro.parallel import ExecutorPool
 
 __all__ = ["TableSuite", "TABLE_DEFINITIONS", "run_table"]
 
@@ -81,6 +86,28 @@ class TableSuite:
         return format_table(f"Table {self.table} (reproduced)", rows, headers)
 
 
+def _run_cell_task(task):
+    """Worker entry point: one (scenario, classifier) training cell.
+
+    Module-level (picklable for the process executor). The cell's
+    ``cell`` → ``train``/``evaluate`` spans are captured locally and
+    shipped back for re-parenting under the dispatcher's ``table`` span;
+    exceptions travel back as values so the trace stays balanced.
+    """
+    name, classifier, bundle, seed, fast = task
+    result = None
+    error = None
+    with capture_observability() as capture:
+        try:
+            with trace("cell", scenario=name, classifier=classifier):
+                result = run_bundle_experiment(
+                    bundle, classifier, seed=seed, fast=fast
+                )
+        except Exception as exc:
+            error = exc
+    return name, classifier, result, capture, error
+
+
 def run_table(
     table: str,
     subsample: Optional[int] = 20,
@@ -90,6 +117,7 @@ def run_table(
     n_jobs: int = 1,
     executor: Optional[str] = None,
     cache: Optional[CollectionCache] = None,
+    pool: Optional[ExecutorPool] = None,
 ) -> TableSuite:
     """Regenerate one paper table.
 
@@ -105,11 +133,19 @@ def run_table(
     classifiers:
         Optional subset of the table's classifier rows.
     n_jobs / executor:
-        Collection-engine parallelism (see :mod:`repro.attack.engine`).
+        Worker pool for *both* engines: each scenario's collection pass
+        fans its utterances out (see :mod:`repro.attack.engine`), then
+        the table's training/evaluation cells fan out over one shared
+        :class:`~repro.parallel.ExecutorPool`. Cell results are
+        identical at any worker count.
     cache:
         Collection cache; a private per-call cache is used when None, so
         each scenario's render→transmit→detect pass runs exactly once
         regardless of how many classifier rows consume it.
+    pool:
+        Optional existing :class:`~repro.parallel.ExecutorPool` to reuse
+        for the cell fan-out (e.g. across several tables); when None a
+        pool is created from ``n_jobs``/``executor`` and closed on exit.
     """
     key = table.upper().strip()
     if key not in TABLE_DEFINITIONS:
@@ -131,19 +167,55 @@ def run_table(
         raise ValueError(f"classifiers {sorted(unknown)} not part of Table {key}")
 
     cache = cache if cache is not None else CollectionCache()
+    owns_pool = pool is None
+    if pool is None:
+        pool = ExecutorPool(n_jobs=n_jobs, executor=executor)
     suite = TableSuite(table=key)
-    with trace("table", table=key):
-        for name in scenario_names:
-            for classifier in chosen:
-                with trace("cell", scenario=name, classifier=classifier):
-                    suite.cells[(name, classifier)] = run_scenario_experiment(
-                        name,
-                        classifier,
-                        subsample=subsample,
-                        seed=seed,
-                        fast=fast,
-                        n_jobs=n_jobs,
-                        executor=executor,
-                        cache=cache,
-                    )
+    try:
+        with trace("table", table=key) as table_span:
+            # Phase 1 — one collection pass per scenario, through the
+            # engine (its own utterance-level parallelism); every cell
+            # below consumes the cached bundle.
+            bundles = {
+                name: collect_scenario_datasets(
+                    name,
+                    subsample=subsample,
+                    seed=seed,
+                    n_jobs=n_jobs,
+                    executor=executor,
+                    cache=cache,
+                )
+                for name in scenario_names
+            }
+            cells = [
+                (name, classifier)
+                for name in scenario_names
+                for classifier in chosen
+            ]
+            # Phase 2 — fan the independent training cells out over the
+            # shared pool (or run them inline with live spans).
+            if not pool.is_parallel:
+                for name, classifier in cells:
+                    with trace("cell", scenario=name, classifier=classifier):
+                        suite.cells[(name, classifier)] = run_bundle_experiment(
+                            bundles[name], classifier, seed=seed, fast=fast
+                        )
+            else:
+                tasks = [
+                    (name, classifier, bundles[name], seed, fast)
+                    for name, classifier in cells
+                ]
+                outcomes = pool.map(_run_cell_task, tasks)
+                first_error = None
+                for name, classifier, result, capture, error in outcomes:
+                    merge_worker_trace(capture, parent=table_span)
+                    if error is not None:
+                        first_error = first_error or error
+                        continue
+                    suite.cells[(name, classifier)] = result
+                if first_error is not None:
+                    raise first_error
+    finally:
+        if owns_pool:
+            pool.close()
     return suite

@@ -80,7 +80,7 @@ class RandomForest(Classifier):
         total = np.zeros((X.shape[0], k))
         for tree in self.trees_:
             proba = tree.predict_proba(X)
-            # Map tree class codes back onto the forest's class axis.
-            for j, code in enumerate(tree.classes_):
-                total[:, int(code)] += proba[:, j]
+            # Map tree class codes back onto the forest's class axis
+            # (codes are unique, so the fancy-indexed += is safe).
+            total[:, tree.classes_.astype(int)] += proba
         return total / len(self.trees_)

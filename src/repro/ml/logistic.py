@@ -87,18 +87,22 @@ class LogisticRegression(Classifier):
             look_W = W + momentum * vel_W
             look_b = b + momentum * vel_b
             loss, grad_W, grad_b = self._loss_grad(Xs, onehot, look_W, look_b)
+            if loss > prev_loss * 1.001:
+                # Diverging: the lookahead already overshot, so do NOT
+                # commit this step — keep the pre-step W/b, kill the
+                # momentum that caused the overshoot, and retry with a
+                # halved step size from the last good iterate.
+                lr *= 0.5
+                vel_W = np.zeros_like(W)
+                vel_b = np.zeros_like(b)
+                if lr < 1e-6:
+                    break
+                continue
             vel_W = momentum * vel_W - lr * grad_W
             vel_b = momentum * vel_b - lr * grad_b
             W = W + vel_W
             b = b + vel_b
-            if loss > prev_loss * 1.001:
-                # Diverging: shrink the step and damp the momentum.
-                lr *= 0.5
-                vel_W *= 0.0
-                vel_b *= 0.0
-                if lr < 1e-6:
-                    break
-            elif prev_loss - loss < self.tol:
+            if prev_loss - loss < self.tol:
                 break
             prev_loss = min(prev_loss, loss)
         self.coef_ = W

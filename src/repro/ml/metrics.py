@@ -35,13 +35,37 @@ def confusion_matrix(
         labels = np.unique(np.concatenate([y_true, y_pred]))
     else:
         labels = np.asarray(labels)
-    index = {label: i for i, label in enumerate(labels)}
-    matrix = np.zeros((labels.size, labels.size), dtype=int)
-    for t, p in zip(y_true, y_pred):
-        if t not in index or p not in index:
-            raise ValueError(f"label outside the provided inventory: {t!r}/{p!r}")
-        matrix[index[t], index[p]] += 1
-    return matrix, labels
+    k = labels.size
+    if k == 0 and y_true.size:
+        raise ValueError(
+            f"label outside the provided inventory: {y_true[0]!r}/{y_pred[0]!r}"
+        )
+    codes_true, bad_true = _encode(y_true, labels)
+    codes_pred, bad_pred = _encode(y_pred, labels)
+    bad = bad_true | bad_pred
+    if bad.any():
+        i = int(np.flatnonzero(bad)[0])
+        raise ValueError(
+            f"label outside the provided inventory: {y_true[i]!r}/{y_pred[i]!r}"
+        )
+    matrix = np.bincount(codes_true * k + codes_pred, minlength=k * k)
+    return matrix.reshape(k, k).astype(int), labels
+
+
+def _encode(values: np.ndarray, labels: np.ndarray):
+    """Vectorised label -> inventory-position encoding.
+
+    ``np.searchsorted`` against the sorted inventory replaces the old
+    per-sample dict lookup. Returns ``(codes, bad_mask)`` where
+    ``bad_mask`` flags values missing from the inventory.
+    """
+    if values.size == 0:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=bool)
+    order = np.argsort(labels, kind="stable")
+    positions = np.searchsorted(labels[order], values)
+    positions = np.minimum(positions, labels.size - 1)
+    codes = order[positions]
+    return codes, labels[codes] != values
 
 
 def classification_report(

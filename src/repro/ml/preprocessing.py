@@ -12,6 +12,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import metrics
+
 __all__ = ["clean_features", "StandardScaler", "LabelEncoder", "train_test_split"]
 
 
@@ -21,12 +23,21 @@ def clean_features(
     """Drop rows containing NaN/inf entries.
 
     Returns ``(X_clean, y_clean, kept_mask)``; ``y_clean`` is None when no
-    labels were supplied.
+    labels were supplied. Every dropped row increments the labelled
+    ``preprocessing.rows_dropped`` counter — silent training-set
+    shrinkage (the Table II NaN-sentinel bug) is observable in the
+    metrics table instead of just shifting accuracies.
     """
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
         raise ValueError(f"expected a 2-D feature matrix, got shape {X.shape}")
     mask = np.all(np.isfinite(X), axis=1)
+    dropped = int(X.shape[0] - np.count_nonzero(mask))
+    if dropped:
+        metrics().count(
+            "preprocessing.rows_dropped", dropped, stage="clean_features",
+            reason="nonfinite",
+        )
     X_clean = X[mask]
     y_clean = None
     if y is not None:

@@ -109,27 +109,47 @@ class DecisionTree(Classifier):
         features = np.arange(d)
         if self.max_features is not None and self.max_features < d:
             features = rng.choice(d, size=self.max_features, replace=False)
+        # Vectorised over candidate features: sort every column at once,
+        # build the (n-1, m, k) prefix class counts in one cumsum, and
+        # score all thresholds of all features together. The per-feature
+        # argmin plus the final in-order scan preserve the serial
+        # version's tie-breaking exactly (first position, first feature).
+        m = features.size
+        Xf = X[:, features]
+        order = np.argsort(Xf, axis=0, kind="stable")
+        values = np.take_along_axis(Xf, order, axis=0)
+        sorted_codes = codes[order]
+        onehot = np.zeros((n, m, k))
+        onehot[np.arange(n)[:, None], np.arange(m)[None, :], sorted_codes] = 1.0
+        left_counts = np.cumsum(onehot, axis=0)[:-1]
+        total = left_counts[-1] + onehot[-1]
+        right_counts = total[None, :, :] - left_counts
+        n_left = np.arange(1, n)[:, None]
+        n_right = n - n_left
+        p_left = left_counts / n_left[..., None]
+        p_right = right_counts / n_right[..., None]
+        if self.criterion == "gini":
+            imp_left = 1.0 - np.sum(p_left**2, axis=2)
+            imp_right = 1.0 - np.sum(p_right**2, axis=2)
+        else:  # entropy
+            eps = 1e-12
+            imp_left = -np.sum(p_left * np.log2(p_left + eps), axis=2)
+            imp_right = -np.sum(p_right * np.log2(p_right + eps), axis=2)
+        curve = (n_left * imp_left + n_right * imp_right) / n
+        # Valid split positions: value changes + leaf-size constraints.
+        hi = n - self.min_samples_leaf
+        position = np.arange(1, n)[:, None]
+        valid = values[:-1] < values[1:]
+        valid &= (position >= self.min_samples_leaf) & (position <= hi)
+        curve = np.where(valid, curve, np.inf)
+        best_pos = np.argmin(curve, axis=0)
+        best_imp = curve[best_pos, np.arange(m)]
         best = (np.inf, -1, 0.0)  # (impurity, feature, threshold)
-        for f in features:
-            order = np.argsort(X[:, f], kind="stable")
-            values = X[order, f]
-            sorted_codes = codes[order]
-            if values[0] == values[-1]:
-                continue
-            curve = _impurity_curve(sorted_codes, k, self.criterion)
-            # Valid split positions: value changes + leaf-size constraints.
-            valid = values[:-1] < values[1:]
-            lo = self.min_samples_leaf - 1
-            hi = n - self.min_samples_leaf
-            position = np.arange(1, n)
-            valid &= (position >= self.min_samples_leaf) & (position <= hi)
-            if not np.any(valid):
-                continue
-            curve = np.where(valid, curve, np.inf)
-            i = int(np.argmin(curve))
-            if curve[i] < best[0]:
-                threshold = 0.5 * (values[i] + values[i + 1])
-                best = (float(curve[i]), int(f), threshold)
+        for j in range(m):
+            if best_imp[j] < best[0]:
+                i = int(best_pos[j])
+                threshold = 0.5 * (values[i, j] + values[i + 1, j])
+                best = (float(best_imp[j]), int(features[j]), threshold)
         return best
 
     def _grow(self, X, codes, k, depth, rng) -> _Node:
@@ -159,11 +179,20 @@ class DecisionTree(Classifier):
         self._check_fitted()
         X = check_X(X)
         out = np.empty((X.shape[0], self.classes_.size))
-        for i, row in enumerate(X):
-            node = self.root_
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.proba
+        # Route whole index cohorts through the tree at once instead of
+        # walking it per sample: each node partitions its cohort with one
+        # vectorised comparison.
+        stack = [(self.root_, np.arange(X.shape[0]))]
+        while stack:
+            node, members = stack.pop()
+            if members.size == 0:
+                continue
+            if node.is_leaf:
+                out[members] = node.proba
+                continue
+            mask = X[members, node.feature] <= node.threshold
+            stack.append((node.left, members[mask]))
+            stack.append((node.right, members[~mask]))
         return out
 
     def depth(self) -> int:

@@ -7,7 +7,15 @@ processes. See :mod:`repro.obs.tracer` and :mod:`repro.obs.metrics`.
 """
 
 from repro.obs.metrics import MetricsRegistry, TimerStat, metric_key
-from repro.obs.runtime import metrics, reset_observability, trace, tracer
+from repro.obs.runtime import (
+    WorkerTrace,
+    capture_observability,
+    merge_worker_trace,
+    metrics,
+    reset_observability,
+    trace,
+    tracer,
+)
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
@@ -16,6 +24,9 @@ __all__ = [
     "metric_key",
     "Span",
     "Tracer",
+    "WorkerTrace",
+    "capture_observability",
+    "merge_worker_trace",
     "metrics",
     "tracer",
     "trace",

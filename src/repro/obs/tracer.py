@@ -167,6 +167,27 @@ class Tracer:
         self._observe(span, metric_labels)
         return span
 
+    def adopt(self, span: Span, parent: Optional[Span] = None) -> Span:
+        """Attach an externally finished span *tree* (e.g. from a worker).
+
+        Worker threads and processes record their spans on private
+        tracers (see :func:`repro.obs.runtime.capture_observability`);
+        adopting re-parents the finished tree under ``parent`` (or as a
+        new root) with fresh span ids, so ids minted by a worker process
+        cannot collide with local ones. Timer observations are *not*
+        re-recorded — merge the worker's registry instead, which keeps
+        the original metric labels intact.
+        """
+        self._reid(span, parent.span_id if parent is not None else None)
+        self._attach(span, parent)
+        return span
+
+    def _reid(self, span: Span, parent_id: Optional[int]) -> None:
+        span.span_id = next(_SPAN_IDS)
+        span.parent_id = parent_id
+        for child in span.children:
+            self._reid(child, span.span_id)
+
     def _attach(self, span: Span, parent: Optional[Span]) -> None:
         if parent is not None:
             parent.children.append(span)

@@ -50,9 +50,17 @@ class TestTimeFeatures:
         feats = extract_time_features(region)
         assert feats["cv"] == pytest.approx(region.std() / abs(region.mean()))
 
-    def test_cv_nan_at_zero_mean(self):
+    def test_cv_finite_at_zero_mean(self):
+        """Zero-mean regions get cv == 0.0, not a NaN sentinel.
+
+        A NaN here used to flow into the feature matrix and get the whole
+        row dropped by ``clean_features``; the finite fallback keeps the
+        sample.
+        """
         x = np.array([-1.0, 1.0, -1.0, 1.0])
-        assert np.isnan(extract_time_features(x)["cv"])
+        cv = extract_time_features(x)["cv"]
+        assert np.isfinite(cv)
+        assert cv == 0.0
 
     def test_constant_region(self):
         feats = extract_time_features(np.full(100, 9.81))
@@ -117,6 +125,17 @@ class TestFreqFeatures:
         low = extract_freq_features(np.sin(2 * np.pi * 20 * t), 420.0)
         high = extract_freq_features(np.sin(2 * np.pi * 180 * t), 420.0)
         assert high["frequency_ratio"] > 10 * max(low["frequency_ratio"], 1e-6)
+
+    def test_frequency_ratio_finite_with_empty_low_band(self):
+        """An empty low band yields 0.0, not a NaN/inf sentinel.
+
+        An 8-sample region at fs=8 Hz has non-DC bins at 1..4 Hz, all at
+        or above the fs/8 = 1 Hz split, so the low band holds no energy.
+        """
+        x = np.array([1.0, -1.0] * 4)  # pure Nyquist tone
+        ratio = extract_freq_features(x, 8.0)["frequency_ratio"]
+        assert np.isfinite(ratio)
+        assert ratio == 0.0
 
     def test_too_short(self):
         with pytest.raises(ValueError):

@@ -116,3 +116,24 @@ class TestDetectionRate:
     def test_no_truth(self):
         with pytest.raises(ValueError):
             detection_rate([], [])
+
+    def test_edge_touch_does_not_count(self):
+        """Zero-length intersection is not an overlap.
+
+        The region spans [2.0 s, 3.0 s]; intervals ending exactly at its
+        start or starting exactly at its end merely touch it.
+        """
+        regions = [Region(840, 1260, 420.0)]  # 2.0 s .. 3.0 s
+        assert detection_rate(regions, [(1.0, 2.0)]) == 0.0
+        assert detection_rate(regions, [(3.0, 4.0)]) == 0.0
+
+    def test_sliver_overlap_counts(self):
+        regions = [Region(840, 1260, 420.0)]  # 2.0 s .. 3.0 s
+        assert detection_rate(regions, [(2.99, 4.0)]) == 1.0
+        assert detection_rate(regions, [(1.0, 2.01)]) == 1.0
+
+    def test_centre_outside_interval_still_counts(self):
+        """Overlap is the criterion, not the region centre's position."""
+        region = Region(840, 1260, 420.0)  # centre at 2.5 s
+        assert region.center_s < 2.8
+        assert detection_rate([region], [(2.8, 5.0)]) == 1.0

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.eval.suite import TABLE_DEFINITIONS, run_table
+from repro.obs import reset_observability, tracer
+from repro.parallel import ExecutorPool
 
 
 class TestTableDefinitions:
@@ -55,3 +57,46 @@ class TestRunTable:
         )
         assert ("savee-loud-oneplus7t", "logistic") in suite.cells
         assert ("savee-loud-pixel5", "logistic") in suite.cells
+
+
+class TestParallelRunTable:
+    def test_parallel_cells_identical_to_serial(self):
+        """The cell fan-out must not change a single accuracy."""
+        kwargs = dict(
+            subsample=6, seed=0, fast=True,
+            classifiers=("logistic", "multiclass"),
+        )
+        serial = run_table("IV", **kwargs)
+        parallel = run_table("IV", n_jobs=2, executor="thread", **kwargs)
+        assert set(parallel.cells) == set(serial.cells)
+        for key in serial.cells:
+            assert parallel.cells[key].accuracy == serial.cells[key].accuracy
+
+    def test_shared_pool_reused_across_cells(self):
+        """All of a table's cells go through one borrowed pool."""
+        with ExecutorPool(n_jobs=2, executor="thread") as pool:
+            suite = run_table(
+                "III", subsample=4, seed=0, fast=True,
+                classifiers=("logistic", "multiclass"), pool=pool,
+            )
+            assert pool.map_calls == 1  # one fan-out for the whole table
+            assert pool.tasks_run == len(suite.cells) == 4
+            assert pool.started  # borrowed pool survives run_table
+
+    def test_cell_spans_nest_under_table_span(self):
+        reset_observability()
+        try:
+            run_table(
+                "IV", subsample=6, seed=0, fast=True,
+                classifiers=("logistic", "multiclass"),
+                n_jobs=2, executor="thread",
+            )
+            tables = tracer().find("table")
+            assert len(tables) == 1
+            cells = [s for s in tables[0].walk() if s.name == "cell"]
+            assert len(cells) == 2
+            for cell in cells:
+                assert cell.parent_id == tables[0].span_id
+                assert cell.status == "ok"
+        finally:
+            reset_observability()

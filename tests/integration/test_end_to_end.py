@@ -30,6 +30,18 @@ class TestLoudspeakerAttack:
         """Paper: ~90 % region extraction in the table-top setting."""
         assert tess_features.extraction_rate >= 0.85
 
+    def test_all_features_finite_no_rows_dropped(self, tess_features):
+        """Acceptance: the Table II NaN sentinels are gone.
+
+        With the finite cv/frequency_ratio fallbacks, a default
+        TESS/oneplus7t collection produces a fully finite feature matrix
+        and ``clean_features`` keeps every row.
+        """
+        assert np.isfinite(tess_features.X).all()
+        X, y, mask = clean_features(tess_features.X, tess_features.y)
+        assert mask.all()
+        assert X.shape == tess_features.X.shape
+
     def test_confusion_matrix_diagonal_dominant(self, tess_features):
         X, y, _ = clean_features(tess_features.X, tess_features.y)
         matrix, labels, acc = cross_val_confusion(

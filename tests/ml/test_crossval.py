@@ -1,5 +1,7 @@
 """Tests for repro.ml.crossval."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -54,6 +56,28 @@ class TestStratifiedKFold:
         a = [tuple(t) for _, t in StratifiedKFold(5, seed=2).split(y)]
         b = [tuple(t) for _, t in StratifiedKFold(5, seed=2).split(y)]
         assert a == b
+
+    def test_tiny_class_warns_on_empty_folds(self):
+        """Skipped folds must be loud, not silent (the Fig. 6b footgun)."""
+        y = np.array(["a", "a", "b"])
+        with pytest.warns(RuntimeWarning, match="2 of 3 folds"):
+            folds = list(StratifiedKFold(3).split(y))
+        assert len(folds) == 2  # fewer than requested, but announced
+        for train_idx, test_idx in folds:
+            assert test_idx.size > 0
+            assert not set(train_idx) & set(test_idx)
+
+    def test_tiny_class_strict_raises(self):
+        y = np.array(["a", "a", "b"])
+        with pytest.raises(ValueError, match="folds"):
+            list(StratifiedKFold(3, strict=True).split(y))
+
+    def test_full_folds_no_warning(self):
+        _, y = blobs()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            folds = list(StratifiedKFold(5).split(y))
+        assert len(folds) == 5
 
 
 class TestCrossValScore:

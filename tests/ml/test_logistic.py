@@ -39,6 +39,47 @@ class TestLogisticRegression:
         model = LogisticRegression().fit(X, y)
         assert model.score(X, y) > 0.95
 
+    def test_divergence_recovery_with_huge_lr(self):
+        """An absurd step size must trigger backtracking, not blow up.
+
+        lr=50 on these blobs provably overshoots (the loss increases
+        mid-run); the divergence branch has to roll back to the last good
+        iterate and still reach the separable optimum.
+        """
+        X, y = blobs()
+        model = LogisticRegression(lr=50.0).fit(X, y)
+        assert np.isfinite(model.coef_).all()
+        assert np.isfinite(model.intercept_).all()
+        assert model.score(X, y) > 0.95
+
+    def test_divergence_rolls_back_to_pre_step_weights(self):
+        """A rejected step must leave the weights exactly untouched.
+
+        Spiking every loss after the first forces the optimiser to reject
+        every later step; the final weights must therefore equal a plain
+        one-iteration fit. (The historical bug committed the overshot
+        step before retrying, so the diverged weights leaked out.)
+        """
+
+        class SpikedLogistic(LogisticRegression):
+            def __init__(self, **kwargs):
+                super().__init__(**kwargs)
+                self._calls = 0
+
+            def _loss_grad(self, X, onehot, W, b):
+                loss, grad_W, grad_b = super()._loss_grad(X, onehot, W, b)
+                self._calls += 1
+                if self._calls > 1:
+                    return loss + 1e6, grad_W, grad_b
+                return loss, grad_W, grad_b
+
+        X, y = blobs()
+        spiked = SpikedLogistic(lr=0.5, max_iter=300).fit(X, y)
+        one_step = LogisticRegression(lr=0.5, max_iter=1).fit(X, y)
+        assert spiked._calls > 2  # the divergence branch really ran
+        np.testing.assert_array_equal(spiked.coef_, one_step.coef_)
+        np.testing.assert_array_equal(spiked.intercept_, one_step.intercept_)
+
     def test_predict_proba_valid(self):
         X, y = blobs()
         model = LogisticRegression().fit(X, y)

@@ -35,6 +35,34 @@ class TestCleanFeatures:
         with pytest.raises(ValueError):
             clean_features(np.ones((3, 2)), np.array(["a"]))
 
+    def test_dropped_rows_hit_counter(self):
+        """Silent training-set shrinkage must show up in the metrics."""
+        from repro.obs import metrics, reset_observability
+
+        reset_observability()
+        try:
+            X = np.ones((5, 3))
+            X[1, 0] = np.nan
+            X[4, 2] = np.inf
+            clean_features(X)
+            assert metrics().counter_value(
+                "preprocessing.rows_dropped",
+                stage="clean_features",
+                reason="nonfinite",
+            ) == 2
+        finally:
+            reset_observability()
+
+    def test_no_drops_no_counter(self):
+        from repro.obs import metrics, reset_observability
+
+        reset_observability()
+        try:
+            clean_features(np.ones((4, 2)))
+            assert metrics().counter_total("preprocessing.rows_dropped") == 0
+        finally:
+            reset_observability()
+
     def test_rejects_1d(self):
         with pytest.raises(ValueError):
             clean_features(np.ones(5))

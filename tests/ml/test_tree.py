@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ml.tree import DecisionTree
+from repro.ml.tree import DecisionTree, _impurity_curve
 
 
 def xor_data(n=200, seed=0):
@@ -11,6 +11,61 @@ def xor_data(n=200, seed=0):
     X = rng.uniform(-1, 1, size=(n, 2))
     y = np.where((X[:, 0] > 0) ^ (X[:, 1] > 0), "odd", "even")
     return X, y
+
+
+def _serial_best_split(tree, X, codes, k):
+    """Reference split search: one feature at a time, in order.
+
+    Mirrors the pre-vectorisation algorithm (first-position /
+    first-feature tie-breaking) so the fast path can be checked against
+    it exactly.
+    """
+    n, d = X.shape
+    best = (np.inf, -1, 0.0)
+    for j in range(d):
+        order = np.argsort(X[:, j], kind="stable")
+        values = X[order, j]
+        curve = _impurity_curve(codes[order], k, tree.criterion)
+        for i in range(n - 1):
+            if values[i] >= values[i + 1]:
+                continue
+            position = i + 1
+            if position < tree.min_samples_leaf:
+                continue
+            if position > n - tree.min_samples_leaf:
+                continue
+            if curve[i] < best[0]:
+                best = (float(curve[i]), j, 0.5 * (values[i] + values[i + 1]))
+    return best
+
+
+class TestVectorisedSplitSearch:
+    """The batched split search must match the serial reference exactly."""
+
+    @pytest.mark.parametrize("criterion", ["gini", "entropy"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_serial_reference(self, criterion, seed):
+        rng = np.random.default_rng(seed)
+        # Small integer grid: plenty of duplicate values and impurity
+        # ties, the cases where tie-breaking order actually matters.
+        X = rng.integers(0, 4, size=(40, 5)).astype(float)
+        codes = rng.integers(0, 3, size=40)
+        tree = DecisionTree(criterion=criterion, min_samples_leaf=2)
+        fast = tree._best_split(X, codes, 3, np.random.default_rng(0))
+        ref = _serial_best_split(tree, X, codes, 3)
+        assert fast[1] == ref[1]  # same feature
+        assert fast[2] == pytest.approx(ref[2])  # same threshold
+        assert fast[0] == pytest.approx(ref[0])  # same impurity
+
+    def test_no_valid_split_reported(self):
+        tree = DecisionTree()
+        X = np.ones((8, 3))  # constant features: nothing to split on
+        codes = np.array([0, 1] * 4)
+        impurity, feature, _ = tree._best_split(
+            X, codes, 2, np.random.default_rng(0)
+        )
+        assert feature == -1
+        assert impurity == np.inf
 
 
 class TestDecisionTree:
