@@ -52,11 +52,8 @@ def frame_signal(
         x = np.pad(x, (0, max(0, needed - x.size)))
     else:
         n_frames = 1 + (x.size - frame_length) // hop_length
-    indices = (
-        np.arange(frame_length)[None, :]
-        + hop_length * np.arange(n_frames)[:, None]
-    )
-    return x[indices]
+    windows = np.lib.stride_tricks.sliding_window_view(x, frame_length)
+    return np.ascontiguousarray(windows[:: hop_length][:n_frames])
 
 
 def stft(
@@ -96,13 +93,19 @@ def istft(
     n_frames = Z.shape[1]
     win = get_window(window, frame_length)
     frames = np.fft.irfft(Z.T, n=frame_length, axis=1)
+    frames *= win
     length = (n_frames - 1) * hop_length + frame_length
-    out = np.zeros(length)
-    weight = np.zeros(length)
-    for i in range(n_frames):
-        start = i * hop_length
-        out[start : start + frame_length] += frames[i] * win
-        weight[start : start + frame_length] += win**2
+    # Overlap-add without a per-frame Python loop: bincount accumulates
+    # in element order (frame-major), matching the sequential loop's
+    # summation order bit for bit.
+    starts = hop_length * np.arange(n_frames)
+    targets = (starts[:, None] + np.arange(frame_length)[None, :]).ravel()
+    out = np.bincount(targets, weights=frames.ravel(), minlength=length)
+    weight = np.bincount(
+        targets,
+        weights=np.broadcast_to(win**2, frames.shape).ravel(),
+        minlength=length,
+    )
     nonzero = weight > 1e-12
     out[nonzero] /= weight[nonzero]
     return out

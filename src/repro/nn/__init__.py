@@ -1,13 +1,25 @@
 """Neural-network substrate (numpy, from scratch).
 
 Implements everything the paper's two Keras models need: 1-D and 2-D
-convolutions (im2col), max pooling, batch normalisation, dropout, dense
-layers, ReLU/softmax, categorical cross-entropy, SGD-momentum and Adam
-optimisers, and a :class:`~repro.nn.model.Sequential` container with a
-Keras-style ``fit`` that records per-epoch training/validation loss and
-accuracy (the history behind the paper's Fig. 7 curves).
+convolutions (im2col/GEMM, with the original kernel-offset summation
+kept as a selectable reference path), max pooling, batch normalisation,
+dropout, dense layers, ReLU/softmax, categorical cross-entropy,
+SGD-momentum and Adam optimisers, and a
+:class:`~repro.nn.model.Sequential` container with a Keras-style ``fit``
+that records per-epoch training/validation loss and accuracy (the
+history behind the paper's Fig. 7 curves). :mod:`repro.nn.policy`
+selects the compute dtype (float64 default / float32) and the conv
+kernel for the whole package.
 """
 
+from repro.nn.policy import (
+    PrecisionPolicy,
+    get_policy,
+    set_policy,
+    policy_scope,
+    compute_dtype,
+    conv_kernel,
+)
 from repro.nn.initializers import he_normal, glorot_uniform
 from repro.nn.activations import relu, relu_grad, softmax
 from repro.nn.losses import CategoricalCrossEntropy
@@ -28,6 +40,12 @@ from repro.nn.model import Sequential, History
 from repro.nn.callbacks import Callback, EarlyStopping, StepDecay
 
 __all__ = [
+    "PrecisionPolicy",
+    "get_policy",
+    "set_policy",
+    "policy_scope",
+    "compute_dtype",
+    "conv_kernel",
     "he_normal",
     "glorot_uniform",
     "relu",

@@ -9,16 +9,29 @@ Conventions
   ``self.params``.
 - Convolutions use "same" zero padding (as the paper's feature CNN
   states) or "valid".
+- Parameters are allocated in the :mod:`repro.nn.policy` compute dtype
+  at ``build`` time; the convolution kernel ("gemm" im2col/GEMM or the
+  original "reference" kernel-offset summation) is re-read from the
+  policy on every forward, unless pinned per layer via ``kernel=``.
+
+The GEMM path lowers each convolution to one matrix multiply per
+direction: ``sliding_window_view`` gathers the receptive fields into a
+per-layer reusable im2col workspace (grown once, then recycled every
+batch), the forward is ``cols @ W2d + b`` and the backward is two GEMMs
+(``colsᵀ @ grad`` for dW, ``grad @ W2dᵀ`` followed by a kh·kw slice
+scatter-add for dX). 1x1 convolutions skip the gather entirely.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.activations import relu, relu_grad
 from repro.nn.initializers import he_normal
+from repro.nn.policy import CONV_KERNELS, get_policy
 
 __all__ = [
     "Layer",
@@ -32,6 +45,28 @@ __all__ = [
     "BatchNorm",
     "ReLU",
 ]
+
+
+class _Workspace:
+    """A grow-only scratch buffer reused across batches.
+
+    ``get(shape, dtype)`` returns a C-contiguous array of that shape
+    backed by one flat allocation that only grows (or is replaced on a
+    dtype change), so steady-state training performs zero scratch
+    allocations per batch.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self):
+        self._buf: Optional[np.ndarray] = None
+
+    def get(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        size = int(np.prod(shape))
+        dtype = np.dtype(dtype)
+        if self._buf is None or self._buf.size < size or self._buf.dtype != dtype:
+            self._buf = np.empty(max(size, 1), dtype=dtype)
+        return self._buf[:size].reshape(shape)
 
 
 class Layer:
@@ -95,8 +130,9 @@ class Dense(Layer):
         if len(input_shape) != 1:
             raise ValueError(f"Dense expects flat input, got shape {input_shape}")
         d = input_shape[0]
-        self.W = he_normal((d, self.units), fan_in=d, rng=rng)
-        self.b = np.zeros(self.units)
+        dtype = get_policy().compute_dtype
+        self.W = he_normal((d, self.units), fan_in=d, rng=rng).astype(dtype)
+        self.b = np.zeros(self.units, dtype=dtype)
         self.params = [self.W, self.b]
         self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
         self.built = True
@@ -130,7 +166,14 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # Draw in the activation dtype: float64 inputs keep the original
+        # stream; float32 inputs get native float32 draws (half the
+        # bandwidth, no astype) at the cost of a policy-specific mask.
+        draw_dtype = np.float32 if x.dtype == np.float32 else np.float64
+        self._mask = (self._rng.random(x.shape, dtype=draw_dtype) < keep).astype(
+            x.dtype
+        )
+        self._mask /= np.asarray(keep, dtype=x.dtype)
         return x * self._mask
 
     def backward(self, grad):
@@ -149,12 +192,13 @@ class BatchNorm(Layer):
 
     def build(self, input_shape, rng):
         channels = input_shape[-1]
-        self.gamma = np.ones(channels)
-        self.beta = np.zeros(channels)
+        dtype = get_policy().compute_dtype
+        self.gamma = np.ones(channels, dtype=dtype)
+        self.beta = np.zeros(channels, dtype=dtype)
         self.params = [self.gamma, self.beta]
         self.grads = [np.zeros_like(self.gamma), np.zeros_like(self.beta)]
-        self.running_mean = np.zeros(channels)
-        self.running_var = np.ones(channels)
+        self.running_mean = np.zeros(channels, dtype=dtype)
+        self.running_var = np.ones(channels, dtype=dtype)
         self.built = True
 
     def forward(self, x, training):
@@ -204,11 +248,50 @@ def _pad_amounts(size: int, kernel: int, padding: str) -> Tuple[int, int]:
     raise ValueError(f"padding must be 'same' or 'valid', got {padding!r}")
 
 
-class Conv2D(Layer):
-    """2-D convolution (stride 1, channels-last) via kernel-offset summation."""
+class _ConvBase(Layer):
+    """Shared kernel dispatch for the convolution layers."""
 
-    def __init__(self, filters: int, kernel_size, padding: str = "same"):
+    def __init__(self, kernel: Optional[str]):
         super().__init__()
+        if kernel is not None and kernel not in CONV_KERNELS:
+            raise ValueError(f"kernel must be one of {CONV_KERNELS}, got {kernel!r}")
+        self.kernel = kernel
+        self._cols_ws = _Workspace()
+        self._dcols_ws = _Workspace()
+
+    def _active_kernel(self) -> str:
+        return self.kernel if self.kernel is not None else get_policy().conv_kernel
+
+    def forward(self, x, training):
+        kernel = self._active_kernel()
+        self._fwd_kernel = kernel  # backward must match the forward's cache
+        if kernel == "reference":
+            return self._forward_reference(x, training)
+        return self._forward_gemm(x, training)
+
+    def backward(self, grad):
+        if self._fwd_kernel == "reference":
+            return self._backward_reference(grad)
+        return self._backward_gemm(grad)
+
+
+class Conv2D(_ConvBase):
+    """2-D convolution (stride 1, channels-last).
+
+    The default "gemm" kernel lowers the convolution to im2col plus a
+    single GEMM per direction; ``kernel="reference"`` pins this layer to
+    the original kernel-offset summation (otherwise the
+    :mod:`repro.nn.policy` selection applies).
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size,
+        padding: str = "same",
+        kernel: Optional[str] = None,
+    ):
+        super().__init__(kernel)
         if filters < 1:
             raise ValueError("filters must be >= 1")
         if isinstance(kernel_size, int):
@@ -224,8 +307,10 @@ class Conv2D(Layer):
             raise ValueError(f"Conv2D expects (H, W, C) input, got {input_shape}")
         c_in = input_shape[2]
         fan_in = self.kh * self.kw * c_in
+        dtype = get_policy().compute_dtype
         self.W = he_normal((self.kh, self.kw, c_in, self.filters), fan_in, rng)
-        self.b = np.zeros(self.filters)
+        self.W = self.W.astype(dtype)
+        self.b = np.zeros(self.filters, dtype=dtype)
         self.params = [self.W, self.b]
         self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
         self.built = True
@@ -236,7 +321,67 @@ class Conv2D(Layer):
             return (h, w, self.filters)
         return (h - self.kh + 1, w - self.kw + 1, self.filters)
 
-    def forward(self, x, training):
+    # -- gemm kernel --------------------------------------------------------
+    def _forward_gemm(self, x, training):
+        kh, kw, f = self.kh, self.kw, self.filters
+        c = self.W.shape[2]
+        n = x.shape[0]
+        if kh == 1 and kw == 1:
+            # Pointwise: the pixels already are the im2col rows.
+            self._x2 = x.reshape(-1, c)
+            self._x_shape = x.shape
+            out = self._x2 @ self.W[0, 0]
+            out += self.b
+            return out.reshape(n, x.shape[1], x.shape[2], f)
+        ph0, ph1 = _pad_amounts(x.shape[1], kh, self.padding)
+        pw0, pw1 = _pad_amounts(x.shape[2], kw, self.padding)
+        if ph0 or ph1 or pw0 or pw1:
+            xp = np.pad(x, ((0, 0), (ph0, ph1), (pw0, pw1), (0, 0)))
+        else:
+            xp = x
+        h_out = xp.shape[1] - kh + 1
+        w_out = xp.shape[2] - kw + 1
+        # (n, h_out, w_out, c, kh, kw) view -> contiguous (rows, kh*kw*c).
+        windows = sliding_window_view(xp, (kh, kw), axis=(1, 2))
+        cols6 = self._cols_ws.get((n, h_out, w_out, kh, kw, c), xp.dtype)
+        np.copyto(cols6, windows.transpose(0, 1, 2, 4, 5, 3))
+        cols = cols6.reshape(n * h_out * w_out, kh * kw * c)
+        out = cols @ self.W.reshape(kh * kw * c, f)
+        out += self.b
+        self._cols = cols
+        self._x_shape = x.shape
+        self._pads = (ph0, ph1, pw0, pw1)
+        self._out_hw = (h_out, w_out)
+        return out.reshape(n, h_out, w_out, f)
+
+    def _backward_gemm(self, grad):
+        kh, kw, f = self.kh, self.kw, self.filters
+        c = self.W.shape[2]
+        if kh == 1 and kw == 1:
+            g2 = grad.reshape(-1, f)
+            self.grads[0][...] = self._x2.T @ g2
+            self.grads[1][...] = g2.sum(axis=0)
+            return (g2 @ self.W[0, 0].T).reshape(self._x_shape)
+        n = self._x_shape[0]
+        h_out, w_out = self._out_hw
+        g2 = grad.reshape(n * h_out * w_out, f)
+        self.grads[0][...] = (self._cols.T @ g2).reshape(self.W.shape)
+        self.grads[1][...] = grad.sum(axis=(0, 1, 2))
+        dcols = self._dcols_ws.get((g2.shape[0], kh * kw * c), self._cols.dtype)
+        np.matmul(g2, self.W.reshape(kh * kw * c, f).T, out=dcols)
+        dcols6 = dcols.reshape(n, h_out, w_out, kh, kw, c)
+        dxp = np.zeros(
+            (n, h_out + kh - 1, w_out + kw - 1, c), dtype=dcols.dtype
+        )
+        for i in range(kh):
+            for j in range(kw):
+                dxp[:, i : i + h_out, j : j + w_out, :] += dcols6[:, :, :, i, j, :]
+        ph0, ph1, pw0, pw1 = self._pads
+        hp, wp = dxp.shape[1], dxp.shape[2]
+        return dxp[:, ph0 : hp - ph1, pw0 : wp - pw1, :]
+
+    # -- reference kernel (the original kernel-offset summation) ------------
+    def _forward_reference(self, x, training):
         ph0, ph1 = _pad_amounts(x.shape[1], self.kh, self.padding)
         pw0, pw1 = _pad_amounts(x.shape[2], self.kw, self.padding)
         xp = np.pad(x, ((0, 0), (ph0, ph1), (pw0, pw1), (0, 0)))
@@ -253,7 +398,7 @@ class Conv2D(Layer):
         self._out_hw = (h_out, w_out)
         return out
 
-    def backward(self, grad):
+    def _backward_reference(self, grad):
         xp = self._xp
         h_out, w_out = self._out_hw
         dxp = np.zeros_like(xp)
@@ -271,11 +416,21 @@ class Conv2D(Layer):
         return dxp[:, ph0 : hp - ph1, pw0 : wp - pw1, :]
 
 
-class Conv1D(Layer):
-    """1-D convolution (stride 1, channels-last) via kernel-offset summation."""
+class Conv1D(_ConvBase):
+    """1-D convolution (stride 1, channels-last).
 
-    def __init__(self, filters: int, kernel_size: int, padding: str = "same"):
-        super().__init__()
+    Kernel selection mirrors :class:`Conv2D`: "gemm" (im2col + GEMM,
+    default) or "reference" (kernel-offset summation).
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        padding: str = "same",
+        kernel: Optional[str] = None,
+    ):
+        super().__init__(kernel)
         if filters < 1 or kernel_size < 1:
             raise ValueError("filters and kernel_size must be >= 1")
         self.filters = int(filters)
@@ -287,8 +442,9 @@ class Conv1D(Layer):
             raise ValueError(f"Conv1D expects (L, C) input, got {input_shape}")
         c_in = input_shape[1]
         fan_in = self.k * c_in
-        self.W = he_normal((self.k, c_in, self.filters), fan_in, rng)
-        self.b = np.zeros(self.filters)
+        dtype = get_policy().compute_dtype
+        self.W = he_normal((self.k, c_in, self.filters), fan_in, rng).astype(dtype)
+        self.b = np.zeros(self.filters, dtype=dtype)
         self.params = [self.W, self.b]
         self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
         self.built = True
@@ -299,7 +455,58 @@ class Conv1D(Layer):
             return (length, self.filters)
         return (length - self.k + 1, self.filters)
 
-    def forward(self, x, training):
+    # -- gemm kernel --------------------------------------------------------
+    def _forward_gemm(self, x, training):
+        k, f = self.k, self.filters
+        c = self.W.shape[1]
+        n = x.shape[0]
+        if k == 1:
+            self._x2 = x.reshape(-1, c)
+            self._x_shape = x.shape
+            out = self._x2 @ self.W[0]
+            out += self.b
+            return out.reshape(n, x.shape[1], f)
+        p0, p1 = _pad_amounts(x.shape[1], k, self.padding)
+        xp = np.pad(x, ((0, 0), (p0, p1), (0, 0))) if (p0 or p1) else x
+        l_out = xp.shape[1] - k + 1
+        # (n, l_out, c, k) view -> contiguous (rows, k*c).
+        windows = sliding_window_view(xp, k, axis=1)
+        cols4 = self._cols_ws.get((n, l_out, k, c), xp.dtype)
+        np.copyto(cols4, windows.transpose(0, 1, 3, 2))
+        cols = cols4.reshape(n * l_out, k * c)
+        out = cols @ self.W.reshape(k * c, f)
+        out += self.b
+        self._cols = cols
+        self._x_shape = x.shape
+        self._pads = (p0, p1)
+        self._l_out = l_out
+        return out.reshape(n, l_out, f)
+
+    def _backward_gemm(self, grad):
+        k, f = self.k, self.filters
+        c = self.W.shape[1]
+        if k == 1:
+            g2 = grad.reshape(-1, f)
+            self.grads[0][...] = self._x2.T @ g2
+            self.grads[1][...] = g2.sum(axis=0)
+            return (g2 @ self.W[0].T).reshape(self._x_shape)
+        n = self._x_shape[0]
+        l_out = self._l_out
+        g2 = grad.reshape(n * l_out, f)
+        self.grads[0][...] = (self._cols.T @ g2).reshape(self.W.shape)
+        self.grads[1][...] = grad.sum(axis=(0, 1))
+        dcols = self._dcols_ws.get((g2.shape[0], k * c), self._cols.dtype)
+        np.matmul(g2, self.W.reshape(k * c, f).T, out=dcols)
+        dcols4 = dcols.reshape(n, l_out, k, c)
+        dxp = np.zeros((n, l_out + k - 1, c), dtype=dcols.dtype)
+        for i in range(k):
+            dxp[:, i : i + l_out, :] += dcols4[:, :, i, :]
+        p0, p1 = self._pads
+        lp = dxp.shape[1]
+        return dxp[:, p0 : lp - p1, :]
+
+    # -- reference kernel (the original kernel-offset summation) ------------
+    def _forward_reference(self, x, training):
         p0, p1 = _pad_amounts(x.shape[1], self.k, self.padding)
         xp = np.pad(x, ((0, 0), (p0, p1), (0, 0)))
         self._xp = xp
@@ -312,7 +519,7 @@ class Conv1D(Layer):
         self._l_out = l_out
         return out
 
-    def backward(self, grad):
+    def _backward_reference(self, grad):
         xp = self._xp
         l_out = self._l_out
         dxp = np.zeros_like(xp)
@@ -354,28 +561,31 @@ class MaxPool2D(Layer):
         self._degenerate = False
         xc = x[:, : h_out * p, : w_out * p, :]
         self._shape = x.shape
+        self._dtype = x.dtype
         blocks = xc.reshape(n, h_out, p, w_out, p, c).transpose(0, 1, 3, 5, 2, 4)
         blocks = blocks.reshape(n, h_out, w_out, c, p * p)
         self._argmax = blocks.argmax(axis=-1)
-        return blocks.max(axis=-1)
+        # One reduction pass: the max is the value at the argmax, so a
+        # gather replaces a second full scan of the pooling windows.
+        return np.take_along_axis(blocks, self._argmax[..., None], axis=-1)[..., 0]
 
     def backward(self, grad):
         n, h, w, c = self._shape
         p = self.p
-        dx = np.zeros((n, h, w, c))
+        dx = np.zeros((n, h, w, c), dtype=grad.dtype)
         if self._degenerate:
             flat = dx.reshape(n, h * w, c)
             ni, ci = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
             flat[ni, self._argmax, ci] = grad.reshape(n, c)
             return flat.reshape(n, h, w, c)
         h_out, w_out = grad.shape[1], grad.shape[2]
-        rows = self._argmax // p
-        cols = self._argmax % p
-        ni, hi, wi, ci = np.meshgrid(
-            np.arange(n), np.arange(h_out), np.arange(w_out), np.arange(c),
-            indexing="ij",
-        )
-        dx[ni, hi * p + rows, wi * p + cols, ci] = grad
+        rows, cols = np.divmod(self._argmax, p)
+        ni = np.arange(n)[:, None, None, None]
+        hb = (np.arange(h_out) * p)[None, :, None, None]
+        wb = (np.arange(w_out) * p)[None, None, :, None]
+        ci = np.arange(c)[None, None, None, :]
+        flat_idx = ((ni * h + hb + rows) * w + (wb + cols)) * c + ci
+        dx.reshape(-1)[flat_idx.ravel()] = grad.ravel()
         return dx
 
 
@@ -404,19 +614,20 @@ class MaxPool1D(Layer):
         l_out = length // p
         xc = x[:, : l_out * p, :].reshape(n, l_out, p, c)
         self._argmax = xc.argmax(axis=2)
-        return xc.max(axis=2)
+        return np.take_along_axis(xc, self._argmax[:, :, None, :], axis=2)[:, :, 0, :]
 
     def backward(self, grad):
         n, length, c = self._shape
         p = self.p
-        dx = np.zeros((n, length, c))
+        dx = np.zeros((n, length, c), dtype=grad.dtype)
         if self._degenerate:
             ni, ci = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
             dx[ni, self._argmax, ci] = grad[:, 0, :]
             return dx
         l_out = grad.shape[1]
-        ni, li, ci = np.meshgrid(
-            np.arange(n), np.arange(l_out), np.arange(c), indexing="ij"
-        )
-        dx[ni, li * p + self._argmax, ci] = grad
+        ni = np.arange(n)[:, None, None]
+        lb = (np.arange(l_out) * p)[None, :, None]
+        ci = np.arange(c)[None, None, :]
+        flat_idx = (ni * length + lb + self._argmax) * c + ci
+        dx.reshape(-1)[flat_idx.ravel()] = grad.ravel()
         return dx

@@ -15,8 +15,13 @@ class CategoricalCrossEntropy:
     """Softmax + categorical cross-entropy with the fused gradient.
 
     ``forward`` takes raw logits and one-hot targets and returns
-    ``(loss, probabilities)``; ``backward`` returns dLoss/dLogits.
+    ``(loss, probabilities)``; :meth:`forward_codes` does the same from
+    integer class codes without materialising a one-hot matrix (the
+    training loop's hot path); ``backward`` returns dLoss/dLogits for
+    whichever forward ran last.
     """
+
+    _EPS = 1e-12
 
     def forward(
         self, logits: np.ndarray, onehot: np.ndarray
@@ -26,11 +31,39 @@ class CategoricalCrossEntropy:
                 f"logits shape {logits.shape} != targets shape {onehot.shape}"
             )
         proba = softmax(logits)
-        eps = 1e-12
-        loss = float(-np.sum(onehot * np.log(proba + eps)) / logits.shape[0])
+        loss = float(-np.sum(onehot * np.log(proba + self._EPS)) / logits.shape[0])
         self._proba = proba
         self._onehot = onehot
+        self._codes = None
+        return loss, proba
+
+    def forward_codes(
+        self, logits: np.ndarray, codes: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Loss and probabilities from integer class codes (no one-hot).
+
+        Semantically identical to :meth:`forward` with
+        ``onehot[i, codes[i]] = 1`` — the gradient is bitwise the same,
+        the loss sums only the target log-probabilities.
+        """
+        codes = np.asarray(codes)
+        if codes.shape != (logits.shape[0],):
+            raise ValueError(
+                f"codes shape {codes.shape} != ({logits.shape[0]},)"
+            )
+        proba = softmax(logits)
+        picked = proba[np.arange(codes.size), codes]
+        loss = float(-np.sum(np.log(picked + self._EPS)) / codes.size)
+        self._proba = proba
+        self._onehot = None
+        self._codes = codes
         return loss, proba
 
     def backward(self) -> np.ndarray:
-        return (self._proba - self._onehot) / self._proba.shape[0]
+        n = self._proba.shape[0]
+        if self._codes is not None:
+            grad = self._proba.copy()
+            grad[np.arange(n), self._codes] -= 1.0
+            grad /= n
+            return grad
+        return (self._proba - self._onehot) / n

@@ -2,18 +2,29 @@
 
 ``fit`` records per-epoch training and validation loss/accuracy in a
 :class:`History`, which is exactly what the paper's Fig. 7 plots.
+
+The container is policy-aware: layers build their parameters in the
+:mod:`repro.nn.policy` compute dtype (pinned per model at build time)
+and inputs are cast to that dtype on entry. ``fit`` accumulates
+per-layer forward/backward wall time and records it as
+``layer_forward`` / ``layer_backward`` spans on the ambient
+:mod:`repro.obs` tracer when training ends, so a trace of a CNN cell
+shows where the epochs actually went.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.activations import softmax
 from repro.nn.layers import Layer
 from repro.nn.losses import CategoricalCrossEntropy
 from repro.nn.optim import Adam
+from repro.nn.policy import get_policy
 
 __all__ = ["Sequential", "History"]
 
@@ -57,10 +68,12 @@ class Sequential:
         self.seed = int(seed)
         self.loss_fn = CategoricalCrossEntropy()
         self._built = False
+        self._dtype = get_policy().compute_dtype
 
     def build(self, input_shape: Tuple[int, ...]) -> None:
         """Build every layer given the per-sample input shape."""
         rng = np.random.default_rng(self.seed)
+        self._dtype = get_policy().compute_dtype
         shape = tuple(input_shape)
         for layer in self.layers:
             layer.build(shape, rng)
@@ -81,39 +94,60 @@ class Sequential:
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
 
-    def _params_grads(self):
-        params, grads = [], []
-        for layer in self.layers:
-            params.extend(layer.params)
-            grads.extend(layer.grads)
-        return params, grads
+    def _forward_timed(self, x: np.ndarray, seconds: np.ndarray) -> np.ndarray:
+        out = x
+        for i, layer in enumerate(self.layers):
+            t0 = time.perf_counter()
+            out = layer.forward(out, True)
+            seconds[i] += time.perf_counter() - t0
+        return out
+
+    def _backward_timed(self, grad: np.ndarray, seconds: np.ndarray) -> None:
+        for i in range(len(self.layers) - 1, -1, -1):
+            t0 = time.perf_counter()
+            grad = self.layers[i].backward(grad)
+            seconds[i] += time.perf_counter() - t0
+
+    def _record_layer_spans(self, fwd_s: np.ndarray, bwd_s: np.ndarray) -> None:
+        """Attach accumulated per-layer timings as spans on the tracer."""
+        from repro.obs import tracer
+
+        tr = tracer()
+        for i, layer in enumerate(self.layers):
+            name = f"{i}:{type(layer).__name__}"
+            tr.record(
+                "layer_forward", fwd_s[i], metric_labels={"layer": name}, layer=name
+            )
+            tr.record(
+                "layer_backward", bwd_s[i], metric_labels={"layer": name}, layer=name
+            )
+
+    def _forward_batched(self, X: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Logits for ``X`` in inference mode, computed in batches."""
+        if not self._built:
+            raise RuntimeError("model is not built/fitted")
+        X = np.asarray(X, dtype=self._dtype)
+        chunks = [
+            self._forward(X[start : start + batch_size], training=False)
+            for start in range(0, X.shape[0], batch_size)
+        ]
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=0)
 
     def predict_proba(self, X: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Class probabilities, computed in inference mode."""
-        if not self._built:
-            raise RuntimeError("model is not built/fitted")
-        X = np.asarray(X, dtype=float)
-        chunks = []
-        for start in range(0, X.shape[0], batch_size):
-            logits = self._forward(X[start : start + batch_size], training=False)
-            z = logits - logits.max(axis=1, keepdims=True)
-            e = np.exp(z)
-            chunks.append(e / e.sum(axis=1, keepdims=True))
-        return np.concatenate(chunks, axis=0)
+        return softmax(self._forward_batched(X, batch_size))
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Argmax class codes."""
         return np.argmax(self.predict_proba(X), axis=1)
 
-    def evaluate(self, X: np.ndarray, y_codes: np.ndarray) -> Tuple[float, float]:
-        """(loss, accuracy) in inference mode."""
-        X = np.asarray(X, dtype=float)
+    def evaluate(
+        self, X: np.ndarray, y_codes: np.ndarray, batch_size: int = 256
+    ) -> Tuple[float, float]:
+        """(loss, accuracy) in inference mode, via the shared loss."""
         y_codes = np.asarray(y_codes, dtype=int)
-        proba = self.predict_proba(X)
-        onehot = np.zeros((y_codes.size, self.n_classes))
-        onehot[np.arange(y_codes.size), y_codes] = 1.0
-        eps = 1e-12
-        loss = float(-np.sum(onehot * np.log(proba + eps)) / y_codes.size)
+        logits = self._forward_batched(X, batch_size)
+        loss, proba = self.loss_fn.forward_codes(logits, y_codes)
         acc = float(np.mean(np.argmax(proba, axis=1) == y_codes))
         return loss, acc
 
@@ -135,7 +169,7 @@ class Sequential:
         ``callbacks`` are :class:`repro.nn.callbacks.Callback` instances;
         any callback returning True from ``on_epoch_end`` stops training.
         """
-        X = np.asarray(X, dtype=float)
+        X = np.asarray(X)
         y_codes = np.asarray(y_codes, dtype=int)
         if X.shape[0] != y_codes.shape[0]:
             raise ValueError(
@@ -145,6 +179,7 @@ class Sequential:
             raise ValueError("class codes out of range")
         if not self._built:
             self.build(X.shape[1:])
+        X = np.asarray(X, dtype=self._dtype)
         optimizer = optimizer or Adam()
         callbacks = list(callbacks or [])
         for callback in callbacks:
@@ -152,44 +187,54 @@ class Sequential:
         rng = np.random.default_rng(shuffle_seed)
         history = History()
         n = X.shape[0]
-        for epoch in range(epochs):
-            order = rng.permutation(n)
-            epoch_loss = 0.0
-            epoch_correct = 0
-            for start in range(0, n, batch_size):
-                idx = order[start : start + batch_size]
-                xb = X[idx]
-                onehot = np.zeros((idx.size, self.n_classes))
-                onehot[np.arange(idx.size), y_codes[idx]] = 1.0
-                logits = self._forward(xb, training=True)
-                loss, proba = self.loss_fn.forward(logits, onehot)
-                epoch_loss += loss * idx.size
-                epoch_correct += int(
-                    np.sum(np.argmax(proba, axis=1) == y_codes[idx])
-                )
-                self._backward(self.loss_fn.backward())
-                params, grads = self._params_grads()
-                optimizer.step(params, grads)
-            history.loss.append(epoch_loss / n)
-            history.accuracy.append(epoch_correct / n)
-            if validation_data is not None:
-                val_loss, val_acc = self.evaluate(*validation_data)
-                history.val_loss.append(val_loss)
-                history.val_accuracy.append(val_acc)
-            if verbose:
-                msg = (
-                    f"epoch {epoch + 1}/{epochs} "
-                    f"loss={history.loss[-1]:.4f} acc={history.accuracy[-1]:.4f}"
-                )
-                if validation_data is not None:
-                    msg += (
-                        f" val_loss={history.val_loss[-1]:.4f}"
-                        f" val_acc={history.val_accuracy[-1]:.4f}"
+        fwd_s = np.zeros(len(self.layers))
+        bwd_s = np.zeros(len(self.layers))
+        try:
+            for epoch in range(epochs):
+                order = rng.permutation(n)
+                epoch_loss = 0.0
+                epoch_correct = 0
+                for start in range(0, n, batch_size):
+                    idx = order[start : start + batch_size]
+                    codes = y_codes[idx]
+                    logits = self._forward_timed(X[idx], fwd_s)
+                    loss, proba = self.loss_fn.forward_codes(logits, codes)
+                    epoch_loss += loss * idx.size
+                    epoch_correct += int(
+                        np.sum(np.argmax(proba, axis=1) == codes)
                     )
-                print(msg)
-            if any(cb.on_epoch_end(epoch, history, optimizer) for cb in callbacks):
-                break
+                    self._backward_timed(self.loss_fn.backward(), bwd_s)
+                    params, grads = self._params_grads()
+                    optimizer.step(params, grads)
+                history.loss.append(epoch_loss / n)
+                history.accuracy.append(epoch_correct / n)
+                if validation_data is not None:
+                    val_loss, val_acc = self.evaluate(*validation_data)
+                    history.val_loss.append(val_loss)
+                    history.val_accuracy.append(val_acc)
+                if verbose:
+                    msg = (
+                        f"epoch {epoch + 1}/{epochs} "
+                        f"loss={history.loss[-1]:.4f} acc={history.accuracy[-1]:.4f}"
+                    )
+                    if validation_data is not None:
+                        msg += (
+                            f" val_loss={history.val_loss[-1]:.4f}"
+                            f" val_acc={history.val_accuracy[-1]:.4f}"
+                        )
+                    print(msg)
+                if any(cb.on_epoch_end(epoch, history, optimizer) for cb in callbacks):
+                    break
+        finally:
+            self._record_layer_spans(fwd_s, bwd_s)
         return history
+
+    def _params_grads(self):
+        params, grads = [], []
+        for layer in self.layers:
+            params.extend(layer.params)
+            grads.extend(layer.grads)
+        return params, grads
 
     # -- persistence --------------------------------------------------------
     def save_weights(self, path) -> None:
@@ -230,5 +275,15 @@ class Sequential:
                         )
                     param[...] = stored
                 if hasattr(layer, "running_mean"):
-                    layer.running_mean = bundle[f"layer{i}_running_mean"]
-                    layer.running_var = bundle[f"layer{i}_running_var"]
+                    for stat in ("running_mean", "running_var"):
+                        key = f"layer{i}_{stat}"
+                        if key not in bundle:
+                            raise ValueError(f"checkpoint missing {key}")
+                        stored = bundle[key]
+                        current = getattr(layer, stat)
+                        if stored.shape != current.shape:
+                            raise ValueError(
+                                f"{key}: shape {stored.shape} != "
+                                f"expected {current.shape}"
+                            )
+                        setattr(layer, stat, stored.astype(current.dtype, copy=False))

@@ -145,3 +145,42 @@ class TestWeightPersistence:
         other = Sequential([Dense(8), ReLU(), Dense(3)], n_classes=3, seed=0)
         with pytest.raises(ValueError):
             other.load_weights(path, input_shape=(6,))
+
+    def _batchnorm_checkpoint(self, tmp_path):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(40, 8, 1))
+        y = (X.mean(axis=(1, 2)) > 0).astype(int)
+
+        def build():
+            return Sequential(
+                [Conv1D(4, 3), BatchNorm(), ReLU(), MaxPool1D(2),
+                 Flatten(), Dense(2)],
+                n_classes=2, seed=0,
+            )
+
+        model = build()
+        model.fit(X, y, epochs=2)
+        path = tmp_path / "bn.npz"
+        model.save_weights(path)
+        return build, path
+
+    def test_missing_running_stats_is_valueerror(self, tmp_path):
+        """A checkpoint without BatchNorm stats names the missing key."""
+        build, path = self._batchnorm_checkpoint(tmp_path)
+        with np.load(path) as bundle:
+            arrays = {k: bundle[k] for k in bundle.files
+                      if not k.endswith("running_mean")}
+        stripped = tmp_path / "stripped.npz"
+        np.savez_compressed(stripped, **arrays)
+        with pytest.raises(ValueError, match="layer1_running_mean"):
+            build().load_weights(stripped, input_shape=(8, 1))
+
+    def test_running_stats_shape_mismatch_detected(self, tmp_path):
+        build, path = self._batchnorm_checkpoint(tmp_path)
+        with np.load(path) as bundle:
+            arrays = {k: bundle[k] for k in bundle.files}
+        arrays["layer1_running_var"] = np.ones(7)
+        broken = tmp_path / "broken.npz"
+        np.savez_compressed(broken, **arrays)
+        with pytest.raises(ValueError, match="layer1_running_var"):
+            build().load_weights(broken, input_shape=(8, 1))

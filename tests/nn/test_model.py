@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn.layers import Conv1D, Dense, Flatten, MaxPool1D, ReLU
+from repro.nn.layers import BatchNorm, Conv1D, Dense, Flatten, MaxPool1D, ReLU
 from repro.nn.losses import CategoricalCrossEntropy
 from repro.nn.model import History, Sequential
 from repro.nn.optim import SGD, Adam
@@ -45,6 +45,23 @@ class TestLoss:
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
             CategoricalCrossEntropy().forward(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_forward_codes_matches_onehot_forward(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(6, 4))
+        codes = rng.integers(0, 4, 6)
+        onehot = np.eye(4)[codes]
+        a, b = CategoricalCrossEntropy(), CategoricalCrossEntropy()
+        loss_oh, proba_oh = a.forward(logits, onehot)
+        loss_c, proba_c = b.forward_codes(logits, codes)
+        assert loss_c == pytest.approx(loss_oh, rel=1e-12)
+        np.testing.assert_array_equal(proba_c, proba_oh)
+        # The fused gradient is bitwise the same either way.
+        np.testing.assert_array_equal(b.backward(), a.backward())
+
+    def test_forward_codes_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            CategoricalCrossEntropy().forward_codes(np.zeros((2, 3)), np.zeros(3))
 
 
 class TestOptimisers:
@@ -132,6 +149,30 @@ class TestSequential:
         a = mlp(); a.fit(X, y, epochs=3, shuffle_seed=1)
         b = mlp(); b.fit(X, y, epochs=3, shuffle_seed=1)
         assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_evaluate_routes_through_loss_fn(self):
+        """evaluate's loss must equal the shared loss on the same logits."""
+        X, y = blobs()
+        model = mlp()
+        model.fit(X, y, epochs=3)
+        loss, acc = model.evaluate(X, y)
+        logits = model._forward_batched(X)
+        expected_loss, proba = CategoricalCrossEntropy().forward_codes(logits, y)
+        assert loss == expected_loss
+        assert acc == float(np.mean(np.argmax(proba, axis=1) == y))
+
+    def test_fit_records_layer_spans(self):
+        from repro.obs import reset_observability, tracer
+
+        reset_observability()
+        X, y = blobs(n_per_class=20)
+        mlp().fit(X, y, epochs=2)
+        fwd = tracer().find("layer_forward")
+        bwd = tracer().find("layer_backward")
+        assert len(fwd) == 3 and len(bwd) == 3  # one span per layer
+        assert {s.labels["layer"] for s in fwd} == {"0:Dense", "1:ReLU", "2:Dense"}
+        assert all(s.duration_s >= 0.0 for s in fwd + bwd)
+        reset_observability()
 
     def test_conv1d_stack_trains(self):
         rng = np.random.default_rng(0)
