@@ -1,0 +1,184 @@
+"""Serving-layer benchmark: micro-batched vs unbatched throughput.
+
+Packs a feature-CNN bundle (the paper's Table II pipeline behind the
+serving API), fires the same request burst at two servers — one with
+batching disabled (``max_batch=1``, the serial baseline) and one
+micro-batching (``max_batch=32``) — and times both. Batching amortises
+the per-forward Python and kernel-dispatch overhead across the batch,
+so the batched server must clear the acceptance gate: **at least 2x
+the unbatched throughput on the feature-CNN path**, with predictions
+identical to the serial baseline.
+
+All timings and derived throughputs are written to ``BENCH_5.json``
+(override the path with ``EMOLEAK_SERVE_BENCH_OUT``) so CI uploads the
+trajectory as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import make_classifier
+from repro.ml.logistic import LogisticRegression
+from repro.serve import (
+    InferenceServer,
+    ModelBundle,
+    ModelRegistry,
+    save_bundle,
+    serve_burst,
+)
+
+from benchmarks._common import print_header
+
+N_CLASSES = 3
+N_FEATURES = 24
+N_REQUESTS = 256
+CNN_EPOCHS = 3
+
+#: Filled by the tests, serialised to BENCH_5.json at session end.
+RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_artifact():
+    """Write the serving benchmark trajectory once both modes reported."""
+    yield
+    path = os.environ.get("EMOLEAK_SERVE_BENCH_OUT", "BENCH_5.json")
+    payload = {
+        "schema": "emoleak/serving-bench/v1",
+        "numpy": np.__version__,
+        "n_requests": N_REQUESTS,
+        "results": RESULTS,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\n[emoleak] wrote serving benchmark trajectory to {path}")
+
+
+def _blobs(n_per_class=40, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(N_CLASSES, N_FEATURES))
+    X = np.vstack(
+        [centers[i] + 0.5 * rng.normal(size=(n_per_class, N_FEATURES))
+         for i in range(N_CLASSES)]
+    )
+    y = np.repeat([f"emo{i}" for i in range(N_CLASSES)], n_per_class)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    """A registry holding one packed feature-CNN bundle."""
+    X, y = _blobs()
+    clf = LogisticRegression().fit(X, y)
+    cnn = make_classifier("cnn", seed=0, fast=True)
+    cnn.epochs = CNN_EPOCHS
+    cnn.fit(X, y)
+    bundle = ModelBundle.create(
+        "bench", "1", classifier=clf, cnn=cnn,
+        provenance={"source": "benchmarks/test_serving.py"},
+    )
+    path = tmp_path_factory.mktemp("bundles") / "bench-1"
+    save_bundle(bundle, path)
+    registry = ModelRegistry()
+    registry.register(path)
+    registry.get("bench")  # warm the LRU so neither mode pays the load
+    return registry
+
+
+def _request_rows():
+    return list(np.random.default_rng(9).normal(0, 2.0, size=(N_REQUESTS, N_FEATURES)))
+
+
+def _timed_burst(registry, max_batch: int, max_linger_s: float):
+    """Serve the standard burst; returns (seconds, results, batches)."""
+    rows = _request_rows()
+    with InferenceServer(
+        registry, model="bench", max_batch=max_batch,
+        max_linger_s=max_linger_s, max_queue=2 * N_REQUESTS,
+        default_timeout_s=120.0,
+    ) as server:
+        t0 = time.perf_counter()
+        results = serve_burst(server, rows, timeout_s=120.0)
+        elapsed = time.perf_counter() - t0
+        batches = server.batches_run
+    assert all(r.ok for r in results), "burst had failed requests"
+    return elapsed, results, batches
+
+
+class TestServingThroughput:
+    def test_batched_beats_unbatched_by_2x(self, registry):
+        """The acceptance gate: micro-batching >= 2x the serial baseline
+        on the feature-CNN path, answering identically."""
+        # Warm both code paths (policy casts, im2col workspaces) so the
+        # measurement reflects steady-state serving.
+        _timed_burst(registry, max_batch=8, max_linger_s=0.001)
+
+        serial_s, serial_results, serial_batches = _timed_burst(
+            registry, max_batch=1, max_linger_s=0.0
+        )
+        batched_s, batched_results, batched_batches = _timed_burst(
+            registry, max_batch=32, max_linger_s=0.002
+        )
+
+        serial_rps = N_REQUESTS / serial_s
+        batched_rps = N_REQUESTS / batched_s
+        speedup = batched_rps / serial_rps
+        mean_batch = N_REQUESTS / batched_batches
+
+        print_header("Serving benchmark - batched vs unbatched (feature CNN)")
+        print(f"  unbatched : {serial_s:7.3f} s  {serial_rps:8.1f} req/s  "
+              f"({serial_batches} batches)")
+        print(f"  batched   : {batched_s:7.3f} s  {batched_rps:8.1f} req/s  "
+              f"({batched_batches} batches, mean size {mean_batch:.1f})")
+        print(f"  speedup   : {speedup:5.2f}x  (gate: 2x)")
+
+        labels_match = [
+            b.label == s.label for b, s in zip(batched_results, serial_results)
+        ]
+        RESULTS["feature_cnn_burst"] = {
+            "n_requests": N_REQUESTS,
+            "unbatched": {
+                "seconds": serial_s, "req_per_s": serial_rps,
+                "batches": serial_batches, "max_batch": 1,
+            },
+            "batched": {
+                "seconds": batched_s, "req_per_s": batched_rps,
+                "batches": batched_batches, "max_batch": 32,
+                "mean_batch_size": mean_batch,
+            },
+            "speedup": speedup,
+            "predictions_identical": all(labels_match),
+        }
+
+        assert all(labels_match), "batched burst answered differently"
+        assert speedup >= 2.0, (
+            f"batched serving only {speedup:.2f}x the unbatched throughput "
+            f"on the feature-CNN path (gate: 2x)"
+        )
+
+    def test_batched_latency_stays_bounded(self, registry):
+        """Lingering for a batch must not blow up tail latency: the p95
+        request latency stays within a small multiple of a batch run."""
+        elapsed, results, batches = _timed_burst(
+            registry, max_batch=32, max_linger_s=0.002
+        )
+        latencies = sorted(r.latency_s for r in results)
+        p50 = latencies[len(latencies) // 2]
+        p95 = latencies[int(0.95 * len(latencies))]
+        print_header("Serving benchmark - latency under batching")
+        print(f"  p50 {p50 * 1e3:7.2f} ms   p95 {p95 * 1e3:7.2f} ms   "
+              f"burst {elapsed:5.3f} s over {batches} batches")
+        RESULTS["feature_cnn_latency"] = {
+            "p50_s": p50, "p95_s": p95, "burst_seconds": elapsed,
+            "batches": batches,
+        }
+        # The whole burst is submitted at once, so the worst request waits
+        # for every batch before it; p95 must stay inside the burst wall.
+        assert p95 <= elapsed + 0.1

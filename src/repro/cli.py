@@ -7,10 +7,15 @@ Usage::
     python -m repro.cli --scenario savee-ear-oneplus9 --classifier cnn \
         --subsample 10 --fast
     python -m repro.cli --table V --subsample 15     # regenerate a whole table
+    python -m repro.cli bundle pack --scenario tess-loud-oneplus7t \
+        --classifier logistic --out model.zip        # deployable model bundle
+    python -m repro.cli bundle inspect model.zip
+    python -m repro.cli serve --bundle model.zip --burst 64
 
 Prints the paper-vs-measured comparison line and the confusion matrix
 (or, with ``--table``, the full reproduced table next to the published
-values).
+values). The ``bundle``/``serve`` subcommands are the serving layer —
+see :mod:`repro.serve.cli`.
 """
 
 from __future__ import annotations
@@ -164,6 +169,12 @@ def _list_scenarios() -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("bundle", "serve"):
+        # Serving-layer subcommands: `repro bundle pack|inspect`, `repro serve`.
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv)
     args = build_parser().parse_args(argv)
     if args.list_scenarios:
         _list_scenarios()

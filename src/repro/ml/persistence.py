@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -26,7 +26,8 @@ from repro.ml.subspace import RandomSubspace
 from repro.ml.tree import DecisionTree, _Node
 
 __all__ = ["save_classifier", "load_classifier", "classifier_to_dict",
-           "classifier_from_dict"]
+           "classifier_from_dict", "scaler_to_dict", "scaler_from_dict",
+           "PERSISTABLE_KINDS"]
 
 _PathLike = Union[str, Path]
 
@@ -172,6 +173,35 @@ _DESERIALISERS = {
     "random_subspace": _subspace_from_dict,
 }
 
+#: Every ``kind`` tag the dispatch table accepts.
+PERSISTABLE_KINDS: Tuple[str, ...] = tuple(sorted(_DESERIALISERS))
+
+
+def scaler_to_dict(scaler: StandardScaler) -> dict:
+    """Serialise a fitted :class:`StandardScaler` to a JSON-safe dict.
+
+    Zero-variance columns survive exactly: ``fit`` already clamps their
+    stored ``std_`` to 1.0, and that clamped value is what round-trips.
+    """
+    if scaler.mean_ is None or scaler.std_ is None:
+        raise RuntimeError("StandardScaler is not fitted")
+    return {
+        "kind": "standard_scaler",
+        "mean": scaler.mean_.tolist(),
+        "std": scaler.std_.tolist(),
+    }
+
+
+def scaler_from_dict(payload: dict) -> StandardScaler:
+    """Rebuild a :class:`StandardScaler` from :func:`scaler_to_dict` output."""
+    kind = payload.get("kind")
+    if kind != "standard_scaler":
+        raise ValueError(f"expected kind 'standard_scaler', got {kind!r}")
+    scaler = StandardScaler()
+    scaler.mean_ = np.asarray(payload["mean"], dtype=float)
+    scaler.std_ = np.asarray(payload["std"], dtype=float)
+    return scaler
+
 
 def classifier_to_dict(model) -> dict:
     """Serialise a supported fitted classifier to a JSON-safe dict."""
@@ -199,5 +229,24 @@ def save_classifier(model, path: _PathLike) -> None:
 
 
 def load_classifier(path: _PathLike):
-    """Load a classifier written by :func:`save_classifier`."""
-    return classifier_from_dict(json.loads(Path(path).read_text()))
+    """Load a classifier written by :func:`save_classifier`.
+
+    Malformed or unrecognised artifacts raise a :class:`ValueError`
+    naming the offending file, so a bad member inside a model bundle is
+    identifiable from the exception alone.
+    """
+    path = Path(path)
+    text = path.read_text()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid classifier JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{path}: expected a classifier JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    try:
+        return classifier_from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"{path}: {exc}") from exc

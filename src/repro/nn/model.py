@@ -14,6 +14,7 @@ shows where the epochs actually went.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -26,7 +27,15 @@ from repro.nn.losses import CategoricalCrossEntropy
 from repro.nn.optim import Adam
 from repro.nn.policy import get_policy
 
-__all__ = ["Sequential", "History"]
+__all__ = ["Sequential", "History", "describe_checkpoint_source"]
+
+
+def describe_checkpoint_source(path) -> str:
+    """Human-readable name of a checkpoint source (path or file object)."""
+    if isinstance(path, (str, bytes, os.PathLike)):
+        return str(path)
+    name = getattr(path, "name", None)
+    return str(name) if name is not None else f"<{type(path).__name__}>"
 
 
 @dataclass
@@ -75,6 +84,7 @@ class Sequential:
         rng = np.random.default_rng(self.seed)
         self._dtype = get_policy().compute_dtype
         shape = tuple(input_shape)
+        self.input_shape_: Tuple[int, ...] = shape
         for layer in self.layers:
             layer.build(shape, rng)
             shape = layer.output_shape(shape)
@@ -254,7 +264,9 @@ class Sequential:
         """Restore parameters saved by :meth:`save_weights`.
 
         An unbuilt model needs ``input_shape`` to allocate its layers
-        before loading.
+        before loading. Every error names the checkpoint being loaded,
+        so a bad artifact in a directory of checkpoints is identifiable
+        from the exception alone.
         """
         if not self._built:
             if input_shape is None:
@@ -262,28 +274,34 @@ class Sequential:
                     "model is not built; pass input_shape to load_weights"
                 )
             self.build(input_shape)
+        source = describe_checkpoint_source(path)
         with np.load(path) as bundle:
             for i, layer in enumerate(self.layers):
                 for j, param in enumerate(layer.params):
                     key = f"layer{i}_param{j}"
                     if key not in bundle:
-                        raise ValueError(f"checkpoint missing {key}")
+                        raise ValueError(
+                            f"checkpoint {source}: missing {key}"
+                        )
                     stored = bundle[key]
                     if stored.shape != param.shape:
                         raise ValueError(
-                            f"{key}: shape {stored.shape} != expected {param.shape}"
+                            f"checkpoint {source}: {key}: shape "
+                            f"{stored.shape} != expected {param.shape}"
                         )
                     param[...] = stored
                 if hasattr(layer, "running_mean"):
                     for stat in ("running_mean", "running_var"):
                         key = f"layer{i}_{stat}"
                         if key not in bundle:
-                            raise ValueError(f"checkpoint missing {key}")
+                            raise ValueError(
+                                f"checkpoint {source}: missing {key}"
+                            )
                         stored = bundle[key]
                         current = getattr(layer, stat)
                         if stored.shape != current.shape:
                             raise ValueError(
-                                f"{key}: shape {stored.shape} != "
-                                f"expected {current.shape}"
+                                f"checkpoint {source}: {key}: shape "
+                                f"{stored.shape} != expected {current.shape}"
                             )
                         setattr(layer, stat, stored.astype(current.dtype, copy=False))

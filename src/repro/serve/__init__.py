@@ -1,0 +1,59 @@
+"""Serving layer: versioned model bundles + a batched inference server.
+
+The deploy-online half of the paper's threat model at production scale:
+:mod:`repro.serve.bundle` packages a trained pipeline (scaler, any
+:mod:`repro.ml.persistence` classifier kind, CNN weights) into a
+hash-verified ``name@version`` artifact; :mod:`repro.serve.registry`
+loads, warm-caches and hot-swaps those artifacts; and
+:mod:`repro.serve.server` answers feature-vector and raw-window
+prediction requests through micro-batches with bounded queues,
+deadlines and CNN-to-classifier degrade. :mod:`repro.serve.stream`
+connects the :mod:`repro.attack.realtime` front end so a raw
+accelerometer stream is served end-to-end.
+"""
+
+from repro.serve.bundle import (
+    BUNDLE_FORMAT_VERSION,
+    BundleError,
+    BundleFormatError,
+    BundleIntegrityError,
+    BundleManifest,
+    ModelBundle,
+    load_bundle,
+    save_bundle,
+    verify_bundle,
+)
+from repro.serve.registry import ModelRegistry, parse_ref
+from repro.serve.server import (
+    InferenceServer,
+    ServeError,
+    ServeFuture,
+    ServeResult,
+    ServerOverloaded,
+    ServerStopped,
+    serve_burst,
+)
+from repro.serve.stream import RemoteClassifier, StreamServingClient
+
+__all__ = [
+    "BUNDLE_FORMAT_VERSION",
+    "BundleError",
+    "BundleFormatError",
+    "BundleIntegrityError",
+    "BundleManifest",
+    "ModelBundle",
+    "ModelRegistry",
+    "InferenceServer",
+    "RemoteClassifier",
+    "ServeError",
+    "ServeFuture",
+    "ServeResult",
+    "ServerOverloaded",
+    "ServerStopped",
+    "StreamServingClient",
+    "load_bundle",
+    "parse_ref",
+    "save_bundle",
+    "serve_burst",
+    "verify_bundle",
+]

@@ -1,0 +1,523 @@
+"""Versioned, integrity-checked model bundles.
+
+A *bundle* is the deployable artifact of the train-offline /
+deploy-online threat model (EmoLeak §IV): everything the online side of
+the attack needs to answer prediction requests, packaged as a directory
+or a single ``.zip``:
+
+- ``manifest.json`` — bundle format version, name@version, provenance
+  (corpus/scenario/seed), the served label map, the Table II feature
+  schema, the :mod:`repro.nn.policy` the CNN was trained under, and a
+  SHA-256 hash of every other member;
+- ``classifier.json`` — optional feature classifier, any
+  :mod:`repro.ml.persistence` kind (the CNN's degrade target);
+- ``scaler.json`` — optional :class:`~repro.ml.preprocessing.StandardScaler`
+  applied to feature-vector inputs before the *feature classifier*
+  (the CNN adapters embed their own scaler);
+- ``cnn.json`` + ``cnn_weights.npz`` — optional CNN adapter
+  (:class:`~repro.eval.experiment.FeatureCNNClassifier` or
+  :class:`~repro.eval.experiment.SpectrogramCNNClassifier`), weights
+  written by :meth:`repro.nn.model.Sequential.save_weights`.
+
+``load_bundle`` verifies *every* member hash against the manifest before
+parsing a single byte of model data — a tampered or truncated bundle is
+rejected with :class:`BundleIntegrityError` and never instantiates a
+model. Unknown format versions and classifier kinds are rejected just
+as loudly (:class:`BundleFormatError`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import time
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.attack.features import FEATURE_NAMES
+from repro.ml.persistence import (
+    classifier_from_dict,
+    classifier_to_dict,
+    scaler_from_dict,
+    scaler_to_dict,
+)
+from repro.ml.preprocessing import StandardScaler
+from repro.nn.policy import get_policy, policy_scope
+
+__all__ = [
+    "BUNDLE_FORMAT_VERSION",
+    "BundleError",
+    "BundleFormatError",
+    "BundleIntegrityError",
+    "BundleManifest",
+    "ModelBundle",
+    "save_bundle",
+    "load_bundle",
+    "verify_bundle",
+]
+
+#: Current on-disk bundle layout version. Readers refuse anything else.
+BUNDLE_FORMAT_VERSION = 1
+
+MANIFEST_MEMBER = "manifest.json"
+CLASSIFIER_MEMBER = "classifier.json"
+SCALER_MEMBER = "scaler.json"
+CNN_CONFIG_MEMBER = "cnn.json"
+CNN_WEIGHTS_MEMBER = "cnn_weights.npz"
+
+_PathLike = Union[str, Path]
+
+
+class BundleError(ValueError):
+    """Base class for bundle packaging/loading failures."""
+
+
+class BundleFormatError(BundleError):
+    """The bundle's declared format (version, member set, kind) is unknown."""
+
+
+class BundleIntegrityError(BundleError):
+    """A member is missing, truncated, or fails its SHA-256 check."""
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class BundleManifest:
+    """The bundle's self-description (the ``manifest.json`` member)."""
+
+    name: str
+    version: str
+    labels: List[str]
+    format_version: int = BUNDLE_FORMAT_VERSION
+    feature_schema: List[str] = field(default_factory=lambda: list(FEATURE_NAMES))
+    provenance: Dict[str, object] = field(default_factory=dict)
+    nn_policy: Dict[str, str] = field(default_factory=dict)
+    created_unix: float = 0.0
+    members: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def ref(self) -> str:
+        """The bundle's registry address, ``name@version``."""
+        return f"{self.name}@{self.version}"
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": self.format_version,
+            "name": self.name,
+            "version": self.version,
+            "labels": list(self.labels),
+            "feature_schema": list(self.feature_schema),
+            "provenance": dict(self.provenance),
+            "nn_policy": dict(self.nn_policy),
+            "created_unix": self.created_unix,
+            "members": {k: dict(v) for k, v in self.members.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, source: str) -> "BundleManifest":
+        try:
+            format_version = int(payload["format_version"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BundleFormatError(
+                f"{source}: manifest has no readable format_version"
+            ) from exc
+        if format_version != BUNDLE_FORMAT_VERSION:
+            raise BundleFormatError(
+                f"{source}: unsupported bundle format version "
+                f"{format_version} (this reader supports "
+                f"{BUNDLE_FORMAT_VERSION})"
+            )
+        try:
+            return cls(
+                name=str(payload["name"]),
+                version=str(payload["version"]),
+                labels=list(payload["labels"]),
+                format_version=format_version,
+                feature_schema=list(payload.get("feature_schema", FEATURE_NAMES)),
+                provenance=dict(payload.get("provenance", {})),
+                nn_policy=dict(payload.get("nn_policy", {})),
+                created_unix=float(payload.get("created_unix", 0.0)),
+                members={
+                    str(k): dict(v)
+                    for k, v in dict(payload.get("members", {})).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BundleFormatError(f"{source}: malformed manifest: {exc}") from exc
+
+
+# -- CNN adapter (de)serialisation ------------------------------------------
+
+#: kind tag -> (adapter class path resolved lazily, builder name)
+_CNN_KINDS = ("feature_cnn", "spectrogram_cnn")
+
+
+def _cnn_adapter_classes():
+    from repro.eval.experiment import FeatureCNNClassifier, SpectrogramCNNClassifier
+
+    return {
+        "feature_cnn": FeatureCNNClassifier,
+        "spectrogram_cnn": SpectrogramCNNClassifier,
+    }
+
+
+def _cnn_kind_of(adapter) -> str:
+    classes = _cnn_adapter_classes()
+    for kind, cls in classes.items():
+        if isinstance(adapter, cls):
+            return kind
+    raise TypeError(
+        f"cannot package {type(adapter).__name__} as a bundle CNN; "
+        f"supported: {sorted(c.__name__ for c in classes.values())}"
+    )
+
+
+def _cnn_to_members(adapter) -> Tuple[dict, bytes]:
+    """Serialise a fitted CNN adapter to (config dict, weights-npz bytes)."""
+    adapter._check_fitted()
+    kind = _cnn_kind_of(adapter)
+    model = adapter._model
+    policy = get_policy()
+    config = {
+        "kind": kind,
+        "classes": np.asarray(adapter.classes_).tolist(),
+        "width_scale": adapter.width_scale,
+        "seed": adapter.seed,
+        "input_shape": list(model.input_shape_),
+        "policy": {
+            "compute_dtype": str(policy.compute_dtype),
+            "conv_kernel": policy.conv_kernel,
+        },
+    }
+    if kind == "feature_cnn":
+        config["scaler"] = scaler_to_dict(adapter._scaler)
+    buffer = io.BytesIO()
+    model.save_weights(buffer)
+    return config, buffer.getvalue()
+
+
+def _cnn_from_members(config: dict, weights: bytes, source: str):
+    """Rebuild a CNN adapter from its bundle members."""
+    kind = config.get("kind")
+    classes = _cnn_adapter_classes()
+    if kind not in classes:
+        raise BundleFormatError(
+            f"{source}: unknown CNN kind {kind!r}; supported: {_CNN_KINDS}"
+        )
+    from repro.attack.models import build_feature_cnn, build_spectrogram_cnn
+
+    adapter = classes[kind](
+        width_scale=float(config["width_scale"]), seed=int(config["seed"])
+    )
+    adapter.classes_ = np.asarray(config["classes"])
+    input_shape = tuple(int(d) for d in config["input_shape"])
+    policy = dict(config.get("policy", {}))
+    builder = build_feature_cnn if kind == "feature_cnn" else build_spectrogram_cnn
+    with policy_scope(
+        compute_dtype=policy.get("compute_dtype"),
+        conv_kernel=policy.get("conv_kernel"),
+    ):
+        model = builder(
+            adapter.classes_.size,
+            width_scale=adapter.width_scale,
+            seed=adapter.seed,
+        )
+        model.build(input_shape)
+    buffer = io.BytesIO(weights)
+    buffer.name = f"{source}:{CNN_WEIGHTS_MEMBER}"
+    model.load_weights(buffer)
+    adapter._model = model
+    if kind == "feature_cnn":
+        adapter._scaler = scaler_from_dict(config["scaler"])
+    return adapter
+
+
+@dataclass
+class ModelBundle:
+    """A loaded (or about-to-be-saved) inference pipeline.
+
+    ``cnn`` is the primary predictor when present; ``classifier`` is the
+    degrade target (or the primary when no CNN is packed). ``scaler``,
+    when present, is applied to feature-vector inputs before the feature
+    classifier only — the CNN adapters carry their own scaler.
+    """
+
+    manifest: BundleManifest
+    classifier: Optional[object] = None
+    cnn: Optional[object] = None
+    scaler: Optional[StandardScaler] = None
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        version: str,
+        classifier=None,
+        cnn=None,
+        scaler: Optional[StandardScaler] = None,
+        provenance: Optional[dict] = None,
+        feature_schema=FEATURE_NAMES,
+    ) -> "ModelBundle":
+        """Assemble a bundle from fitted parts, validating consistency."""
+        if classifier is None and cnn is None:
+            raise BundleError("a bundle needs a classifier, a CNN, or both")
+        labels: Optional[np.ndarray] = None
+        for part in (cnn, classifier):
+            if part is None:
+                continue
+            part_classes = getattr(part, "classes_", None)
+            if part_classes is None:
+                raise BundleError(
+                    f"{type(part).__name__} is not fitted (no classes_)"
+                )
+            if labels is None:
+                labels = np.asarray(part_classes)
+            elif not np.array_equal(labels, np.asarray(part_classes)):
+                raise BundleError(
+                    "CNN and fallback classifier disagree on the label map: "
+                    f"{np.asarray(part_classes).tolist()} vs {labels.tolist()}"
+                )
+        policy = get_policy()
+        manifest = BundleManifest(
+            name=str(name),
+            version=str(version),
+            labels=np.asarray(labels).tolist(),
+            feature_schema=list(feature_schema),
+            provenance=dict(provenance or {}),
+            nn_policy={
+                "compute_dtype": str(policy.compute_dtype),
+                "conv_kernel": policy.conv_kernel,
+            },
+            created_unix=time.time(),
+        )
+        return cls(manifest=manifest, classifier=classifier, cnn=cnn, scaler=scaler)
+
+    # -- prediction ---------------------------------------------------------
+    @property
+    def labels(self) -> np.ndarray:
+        return np.asarray(self.manifest.labels)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.manifest.feature_schema)
+
+    def predictors(self) -> List[Tuple[str, object]]:
+        """(role, predictor) pairs in degrade order: primary first."""
+        out: List[Tuple[str, object]] = []
+        if self.cnn is not None:
+            out.append(("cnn", self.cnn))
+        if self.classifier is not None:
+            out.append(("classifier", self.classifier))
+        return out
+
+    def _classifier_input(self, X: np.ndarray) -> np.ndarray:
+        return self.scaler.transform(X) if self.scaler is not None else X
+
+    def predict_proba_with(self, role: str, X: np.ndarray) -> np.ndarray:
+        """Probabilities from one named predictor (``cnn``/``classifier``)."""
+        X = np.asarray(X, dtype=float)
+        if role == "cnn":
+            if self.cnn is None:
+                raise BundleError(f"bundle {self.manifest.ref} packs no CNN")
+            return self.cnn.predict_proba(X)
+        if role == "classifier":
+            if self.classifier is None:
+                raise BundleError(
+                    f"bundle {self.manifest.ref} packs no feature classifier"
+                )
+            return self.classifier.predict_proba(self._classifier_input(X))
+        raise ValueError(f"unknown predictor role {role!r}")
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Primary predictor's probabilities, degrading to the fallback.
+
+        The server does its own per-request degrade accounting; this is
+        the convenience path for offline use.
+        """
+        roles = self.predictors()
+        if not roles:
+            raise BundleError("bundle packs no predictor")
+        last_exc: Optional[Exception] = None
+        for role, _ in roles:
+            try:
+                return self.predict_proba_with(role, X)
+            except Exception as exc:  # noqa: BLE001 - degrade on any model fault
+                last_exc = exc
+        raise last_exc
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.labels[np.argmax(proba, axis=1)]
+
+
+# -- member I/O --------------------------------------------------------------
+
+
+def _bundle_members(bundle: ModelBundle) -> Dict[str, bytes]:
+    """Serialise every non-manifest member to bytes."""
+    members: Dict[str, bytes] = {}
+    if bundle.classifier is not None:
+        members[CLASSIFIER_MEMBER] = json.dumps(
+            classifier_to_dict(bundle.classifier)
+        ).encode()
+    if bundle.scaler is not None:
+        members[SCALER_MEMBER] = json.dumps(
+            scaler_to_dict(bundle.scaler)
+        ).encode()
+    if bundle.cnn is not None:
+        config, weights = _cnn_to_members(bundle.cnn)
+        members[CNN_CONFIG_MEMBER] = json.dumps(config).encode()
+        members[CNN_WEIGHTS_MEMBER] = weights
+    return members
+
+
+def _is_zip_path(path: Path) -> bool:
+    return path.suffix.lower() == ".zip"
+
+
+def save_bundle(bundle: ModelBundle, path: _PathLike) -> BundleManifest:
+    """Write a bundle to ``path`` (a directory, or a ``.zip`` archive).
+
+    The manifest is (re)stamped with the SHA-256 of every member as
+    written, so a later :func:`load_bundle` can prove integrity.
+    Returns the stamped manifest.
+    """
+    path = Path(path)
+    members = _bundle_members(bundle)
+    if not members:
+        raise BundleError("refusing to save an empty bundle (no predictors)")
+    bundle.manifest.members = {
+        name: {"sha256": _sha256(data), "bytes": len(data)}
+        for name, data in sorted(members.items())
+    }
+    manifest_bytes = json.dumps(bundle.manifest.to_dict(), indent=2).encode()
+    if _is_zip_path(path):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as zf:
+            zf.writestr(MANIFEST_MEMBER, manifest_bytes)
+            for name, data in sorted(members.items()):
+                zf.writestr(name, data)
+    else:
+        path.mkdir(parents=True, exist_ok=True)
+        (path / MANIFEST_MEMBER).write_bytes(manifest_bytes)
+        for name, data in members.items():
+            (path / name).write_bytes(data)
+    return bundle.manifest
+
+
+def _read_members(path: Path) -> Dict[str, bytes]:
+    """All member bytes of a bundle directory or zip, by member name."""
+    if not path.exists():
+        raise FileNotFoundError(f"no bundle at {path}")
+    if _is_zip_path(path) or path.is_file():
+        try:
+            with zipfile.ZipFile(path) as zf:
+                return {info.filename: zf.read(info) for info in zf.infolist()}
+        except zipfile.BadZipFile as exc:
+            raise BundleIntegrityError(
+                f"{path}: not a readable bundle archive: {exc}"
+            ) from exc
+    return {
+        member.name: member.read_bytes()
+        for member in sorted(path.iterdir())
+        if member.is_file()
+    }
+
+
+def verify_bundle(path: _PathLike) -> Tuple[BundleManifest, Dict[str, bytes]]:
+    """Read a bundle and prove member integrity; parse no model data.
+
+    Returns ``(manifest, member_bytes)`` once *every* hash checks out.
+    Raises :class:`BundleFormatError` for unknown format versions and
+    :class:`BundleIntegrityError` for missing, extra, truncated or
+    tampered members — before any model byte is interpreted.
+    """
+    path = Path(path)
+    members = _read_members(path)
+    manifest_bytes = members.pop(MANIFEST_MEMBER, None)
+    if manifest_bytes is None:
+        raise BundleIntegrityError(f"{path}: bundle has no {MANIFEST_MEMBER}")
+    try:
+        manifest_payload = json.loads(manifest_bytes.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BundleIntegrityError(
+            f"{path}: {MANIFEST_MEMBER} is not valid JSON: {exc}"
+        ) from exc
+    manifest = BundleManifest.from_dict(manifest_payload, source=str(path))
+    declared = set(manifest.members)
+    actual = set(members)
+    if actual - declared:
+        raise BundleIntegrityError(
+            f"{path}: undeclared members {sorted(actual - declared)} "
+            "(not covered by the manifest hashes)"
+        )
+    if declared - actual:
+        raise BundleIntegrityError(
+            f"{path}: missing members {sorted(declared - actual)}"
+        )
+    for name in sorted(declared):
+        expected = str(manifest.members[name].get("sha256", ""))
+        actual_hash = _sha256(members[name])
+        if actual_hash != expected:
+            raise BundleIntegrityError(
+                f"{path}: member {name!r} failed its integrity check "
+                f"(sha256 {actual_hash[:12]}… != manifest {expected[:12]}…); "
+                "refusing to load a tampered bundle"
+            )
+    return manifest, members
+
+
+def load_bundle(path: _PathLike) -> ModelBundle:
+    """Load and integrity-check a bundle written by :func:`save_bundle`.
+
+    Hashes are verified for every member before any model is
+    instantiated; unknown classifier kinds or CNN kinds are rejected
+    with an error naming the bundle.
+    """
+    path = Path(path)
+    manifest, members = verify_bundle(path)
+    classifier = None
+    scaler = None
+    cnn = None
+    source = str(path)
+    if CLASSIFIER_MEMBER in members:
+        try:
+            classifier = classifier_from_dict(
+                json.loads(members[CLASSIFIER_MEMBER].decode())
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            raise BundleFormatError(
+                f"{source}: bad {CLASSIFIER_MEMBER}: {exc}"
+            ) from exc
+    if SCALER_MEMBER in members:
+        try:
+            scaler = scaler_from_dict(json.loads(members[SCALER_MEMBER].decode()))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            raise BundleFormatError(
+                f"{source}: bad {SCALER_MEMBER}: {exc}"
+            ) from exc
+    if CNN_CONFIG_MEMBER in members or CNN_WEIGHTS_MEMBER in members:
+        if not (CNN_CONFIG_MEMBER in members and CNN_WEIGHTS_MEMBER in members):
+            raise BundleFormatError(
+                f"{source}: CNN members must come as a pair "
+                f"({CNN_CONFIG_MEMBER} + {CNN_WEIGHTS_MEMBER})"
+            )
+        try:
+            config = json.loads(members[CNN_CONFIG_MEMBER].decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BundleFormatError(
+                f"{source}: bad {CNN_CONFIG_MEMBER}: {exc}"
+            ) from exc
+        cnn = _cnn_from_members(config, members[CNN_WEIGHTS_MEMBER], source)
+    if classifier is None and cnn is None:
+        raise BundleFormatError(f"{source}: bundle packs no predictor")
+    return ModelBundle(manifest=manifest, classifier=classifier, cnn=cnn,
+                       scaler=scaler)

@@ -1,0 +1,181 @@
+"""Model registry: load, cache and hot-swap bundles by ``name@version``.
+
+The registry maps bundle *refs* to artifact paths and keeps the most
+recently used bundles warm in an LRU cache, so a serving process pays
+the load-and-verify cost of a bundle once, not per request. Publishing
+a new version is a hot swap: :meth:`ModelRegistry.set_default` flips
+which version a bare ``name`` resolves to atomically, while in-flight
+requests against the old version finish against the old bundle object.
+
+Cache traffic is observable: ``registry.loads`` / ``registry.hits`` /
+``registry.evictions`` counters land in the ambient
+:mod:`repro.obs` metrics registry, labelled per bundle.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs import metrics, trace
+from repro.serve.bundle import ModelBundle, load_bundle
+
+__all__ = ["ModelRegistry", "parse_ref"]
+
+_PathLike = Union[str, Path]
+
+
+def parse_ref(ref: str) -> Tuple[str, Optional[str]]:
+    """Split ``"name@version"`` (or bare ``"name"``) into its parts."""
+    ref = str(ref).strip()
+    if not ref:
+        raise ValueError("empty model ref")
+    if "@" in ref:
+        name, _, version = ref.partition("@")
+        if not name or not version:
+            raise ValueError(f"malformed model ref {ref!r}; want name@version")
+        return name, version
+    return ref, None
+
+
+class ModelRegistry:
+    """Thread-safe bundle store with a warm-model LRU.
+
+    Parameters
+    ----------
+    max_loaded:
+        How many bundles stay warm at once; the least recently *used*
+        bundle is evicted when the cap is exceeded. Evicted bundles are
+        reloaded (and re-integrity-checked) on next use.
+    """
+
+    def __init__(self, max_loaded: int = 4):
+        if max_loaded < 1:
+            raise ValueError("max_loaded must be >= 1")
+        self.max_loaded = int(max_loaded)
+        self._lock = threading.RLock()
+        #: (name, version) -> artifact path
+        self._paths: Dict[Tuple[str, str], Path] = {}
+        #: name -> version served for a bare-name request
+        self._defaults: Dict[str, str] = {}
+        #: warm LRU: (name, version) -> ModelBundle, oldest first
+        self._loaded: "OrderedDict[Tuple[str, str], ModelBundle]" = OrderedDict()
+        self.loads = 0
+        self.hits = 0
+        self.evictions = 0
+
+    # -- registration -------------------------------------------------------
+    def register(
+        self, path: _PathLike, name: Optional[str] = None,
+        version: Optional[str] = None,
+    ) -> Tuple[str, str]:
+        """Register a bundle artifact; returns its ``(name, version)``.
+
+        ``name``/``version`` default to the values in the artifact's own
+        manifest (verified on the spot, so a tampered artifact is
+        rejected at registration, not at first request). The newest
+        registration of a name becomes its default version.
+        """
+        from repro.serve.bundle import verify_bundle
+
+        path = Path(path)
+        if name is None or version is None:
+            manifest, _ = verify_bundle(path)
+            name = name if name is not None else manifest.name
+            version = version if version is not None else manifest.version
+        name, version = str(name), str(version)
+        with self._lock:
+            self._paths[(name, version)] = path
+            self._defaults[name] = version
+            # A re-registered ref must not serve a stale warm copy.
+            self._loaded.pop((name, version), None)
+        return name, version
+
+    def set_default(self, name: str, version: str) -> None:
+        """Hot-swap which version a bare ``name`` resolves to."""
+        with self._lock:
+            if (name, version) not in self._paths:
+                raise KeyError(
+                    f"unknown bundle {name}@{version}; registered: "
+                    f"{self.refs()}"
+                )
+            self._defaults[name] = version
+
+    # -- introspection ------------------------------------------------------
+    def refs(self) -> List[str]:
+        """Every registered ``name@version``, sorted."""
+        with self._lock:
+            return sorted(f"{n}@{v}" for n, v in self._paths)
+
+    def versions(self, name: str) -> List[str]:
+        with self._lock:
+            return sorted(v for n, v in self._paths if n == name)
+
+    def default_version(self, name: str) -> Optional[str]:
+        with self._lock:
+            return self._defaults.get(name)
+
+    def loaded_refs(self) -> List[str]:
+        """Warm bundles, least recently used first."""
+        with self._lock:
+            return [f"{n}@{v}" for n, v in self._loaded]
+
+    # -- resolution ---------------------------------------------------------
+    def resolve(self, ref: str) -> Tuple[str, str]:
+        """Canonical ``(name, version)`` for a ref, applying the default."""
+        name, version = parse_ref(ref)
+        with self._lock:
+            if version is None:
+                version = self._defaults.get(name)
+                if version is None:
+                    raise KeyError(
+                        f"unknown bundle name {name!r}; registered: "
+                        f"{self.refs()}"
+                    )
+            if (name, version) not in self._paths:
+                raise KeyError(
+                    f"unknown bundle {name}@{version}; registered: "
+                    f"{self.refs()}"
+                )
+        return name, version
+
+    def get(self, ref: str) -> ModelBundle:
+        """The warm bundle for ``ref``, loading (and evicting) as needed."""
+        name, version = self.resolve(ref)
+        key = (name, version)
+        with self._lock:
+            bundle = self._loaded.get(key)
+            if bundle is not None:
+                self._loaded.move_to_end(key)
+                self.hits += 1
+                metrics().count("registry.hits", bundle=f"{name}@{version}")
+                return bundle
+            path = self._paths[key]
+        # Load outside the lock: verification + parsing can be slow and
+        # must not block unrelated lookups.
+        with trace(
+            "registry.load", bundle=f"{name}@{version}",
+            metric_labels={"bundle": f"{name}@{version}"},
+        ):
+            bundle = load_bundle(path)
+        with self._lock:
+            if key not in self._paths:  # unregistered while loading
+                raise KeyError(f"bundle {name}@{version} was unregistered")
+            self._loaded[key] = bundle
+            self._loaded.move_to_end(key)
+            self.loads += 1
+            metrics().count("registry.loads", bundle=f"{name}@{version}")
+            while len(self._loaded) > self.max_loaded:
+                evicted_key, _ = self._loaded.popitem(last=False)
+                self.evictions += 1
+                metrics().count(
+                    "registry.evictions",
+                    bundle=f"{evicted_key[0]}@{evicted_key[1]}",
+                )
+        return bundle
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._paths)

@@ -1,0 +1,568 @@
+"""Batched inference server over versioned model bundles.
+
+The online half of the paper's threat model at traffic scale: requests
+(Table II feature vectors, or raw accelerometer windows that still need
+feature extraction) arrive on a bounded queue, a batcher thread groups
+them into micro-batches — up to ``max_batch`` requests, waiting at most
+``max_linger_s`` after the first — and each batch runs one
+``predict_proba`` per model group over a shared
+:class:`~repro.parallel.ExecutorPool`.
+
+Guarantees:
+
+- **exactly-once answers** — every accepted request resolves its
+  :class:`ServeFuture` with exactly one :class:`ServeResult`, whether
+  the prediction succeeded, the model faulted (error value), the
+  deadline passed (timeout value), or the server stopped;
+- **backpressure** — a full queue rejects new work immediately with
+  :class:`ServerOverloaded` instead of buffering without bound;
+- **graceful degrade** — a CNN fault retries the batch against the
+  bundle's fallback feature classifier; a fault that persists is
+  isolated per request (row-by-row) so one poison request cannot take
+  down its batchmates, and the server stays up;
+- **observability** — ``serve.batch`` spans around every batch,
+  ``serve.request`` timer records per answered request, and counters
+  for submissions, batches, fallbacks, timeouts and rejections in the
+  ambient :mod:`repro.obs` registry.
+
+Batching changes scheduling, never answers: a burst served batched
+yields the same predictions as serial single-request inference (see
+``benchmarks/test_serving.py`` for the throughput this buys).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attack.features import extract_features
+from repro.obs import metrics, trace, tracer
+from repro.parallel import ExecutorPool
+from repro.serve.registry import ModelRegistry
+
+__all__ = [
+    "InferenceServer",
+    "ServeFuture",
+    "ServeResult",
+    "ServeError",
+    "ServerOverloaded",
+    "ServerStopped",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class ServerOverloaded(ServeError):
+    """The bounded request queue is full; the caller should back off."""
+
+
+class ServerStopped(ServeError):
+    """The server is not accepting requests."""
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The answer to one request (an error *value*, never an exception).
+
+    ``ok`` results carry the predicted ``label`` and the full ``proba``
+    row over ``labels``-ordered classes; failed results carry ``error``
+    and a ``status`` of ``"error"`` or ``"timeout"``.
+    """
+
+    request_id: int
+    status: str  # "ok" | "error" | "timeout"
+    model: str
+    label: Optional[str] = None
+    proba: Optional[np.ndarray] = None
+    used: Optional[str] = None  # "cnn" | "classifier"
+    error: Optional[str] = None
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class ServeFuture:
+    """Handle to an in-flight request; resolves exactly once."""
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._result: Optional[ServeResult] = None
+        self._resolved = 0
+
+    def _resolve(self, result: ServeResult) -> None:
+        if self._resolved:
+            raise AssertionError(
+                f"request {self.request_id} resolved twice "
+                f"(exactly-once answer invariant broken)"
+            )
+        self._resolved = 1
+        self._result = result
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        """Block for the answer; raises :class:`ServeError` on wait timeout."""
+        if not self._event.wait(timeout):
+            raise ServeError(
+                f"request {self.request_id} not answered within {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class _Request:
+    request_id: int
+    kind: str  # "features" | "window"
+    payload: np.ndarray
+    fs: Optional[float]
+    model: str
+    deadline: float
+    enqueued: float
+    future: ServeFuture = field(repr=False, default=None)  # type: ignore
+
+
+class InferenceServer:
+    """Micro-batching prediction server over a :class:`ModelRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        Where bundles come from (loaded lazily, warm-cached, hot-swappable).
+    model:
+        Default bundle ref (``name`` or ``name@version``) for requests
+        that do not name one.
+    max_batch:
+        Largest micro-batch; 1 disables batching (the serial baseline).
+    max_linger_s:
+        Longest the batcher waits after the first queued request before
+        dispatching a partial batch.
+    max_queue:
+        Bounded-queue depth; submissions beyond it raise
+        :class:`ServerOverloaded`.
+    default_timeout_s:
+        Per-request deadline when the submission does not carry one. A
+        request still queued past its deadline is answered with a
+        timeout value instead of occupying a batch slot.
+    pool:
+        Optional shared :class:`~repro.parallel.ExecutorPool` used to
+        fan independent per-model groups of one batch out; ``serial``
+        and ``thread`` pools only (models and futures do not cross
+        process boundaries). Defaults to a private serial pool.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        model: Optional[str] = None,
+        *,
+        max_batch: int = 32,
+        max_linger_s: float = 0.002,
+        max_queue: int = 256,
+        default_timeout_s: float = 10.0,
+        pool: Optional[ExecutorPool] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_linger_s < 0:
+            raise ValueError("max_linger_s must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if pool is not None and pool.executor == "process":
+            raise ValueError(
+                "InferenceServer needs a serial or thread pool; model "
+                "objects and futures do not cross process boundaries"
+            )
+        self.registry = registry
+        self.default_model = model
+        self.max_batch = int(max_batch)
+        self.max_linger_s = float(max_linger_s)
+        self.default_timeout_s = float(default_timeout_s)
+        self._pool = pool if pool is not None else ExecutorPool(n_jobs=1)
+        self._owns_pool = pool is None
+        self._queue: "queue.Queue[_Request]" = queue.Queue(maxsize=max_queue)
+        self._ids = itertools.count(1)
+        self._stop = threading.Event()
+        self._state_lock = threading.Lock()
+        self._accepting = False
+        self._thread: Optional[threading.Thread] = None
+        self.requests_accepted = 0
+        self.requests_answered = 0
+        self.batches_run = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        if self._thread is not None:
+            raise ServeError("server already started")
+        self._stop.clear()
+        self._accepting = True
+        self._thread = threading.Thread(
+            target=self._batcher_loop, name="serve-batcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting work, drain the queue, answer every straggler."""
+        with self._state_lock:
+            # Atomic with the accept-check in _submit: once this flips,
+            # no new request can reach the queue, so the drain below
+            # answers everything that ever got in.
+            self._accepting = False
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        # The batcher drains before exiting; anything that still slipped
+        # in is answered with a stopped-server error value.
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self._answer(
+                request,
+                ServeResult(
+                    request_id=request.request_id,
+                    status="error",
+                    model=request.model,
+                    error="server stopped before the request was served",
+                ),
+            )
+        if self._owns_pool:
+            self._pool.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission ---------------------------------------------------------
+    def _submit(
+        self,
+        kind: str,
+        payload: np.ndarray,
+        fs: Optional[float],
+        model: Optional[str],
+        timeout_s: Optional[float],
+    ) -> ServeFuture:
+        if not self._accepting:
+            raise ServerStopped("server is not running; call start()")
+        ref = model if model is not None else self.default_model
+        if ref is None:
+            raise ServeError(
+                "no model named on the request and the server has no default"
+            )
+        timeout = self.default_timeout_s if timeout_s is None else float(timeout_s)
+        now = time.perf_counter()
+        request = _Request(
+            request_id=next(self._ids),
+            kind=kind,
+            payload=payload,
+            fs=fs,
+            model=str(ref),
+            deadline=now + timeout,
+            enqueued=now,
+        )
+        request.future = ServeFuture(request.request_id)
+        with self._state_lock:
+            if not self._accepting:
+                raise ServerStopped("server is not running; call start()")
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                metrics().count("serve.rejected", reason="overloaded")
+                raise ServerOverloaded(
+                    f"request queue full ({self._queue.maxsize}); back off"
+                ) from None
+            self.requests_accepted += 1
+        metrics().count("serve.requests", kind=kind)
+        return request.future
+
+    def submit_features(
+        self,
+        features: np.ndarray,
+        model: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> ServeFuture:
+        """Queue one Table II feature vector for prediction."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 1:
+            raise ValueError(
+                f"expected a 1-D feature vector, got shape {features.shape}"
+            )
+        return self._submit("features", features, None, model, timeout_s)
+
+    def submit_window(
+        self,
+        samples: np.ndarray,
+        fs: float,
+        model: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> ServeFuture:
+        """Queue a raw accelerometer window; features are extracted in-batch."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1 or samples.size < 4:
+            raise ValueError(
+                f"expected a 1-D window of >= 4 samples, got shape {samples.shape}"
+            )
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        return self._submit("window", samples, float(fs), model, timeout_s)
+
+    def predict(
+        self,
+        features: np.ndarray,
+        model: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> ServeResult:
+        """Blocking convenience: submit a feature vector and wait."""
+        timeout = self.default_timeout_s if timeout_s is None else float(timeout_s)
+        future = self.submit_features(features, model=model, timeout_s=timeout)
+        # Wait a little past the serving deadline: a deadline miss comes
+        # back as a timeout *value*, not a dropped future.
+        return future.result(timeout=timeout + 5.0)
+
+    # -- batching -----------------------------------------------------------
+    def _batcher_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.02)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            batch = [first]
+            t_first = time.perf_counter()
+            while len(batch) < self.max_batch:
+                remaining = self.max_linger_s - (time.perf_counter() - t_first)
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            try:
+                self._run_batch(batch)
+            except Exception as exc:  # noqa: BLE001 - the server must stay up
+                for request in batch:
+                    if not request.future.done():
+                        self._answer(
+                            request,
+                            ServeResult(
+                                request_id=request.request_id,
+                                status="error",
+                                model=request.model,
+                                error=f"internal batch failure: "
+                                      f"{type(exc).__name__}: {exc}",
+                            ),
+                        )
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        self.batches_run += 1
+        groups: Dict[str, List[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.model, []).append(request)
+        with trace(
+            "serve.batch", n=len(batch), models=len(groups), metric_labels={}
+        ):
+            metrics().count("serve.batches")
+            metrics().observe("serve.batch_size", len(batch))
+            self._pool.map(self._run_group, list(groups.items()))
+
+    # -- per-group execution ------------------------------------------------
+    def _run_group(self, group: Tuple[str, List[_Request]]) -> None:
+        model_ref, requests = group
+        now = time.perf_counter()
+        live: List[_Request] = []
+        for request in requests:
+            if now >= request.deadline:
+                metrics().count("serve.timeouts", model=model_ref)
+                self._answer(
+                    request,
+                    ServeResult(
+                        request_id=request.request_id,
+                        status="timeout",
+                        model=model_ref,
+                        error="deadline exceeded while queued",
+                    ),
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+        try:
+            bundle = self.registry.get(model_ref)
+        except Exception as exc:  # noqa: BLE001 - unknown/corrupt bundle
+            metrics().count("serve.errors", model=model_ref, reason="bundle")
+            for request in live:
+                self._answer(
+                    request,
+                    ServeResult(
+                        request_id=request.request_id,
+                        status="error",
+                        model=model_ref,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+            return
+        rows, prepared = self._prepare_rows(live, bundle, model_ref)
+        if not prepared:
+            return
+        X = np.vstack(rows)
+        with trace(
+            "serve.predict", model=model_ref, n=len(prepared),
+            metric_labels={"model": model_ref},
+        ):
+            outcomes = self._predict_group(bundle, X, model_ref)
+        labels = bundle.labels
+        for request, outcome in zip(prepared, outcomes):
+            proba, used, error = outcome
+            if error is not None:
+                metrics().count("serve.errors", model=model_ref, reason="model")
+                result = ServeResult(
+                    request_id=request.request_id,
+                    status="error",
+                    model=model_ref,
+                    error=error,
+                )
+            else:
+                result = ServeResult(
+                    request_id=request.request_id,
+                    status="ok",
+                    model=model_ref,
+                    label=str(labels[int(np.argmax(proba))]),
+                    proba=proba,
+                    used=used,
+                )
+            self._answer(request, result)
+
+    def _prepare_rows(
+        self, live: List[_Request], bundle, model_ref: str
+    ) -> Tuple[List[np.ndarray], List[_Request]]:
+        """Feature rows for the live requests; bad inputs answered early."""
+        rows: List[np.ndarray] = []
+        prepared: List[_Request] = []
+        n_features = bundle.n_features
+        for request in live:
+            try:
+                if request.kind == "window":
+                    row = np.nan_to_num(
+                        extract_features(request.payload, request.fs), nan=0.0
+                    )
+                else:
+                    row = request.payload
+                    if row.size != n_features:
+                        raise ValueError(
+                            f"feature vector has {row.size} entries; bundle "
+                            f"{model_ref} serves {n_features} "
+                            f"({bundle.manifest.feature_schema[:3]}…)"
+                        )
+            except Exception as exc:  # noqa: BLE001 - bad input, not a crash
+                metrics().count("serve.errors", model=model_ref, reason="input")
+                self._answer(
+                    request,
+                    ServeResult(
+                        request_id=request.request_id,
+                        status="error",
+                        model=model_ref,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+                continue
+            rows.append(row)
+            prepared.append(request)
+        return rows, prepared
+
+    def _predict_group(
+        self, bundle, X: np.ndarray, model_ref: str
+    ) -> List[Tuple[Optional[np.ndarray], Optional[str], Optional[str]]]:
+        """Per-row ``(proba, used, error)`` outcomes for one model group.
+
+        Tries the bundle's predictors in degrade order on the whole
+        batch; if every predictor faults batch-wise, falls back to
+        row-by-row isolation so only the poison rows carry error values.
+        """
+        roles = bundle.predictors()
+        for i, (role, _) in enumerate(roles):
+            try:
+                proba = bundle.predict_proba_with(role, X)
+                if i > 0:
+                    metrics().count(
+                        "serve.fallbacks", model=model_ref, to=role,
+                        value=X.shape[0],
+                    )
+                return [(proba[j], role, None) for j in range(X.shape[0])]
+            except Exception:  # noqa: BLE001 - degrade to the next predictor
+                if i + 1 < len(roles):
+                    metrics().count("serve.degrades", model=model_ref)
+                continue
+        # Batch-wise everything faulted: isolate per row.
+        metrics().count("serve.row_isolation", model=model_ref)
+        outcomes: List[Tuple[Optional[np.ndarray], Optional[str], Optional[str]]] = []
+        for j in range(X.shape[0]):
+            row = X[j : j + 1]
+            answer: Tuple[Optional[np.ndarray], Optional[str], Optional[str]]
+            answer = (None, None, "no predictor available")
+            for role, _ in roles:
+                try:
+                    proba = bundle.predict_proba_with(role, row)
+                    answer = (proba[0], role, None)
+                    break
+                except Exception as exc:  # noqa: BLE001
+                    answer = (None, None, f"{type(exc).__name__}: {exc}")
+            outcomes.append(answer)
+        return outcomes
+
+    # -- resolution ---------------------------------------------------------
+    def _answer(self, request: _Request, result: ServeResult) -> None:
+        latency = time.perf_counter() - request.enqueued
+        result = ServeResult(
+            request_id=result.request_id,
+            status=result.status,
+            model=result.model,
+            label=result.label,
+            proba=result.proba,
+            used=result.used,
+            error=result.error,
+            latency_s=latency,
+        )
+        request.future._resolve(result)
+        with self._state_lock:
+            self.requests_answered += 1
+        tracer().record(
+            "serve.request",
+            latency,
+            metric_labels={"status": result.status, "model": result.model},
+            request_id=request.request_id,
+            status=result.status,
+        )
+        metrics().count("serve.responses", status=result.status)
+
+
+def serve_burst(
+    server: InferenceServer,
+    feature_rows: Sequence[np.ndarray],
+    model: Optional[str] = None,
+    timeout_s: float = 30.0,
+) -> List[ServeResult]:
+    """Submit a burst of feature vectors and collect every answer, in order."""
+    futures = [
+        server.submit_features(row, model=model, timeout_s=timeout_s)
+        for row in feature_rows
+    ]
+    return [future.result(timeout=timeout_s + 5.0) for future in futures]

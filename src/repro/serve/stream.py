@@ -1,0 +1,130 @@
+"""Stream-to-server glue: serve a raw accelerometer stream end-to-end.
+
+:class:`StreamServingClient` reuses the on-device front end —
+:class:`~repro.attack.realtime.StreamingAttack` over a
+:class:`~repro.attack.realtime.StreamingDetector` — for online region
+detection and Table II feature extraction, and ships each completed
+region's feature vector to an :class:`~repro.serve.server.InferenceServer`
+as an asynchronous request. Predictions come back as
+:class:`~repro.serve.server.ServeFuture` handles, so many victim
+streams can share one batched server.
+
+:class:`RemoteClassifier` is the synchronous variant: a classifier-API
+shim whose ``predict`` round-trips through the server, so any existing
+code that takes a fitted classifier (``StreamingAttack`` itself, the
+eval helpers) can be pointed at a served bundle unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.attack.realtime import StreamedRegion, StreamingAttack, StreamingDetector
+from repro.serve.server import InferenceServer, ServeFuture
+
+__all__ = ["StreamServingClient", "RemoteClassifier"]
+
+
+class RemoteClassifier:
+    """Classifier-API shim that predicts through an inference server.
+
+    Implements just enough of the :class:`repro.ml.base.Classifier`
+    surface (``predict`` / ``predict_proba``) for drop-in use where a
+    fitted model is expected. Each call blocks on the server, so this is
+    the convenience path; use :class:`StreamServingClient` for
+    throughput.
+    """
+
+    def __init__(
+        self,
+        server: InferenceServer,
+        model: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ):
+        self.server = server
+        self.model = model
+        self.timeout_s = timeout_s
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        labels = []
+        for row in X:
+            result = self.server.predict(
+                row, model=self.model, timeout_s=self.timeout_s
+            )
+            if not result.ok:
+                raise RuntimeError(
+                    f"serve request {result.request_id} failed: {result.error}"
+                )
+            labels.append(result.label)
+        return np.asarray(labels)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        rows = []
+        for row in X:
+            result = self.server.predict(
+                row, model=self.model, timeout_s=self.timeout_s
+            )
+            if not result.ok:
+                raise RuntimeError(
+                    f"serve request {result.request_id} failed: {result.error}"
+                )
+            rows.append(result.proba)
+        return np.vstack(rows)
+
+
+@dataclass
+class StreamServingClient:
+    """Feed accelerometer chunks in; get served prediction futures out.
+
+    Wraps a classifier-less :class:`StreamingAttack` (region detection +
+    feature extraction stay on-device, exactly the paper's split) and
+    submits each completed region's features to the server. ``pending``
+    accumulates every ``(region, features, future)`` triple.
+    """
+
+    server: InferenceServer
+    detector: StreamingDetector
+    model: Optional[str] = None
+    timeout_s: Optional[float] = None
+    pending: List[Tuple[StreamedRegion, np.ndarray, ServeFuture]] = field(
+        default_factory=list
+    )
+
+    def __post_init__(self):
+        self._attack = StreamingAttack(self.detector, classifier=None)
+
+    def _submit_events(self, events) -> List[Tuple[StreamedRegion, np.ndarray, ServeFuture]]:
+        submitted = []
+        for region, features, _ in events:
+            future = self.server.submit_features(
+                np.nan_to_num(features, nan=0.0),
+                model=self.model,
+                timeout_s=self.timeout_s,
+            )
+            triple = (region, features, future)
+            self.pending.append(triple)
+            submitted.append(triple)
+        return submitted
+
+    def process(self, chunk: np.ndarray):
+        """Consume a chunk; return newly submitted (region, features, future)s."""
+        return self._submit_events(self._attack.process(chunk))
+
+    def finish(self):
+        """Flush the detector and submit any trailing regions."""
+        return self._submit_events(self._attack.finish())
+
+    def results(self, timeout_s: float = 30.0):
+        """Block until every pending request resolves; returns the triples.
+
+        Each returned triple is ``(region, features, ServeResult)``.
+        """
+        return [
+            (region, features, future.result(timeout=timeout_s))
+            for region, features, future in self.pending
+        ]

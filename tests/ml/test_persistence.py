@@ -80,3 +80,40 @@ class TestSafety:
     def test_unfitted_rejected(self):
         with pytest.raises(RuntimeError):
             classifier_to_dict(LogisticRegression())
+
+
+class TestErrorPathNaming:
+    """Regression guard: a bad artifact names the offending *file* in the
+    exception, so a corrupt member inside a serving bundle is
+    identifiable from the error alone."""
+
+    def test_invalid_json_names_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match=r"broken\.json.*not valid classifier JSON"):
+            load_classifier(path)
+
+    def test_non_object_payload_names_file(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match=r"list\.json.*expected a classifier JSON object"):
+            load_classifier(path)
+
+    def test_unknown_kind_names_file(self, tmp_path):
+        path = tmp_path / "hostile.json"
+        path.write_text(json.dumps({"kind": "os.system"}))
+        with pytest.raises(ValueError, match=r"hostile\.json.*unknown classifier kind"):
+            load_classifier(path)
+
+    def test_missing_fields_name_file(self, tmp_path, data):
+        X, y = data
+        payload = classifier_to_dict(LogisticRegression().fit(X, y))
+        del payload["coef"]
+        path = tmp_path / "truncated.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match=r"truncated\.json"):
+            load_classifier(path)
+
+    def test_missing_file_names_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="nowhere"):
+            load_classifier(tmp_path / "nowhere.json")

@@ -184,3 +184,46 @@ class TestWeightPersistence:
         np.savez_compressed(broken, **arrays)
         with pytest.raises(ValueError, match="layer1_running_var"):
             build().load_weights(broken, input_shape=(8, 1))
+
+
+class TestCheckpointErrorNaming:
+    """Regression guard: checkpoint errors name the offending source, so
+    a bad weights member inside a serving bundle is identifiable."""
+
+    def _checkpoint(self, tmp_path):
+        X, y = blobs()
+        model = mlp()
+        model.fit(X, y, epochs=2)
+        path = tmp_path / "weights.npz"
+        model.save_weights(path)
+        return path
+
+    def test_missing_key_names_checkpoint_path(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        with np.load(path) as bundle:
+            arrays = {k: bundle[k] for k in bundle.files if not k.endswith("param0")}
+        stripped = tmp_path / "stripped.npz"
+        np.savez_compressed(stripped, **arrays)
+        with pytest.raises(ValueError, match=r"checkpoint .*stripped\.npz"):
+            mlp().load_weights(stripped, input_shape=(6,))
+
+    def test_shape_mismatch_names_checkpoint_path(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        other = Sequential([Dense(8), ReLU(), Dense(3)], n_classes=3, seed=0)
+        with pytest.raises(ValueError, match=r"checkpoint .*weights\.npz"):
+            other.load_weights(path, input_shape=(6,))
+
+    def test_file_objects_name_their_label(self, tmp_path):
+        """In-memory checkpoints (bundle members) surface their .name."""
+        import io
+
+        from repro.nn.model import describe_checkpoint_source
+
+        path = self._checkpoint(tmp_path)
+        buffer = io.BytesIO(path.read_bytes())
+        buffer.name = "bundle.zip:cnn_weights.npz"
+        other = Sequential([Dense(8), ReLU(), Dense(3)], n_classes=3, seed=0)
+        with pytest.raises(ValueError, match=r"checkpoint bundle\.zip:cnn_weights\.npz"):
+            other.load_weights(buffer, input_shape=(6,))
+        assert describe_checkpoint_source(path) == str(path)
+        assert describe_checkpoint_source(io.BytesIO()) == "<BytesIO>"

@@ -1,4 +1,11 @@
-"""Property-based round-trip tests for model persistence."""
+"""Property-based round-trip tests for model persistence.
+
+Every persistable artifact — each classifier kind, the scaler, CNN
+weights, and whole serving bundles — must satisfy ``load(save(x))``
+with *bitwise-equal* predictions on random inputs.
+"""
+
+import io
 
 import numpy as np
 from hypothesis import given, settings
@@ -6,7 +13,14 @@ from hypothesis import strategies as st
 
 from repro.ml.forest import RandomForest
 from repro.ml.logistic import LogisticRegression
-from repro.ml.persistence import classifier_from_dict, classifier_to_dict
+from repro.ml.persistence import (
+    classifier_from_dict,
+    classifier_to_dict,
+    scaler_from_dict,
+    scaler_to_dict,
+)
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.subspace import RandomSubspace
 from repro.ml.tree import DecisionTree
 
 
@@ -49,3 +63,92 @@ class TestPersistenceProperties:
         model = RandomForest(n_estimators=4, seed=seed).fit(X, y)
         restored = classifier_from_dict(classifier_to_dict(model))
         assert np.allclose(model.predict_proba(X), restored.predict_proba(X))
+
+    @given(
+        st.integers(2, 4),
+        st.floats(0.3, 1.0),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_subspace_round_trip(self, k, fraction, seed):
+        X, y = blobs(12, k, 5, 0.7, seed)
+        model = RandomSubspace(
+            n_estimators=4, subspace_fraction=fraction, seed=seed
+        ).fit(X, y)
+        restored = classifier_from_dict(classifier_to_dict(model))
+        assert np.array_equal(model.predict_proba(X), restored.predict_proba(X))
+        assert np.array_equal(model.predict(X), restored.predict(X))
+
+
+class TestScalerProperties:
+    @given(st.integers(2, 12), st.integers(5, 40), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_scaler_round_trip_bitwise(self, d, n, seed):
+        X = np.random.default_rng(seed).normal(0, 5.0, size=(n, d))
+        scaler = StandardScaler().fit(X)
+        restored = scaler_from_dict(scaler_to_dict(scaler))
+        assert np.array_equal(scaler.mean_, restored.mean_)
+        assert np.array_equal(scaler.std_, restored.std_)
+        probe = np.random.default_rng(seed + 1).normal(size=(7, d))
+        assert np.array_equal(scaler.transform(probe), restored.transform(probe))
+
+    @given(
+        st.integers(3, 8),
+        st.lists(st.integers(0, 7), min_size=1, max_size=3, unique=True),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_scaler_with_zero_variance_columns(self, d, const_cols, seed):
+        """Constant columns survive the round trip and still transform
+        identically (the zero-variance guard is part of the artifact)."""
+        const_cols = [c for c in const_cols if c < d]
+        X = np.random.default_rng(seed).normal(0, 2.0, size=(20, d))
+        for c in const_cols:
+            X[:, c] = 3.25
+        scaler = StandardScaler().fit(X)
+        restored = scaler_from_dict(scaler_to_dict(scaler))
+        assert np.array_equal(scaler.transform(X), restored.transform(X))
+        for c in const_cols:
+            assert np.all(np.isfinite(restored.transform(X)[:, c]))
+
+
+class TestCNNWeightProperties:
+    @given(st.integers(0, 200), st.integers(2, 4))
+    @settings(max_examples=5, deadline=None)
+    def test_cnn_weight_round_trip_bitwise(self, seed, k):
+        """save_weights → load_weights reproduces predictions bitwise."""
+        from repro.eval.experiment import make_classifier
+
+        X, y = blobs(8, k, 24, 0.5, seed)
+        cnn = make_classifier("cnn", seed=seed, fast=True)
+        cnn.epochs = 1
+        cnn.fit(X, y)
+        buffer = io.BytesIO()
+        cnn._model.save_weights(buffer)
+        fresh = make_classifier("cnn", seed=seed + 1, fast=True)
+        fresh.epochs = 1
+        fresh.fit(X, y)  # different weights until the checkpoint lands
+        buffer.seek(0)
+        fresh._model.load_weights(buffer)
+        fresh._scaler = cnn._scaler
+        assert np.array_equal(cnn.predict_proba(X), fresh.predict_proba(X))
+
+
+class TestBundleProperties:
+    @given(k=st.integers(2, 4), seed=st.integers(0, 500), as_zip=st.booleans())
+    @settings(max_examples=5, deadline=None)
+    def test_full_bundle_round_trip_bitwise(self, tmp_path_factory, k, seed, as_zip):
+        """Whole serving bundles round-trip with bitwise-equal predictions."""
+        from repro.serve.bundle import ModelBundle, load_bundle, save_bundle
+
+        X, y = blobs(10, k, 24, 0.5, seed)
+        clf = LogisticRegression(max_iter=50).fit(X, y)
+        bundle = ModelBundle.create("prop", str(seed), classifier=clf)
+        root = tmp_path_factory.mktemp("bundles")
+        path = root / (f"b-{seed}.zip" if as_zip else f"b-{seed}")
+        save_bundle(bundle, path)
+        loaded = load_bundle(path)
+        probe = np.random.default_rng(seed + 7).normal(0, 3.0, size=(9, 24))
+        assert np.array_equal(bundle.predict_proba(probe), loaded.predict_proba(probe))
+        assert np.array_equal(bundle.predict(probe), loaded.predict(probe))
+        assert loaded.manifest.labels == sorted(set(y))

@@ -1,0 +1,70 @@
+"""Shared fixtures for the serving-layer tests.
+
+Training is the expensive part, so fitted models are session-scoped;
+packed bundles are rebuilt per test from those shared models (packing
+is cheap and tests mutate the artifacts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import make_classifier
+from repro.ml.logistic import LogisticRegression
+from repro.serve.bundle import ModelBundle, save_bundle
+
+N_CLASSES = 3
+N_FEATURES = 24  # the Table II feature schema width
+
+
+def make_blobs(n_per_class=30, k=N_CLASSES, d=N_FEATURES, spread=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(k, d))
+    X = np.vstack(
+        [centers[i] + spread * rng.normal(size=(n_per_class, d)) for i in range(k)]
+    )
+    y = np.repeat([f"emo{i}" for i in range(k)], n_per_class)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def blob_data():
+    return make_blobs()
+
+
+@pytest.fixture(scope="session")
+def fitted_logistic(blob_data):
+    X, y = blob_data
+    return LogisticRegression().fit(X, y)
+
+
+@pytest.fixture(scope="session")
+def fitted_cnn(blob_data):
+    """A tiny (but real) feature CNN trained on the blob data."""
+    X, y = blob_data
+    cnn = make_classifier("cnn", seed=0, fast=True)
+    cnn.epochs = 3
+    cnn.fit(X, y)
+    return cnn
+
+
+@pytest.fixture()
+def packed_bundle(tmp_path, fitted_logistic, fitted_cnn):
+    """A freshly packed CNN+fallback bundle directory; returns its path."""
+    bundle = ModelBundle.create(
+        "blobs", "1", classifier=fitted_logistic, cnn=fitted_cnn,
+        provenance={"source": "tests"},
+    )
+    path = tmp_path / "blobs-1"
+    save_bundle(bundle, path)
+    return path
+
+
+@pytest.fixture()
+def packed_classifier_bundle(tmp_path, fitted_logistic):
+    """A classifier-only bundle zip; returns its path."""
+    bundle = ModelBundle.create("blobs-clf", "1", classifier=fitted_logistic)
+    path = tmp_path / "blobs-clf-1.zip"
+    save_bundle(bundle, path)
+    return path

@@ -1,0 +1,133 @@
+"""Golden-parity guard for the bundle pack/load path.
+
+A committed JSON fixture pins the predictions of a deterministic
+pipeline (logistic fallback + tiny feature CNN) on fixed probe rows.
+Two properties are pinned:
+
+- the packed-then-loaded bundle answers **byte-identically** to the
+  in-memory pipeline it was packed from (serialisation adds nothing
+  and loses nothing), and
+- both match the committed fixture, so any drift in the persistence
+  format, the scaler, the CNN weight codec or the predict path fails
+  here first.
+
+Regenerate (after an *intentional* numerics or format change) with::
+
+    PYTHONPATH=src python tests/serve/test_golden_bundle.py --regenerate
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.experiment import make_classifier
+from repro.ml.logistic import LogisticRegression
+from repro.serve.bundle import ModelBundle, load_bundle, save_bundle
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_bundle_predictions.json"
+
+N_CLASSES = 3
+N_FEATURES = 24
+N_PROBES = 8
+
+
+def _train_data():
+    rng = np.random.default_rng(17)
+    centers = rng.normal(0, 3.0, size=(N_CLASSES, N_FEATURES))
+    X = np.vstack(
+        [centers[k] + 0.4 * rng.normal(size=(25, N_FEATURES)) for k in range(N_CLASSES)]
+    )
+    y = np.repeat([f"emo{k}" for k in range(N_CLASSES)], 25)
+    return X, y
+
+
+def _probe_rows():
+    return np.random.default_rng(99).normal(0, 2.0, size=(N_PROBES, N_FEATURES))
+
+
+def _build_bundle():
+    X, y = _train_data()
+    clf = LogisticRegression().fit(X, y)
+    cnn = make_classifier("cnn", seed=0, fast=True)
+    cnn.epochs = 3
+    cnn.fit(X, y)
+    return ModelBundle.create(
+        "golden", "1", classifier=clf, cnn=cnn,
+        provenance={"source": "tests/serve/test_golden_bundle.py"},
+    )
+
+
+def _predictions(bundle):
+    probes = _probe_rows()
+    return {
+        "labels": [str(label) for label in bundle.labels],
+        "cnn_proba": bundle.predict_proba_with("cnn", probes).tolist(),
+        "classifier_proba": bundle.predict_proba_with("classifier", probes).tolist(),
+        "predicted": [str(label) for label in bundle.predict(probes)],
+    }
+
+
+class TestGoldenBundleParity:
+    def test_fixture_exists(self):
+        assert FIXTURE.exists(), (
+            f"golden fixture missing at {FIXTURE}; regenerate with "
+            f"`PYTHONPATH=src python {__file__} --regenerate`"
+        )
+
+    def test_packed_bundle_matches_in_memory_bitwise(self, tmp_path):
+        """load(save(bundle)) answers byte-identically to the original."""
+        bundle = _build_bundle()
+        path = tmp_path / "golden"
+        save_bundle(bundle, path)
+        loaded = load_bundle(path)
+        probes = _probe_rows()
+        assert np.array_equal(
+            bundle.predict_proba_with("cnn", probes),
+            loaded.predict_proba_with("cnn", probes),
+        )
+        assert np.array_equal(
+            bundle.predict_proba_with("classifier", probes),
+            loaded.predict_proba_with("classifier", probes),
+        )
+        assert list(bundle.predict(probes)) == list(loaded.predict(probes))
+
+    def test_loaded_bundle_reproduces_fixture(self, tmp_path):
+        """The packed-then-loaded predictions are pinned to the fixture."""
+        golden = json.loads(FIXTURE.read_text())
+        bundle = _build_bundle()
+        path = tmp_path / "golden.zip"
+        save_bundle(bundle, path)
+        got = _predictions(load_bundle(path))
+        assert got["labels"] == golden["labels"]
+        assert got["predicted"] == golden["predicted"]
+        np.testing.assert_allclose(
+            got["cnn_proba"], golden["cnn_proba"], rtol=1e-12,
+            err_msg="CNN predictions through the bundle codec drifted",
+        )
+        np.testing.assert_allclose(
+            got["classifier_proba"], golden["classifier_proba"], rtol=1e-12,
+            err_msg="classifier predictions through the bundle codec drifted",
+        )
+
+
+def _regenerate() -> None:
+    import tempfile
+
+    bundle = _build_bundle()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "golden"
+        save_bundle(bundle, path)
+        payload = _predictions(load_bundle(path))
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {FIXTURE}: predicted={payload['predicted']}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,133 @@
+"""ModelRegistry: name@version resolution, warm LRU, hot swap."""
+
+import numpy as np
+import pytest
+
+from repro.serve.bundle import ModelBundle, save_bundle
+from repro.serve.registry import ModelRegistry, parse_ref
+
+
+class TestParseRef:
+    def test_name_and_version(self):
+        assert parse_ref("blobs@3") == ("blobs", "3")
+
+    def test_bare_name(self):
+        assert parse_ref("blobs") == ("blobs", None)
+
+    @pytest.mark.parametrize("bad", ["", "@1", "name@", "  "])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_ref(bad)
+
+
+@pytest.fixture()
+def versioned_paths(tmp_path, fitted_logistic):
+    """Three versions of the same bundle name on disk."""
+    paths = {}
+    for version in ("1", "2", "3"):
+        bundle = ModelBundle.create("blobs", version, classifier=fitted_logistic)
+        path = tmp_path / f"blobs-{version}"
+        save_bundle(bundle, path)
+        paths[version] = path
+    return paths
+
+
+class TestResolution:
+    def test_register_reads_manifest(self, packed_classifier_bundle):
+        registry = ModelRegistry()
+        assert registry.register(packed_classifier_bundle) == ("blobs-clf", "1")
+        assert registry.refs() == ["blobs-clf@1"]
+
+    def test_bare_name_resolves_to_newest_registration(self, versioned_paths):
+        registry = ModelRegistry()
+        for version, path in versioned_paths.items():
+            registry.register(path)
+        assert registry.resolve("blobs") == ("blobs", "3")
+        assert registry.versions("blobs") == ["1", "2", "3"]
+
+    def test_hot_swap_default(self, versioned_paths, blob_data):
+        X, _ = blob_data
+        registry = ModelRegistry()
+        for path in versioned_paths.values():
+            registry.register(path)
+        registry.set_default("blobs", "1")
+        assert registry.get("blobs").manifest.version == "1"
+        # The swap is visible to the next bare-name lookup immediately,
+        # while explicit refs keep working.
+        registry.set_default("blobs", "2")
+        assert registry.get("blobs").manifest.version == "2"
+        assert registry.get("blobs@1").manifest.version == "1"
+        np.testing.assert_array_equal(
+            registry.get("blobs@1").predict(X), registry.get("blobs@2").predict(X)
+        )
+
+    def test_unknown_refs_raise(self, versioned_paths):
+        registry = ModelRegistry()
+        registry.register(versioned_paths["1"])
+        with pytest.raises(KeyError, match="unknown bundle"):
+            registry.get("nope")
+        with pytest.raises(KeyError, match="unknown bundle"):
+            registry.get("blobs@9")
+        with pytest.raises(KeyError, match="unknown bundle"):
+            registry.set_default("blobs", "9")
+
+
+class TestWarmLRU:
+    def test_cache_hit_returns_same_object(self, versioned_paths):
+        registry = ModelRegistry(max_loaded=2)
+        registry.register(versioned_paths["1"])
+        first = registry.get("blobs@1")
+        assert registry.get("blobs@1") is first
+        assert registry.loads == 1
+        assert registry.hits == 1
+
+    def test_lru_evicts_least_recently_used(self, versioned_paths):
+        registry = ModelRegistry(max_loaded=2)
+        for path in versioned_paths.values():
+            registry.register(path)
+        registry.get("blobs@1")
+        registry.get("blobs@2")
+        registry.get("blobs@1")        # refresh 1: now 2 is the LRU
+        registry.get("blobs@3")        # evicts 2
+        assert registry.loaded_refs() == ["blobs@1", "blobs@3"]
+        assert registry.evictions == 1
+        # An evicted bundle reloads transparently (fresh object).
+        v2_again = registry.get("blobs@2")
+        assert v2_again.manifest.version == "2"
+        assert registry.loads == 4
+
+    def test_max_loaded_validation(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(max_loaded=0)
+
+    def test_reregistration_drops_stale_warm_copy(
+        self, tmp_path, fitted_logistic
+    ):
+        registry = ModelRegistry()
+        bundle = ModelBundle.create("b", "1", classifier=fitted_logistic)
+        path = tmp_path / "b1"
+        save_bundle(bundle, path)
+        registry.register(path)
+        stale = registry.get("b@1")
+        # Republish the same ref (new artifact content at a new path).
+        path2 = tmp_path / "b1-republished"
+        save_bundle(bundle, path2)
+        registry.register(path2, name="b", version="1")
+        assert registry.get("b@1") is not stale
+
+    def test_tampered_artifact_rejected_at_registration(
+        self, packed_classifier_bundle
+    ):
+        from repro.serve.bundle import BundleIntegrityError
+
+        import zipfile
+
+        with zipfile.ZipFile(packed_classifier_bundle) as zf:
+            members = {i.filename: zf.read(i) for i in zf.infolist()}
+        members["classifier.json"] = members["classifier.json"][:-1] + b"!"
+        with zipfile.ZipFile(packed_classifier_bundle, "w") as zf:
+            for name, data in members.items():
+                zf.writestr(name, data)
+        registry = ModelRegistry()
+        with pytest.raises(BundleIntegrityError):
+            registry.register(packed_classifier_bundle)
