@@ -1,0 +1,378 @@
+"""Sustained-load serving benchmark: multi-tenant Poisson traffic over TCP.
+
+The gate for the network front-end: several simulated tenants fire an
+**open-loop Poisson workload** (arrivals keep coming whether or not
+answers came back — the millions-of-phones traffic model) at a
+:class:`~repro.serve.frontend.ServingFrontend` whose dispatch into the
+batching :class:`~repro.serve.server.InferenceServer` is paced to a
+calibrated fraction of the box's measured capacity, so the run is
+genuinely overloaded on every machine it lands on:
+
+- three well-behaved **realtime** tenants offer less than their fair
+  share each;
+- one **aggressor** floods at ~5x its token-bucket contract — its
+  excess must be shed (with retry-after hints), not served at the
+  expense of everyone else;
+- one **backfill** tenant rides the low-priority lane and only gets
+  residual capacity.
+
+Asserted, per the acceptance criteria:
+
+1. **zero lost accepted requests** — every submitted request receives
+   exactly one response, and every *accepted* one receives a verdict
+   (the frontend's accepted == answered after drain);
+2. **p99 latency bound** on the realtime lane (frontend accept-to-answer);
+3. **fairness** — each well-behaved tenant's goodput is at least 80% of
+   ``min(what it sent, its weighted fair share)`` while the aggressor
+   floods, and the aggressor cannot exceed its admission contract.
+
+Results land in ``BENCH_6.json`` (``EMOLEAK_LOAD_BENCH_OUT`` overrides
+the path, ``EMOLEAK_LOAD_BENCH_SECONDS`` the sustained-window length),
+in the ``BENCH_5.json`` trajectory format, uploaded by CI's
+serving-load-smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegression
+from repro.serve import (
+    AsyncFrontendClient,
+    InferenceServer,
+    ModelBundle,
+    ModelRegistry,
+    ServingFrontend,
+    TenantConfig,
+    save_bundle,
+)
+
+from benchmarks._common import print_header
+
+N_CLASSES = 3
+N_FEATURES = 24
+
+#: Nominal tenant mix, scaled to the box's measured capacity. Rates are
+#: requests/s at scale 1.0 (dispatch paced to BASE_DISPATCH_RPS).
+BASE_DISPATCH_RPS = 240.0
+REALTIME_TENANTS = ("rt-a", "rt-b", "rt-c")
+RT_OFFERED = 40.0  # each; under their 60/s admission contract
+RT_RATE = 60.0
+FLOOD_OFFERED = 400.0  # ~5x its contract: most of this must be shed
+FLOOD_RATE = 80.0
+BULK_OFFERED = 30.0  # backfill lane, residual capacity only
+
+DURATION_S = max(2.0, float(os.environ.get("EMOLEAK_LOAD_BENCH_SECONDS", "6")))
+P99_BOUND_S = 0.75
+FAIR_SHARE_FLOOR = 0.80
+
+#: Filled by the test, serialised to BENCH_6.json at session end.
+RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_artifact():
+    """Write the sustained-load trajectory once the workload reported."""
+    yield
+    path = os.environ.get("EMOLEAK_LOAD_BENCH_OUT", "BENCH_6.json")
+    payload = {
+        "schema": "emoleak/serving-load-bench/v1",
+        "numpy": np.__version__,
+        "duration_s": DURATION_S,
+        "results": RESULTS,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\n[emoleak] wrote serving-load trajectory to {path}")
+
+
+def _blobs(n_per_class=40, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(N_CLASSES, N_FEATURES))
+    X = np.vstack(
+        [centers[i] + 0.5 * rng.normal(size=(n_per_class, N_FEATURES))
+         for i in range(N_CLASSES)]
+    )
+    y = np.repeat([f"emo{i}" for i in range(N_CLASSES)], n_per_class)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    X, y = _blobs()
+    clf = LogisticRegression().fit(X, y)
+    bundle = ModelBundle.create(
+        "load", "1", classifier=clf,
+        provenance={"source": "benchmarks/test_serving_load.py"},
+    )
+    path = tmp_path_factory.mktemp("bundles") / "load-1"
+    save_bundle(bundle, path)
+    registry = ModelRegistry()
+    registry.register(path)
+    registry.get("load")
+    return registry
+
+
+def _request_rows(n=64, seed=9):
+    return list(
+        np.random.default_rng(seed).normal(0, 2.0, size=(n, N_FEATURES))
+    )
+
+
+def _calibrate_capacity(registry) -> float:
+    """Closed-loop round-trip throughput (req/s) with no pacing or limits."""
+    rows = _request_rows()
+
+    async def burst(port, n):
+        client = await AsyncFrontendClient("127.0.0.1", port, "cal").connect()
+        try:
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            futures = [
+                client.submit(rows[i % len(rows)], timeout_s=30.0)
+                for i in range(n)
+            ]
+            responses = await asyncio.gather(*futures)
+            elapsed = loop.time() - t0
+        finally:
+            await client.close()
+        assert all(r["status"] == "ok" for r in responses)
+        return n / elapsed
+
+    with InferenceServer(
+        registry, model="load", max_batch=32, max_linger_s=0.002,
+        default_timeout_s=60.0,
+    ) as server:
+        with ServingFrontend(
+            server,
+            default_tenant=TenantConfig(
+                "default", rate=float("inf"), burst=512.0, max_backlog=1024
+            ),
+        ) as frontend:
+            asyncio.run(burst(frontend.port, 64))  # warm both code paths
+            return asyncio.run(burst(frontend.port, 256))
+
+
+async def _tenant_load(port, tenant, lane, rows, rate, duration, seed):
+    """Open-loop Poisson arrivals for one tenant; returns its raw stats."""
+    rng = np.random.default_rng(seed)
+    client = await AsyncFrontendClient("127.0.0.1", port, tenant).connect()
+    loop = asyncio.get_running_loop()
+    pending = []
+    t0 = loop.time()
+    t = float(rng.exponential(1.0 / rate))
+    i = 0
+    try:
+        while t < duration:
+            delay = (t0 + t) - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            future = client.submit(
+                rows[i % len(rows)], lane=lane, timeout_s=20.0
+            )
+            pending.append((future, loop.time()))
+            i += 1
+            t += float(rng.exponential(1.0 / rate))
+        responses = []
+        for future, sent_at in pending:
+            response = await asyncio.wait_for(future, timeout=60.0)
+            responses.append((response, loop.time() - sent_at))
+    finally:
+        await client.close()
+    return {"tenant": tenant, "lane": lane, "sent": len(pending),
+            "responses": responses}
+
+
+async def _run_workload(port, duration, scale):
+    tasks = [
+        _tenant_load(
+            port, tenant, "realtime", _request_rows(seed=10 + i),
+            RT_OFFERED * scale, duration, seed=100 + i,
+        )
+        for i, tenant in enumerate(REALTIME_TENANTS)
+    ]
+    tasks.append(
+        _tenant_load(
+            port, "flood", "realtime", _request_rows(seed=20),
+            FLOOD_OFFERED * scale, duration, seed=200,
+        )
+    )
+    tasks.append(
+        _tenant_load(
+            port, "bulk", "backfill", _request_rows(seed=21),
+            BULK_OFFERED * scale, duration, seed=300,
+        )
+    )
+    return await asyncio.gather(*tasks)
+
+
+def _summarise(stats, duration):
+    out = {}
+    for entry in stats:
+        responses = [r for r, _ in entry["responses"]]
+        ok = [r for r in responses if r["status"] == "ok"]
+        shed = [r for r in responses if r["status"] == "shed"]
+        serve_lat = sorted(r["latency_s"] for r in ok)
+        client_lat = sorted(
+            lat for r, lat in entry["responses"] if r["status"] == "ok"
+        )
+        summary = {
+            "lane": entry["lane"],
+            "sent": entry["sent"],
+            "answered": len(responses),
+            "ok": len(ok),
+            "shed": len(shed),
+            "error": len(responses) - len(ok) - len(shed),
+            "goodput_rps": len(ok) / duration,
+            "shed_reasons": {},
+            "retry_after_hints_positive": all(
+                r["retry_after_s"] > 0 for r in shed
+            ),
+        }
+        for r in shed:
+            reason = r["reason"]
+            summary["shed_reasons"][reason] = (
+                summary["shed_reasons"].get(reason, 0) + 1
+            )
+        if serve_lat:
+            summary["p50_serve_s"] = serve_lat[len(serve_lat) // 2]
+            summary["p99_serve_s"] = serve_lat[
+                min(len(serve_lat) - 1, int(0.99 * len(serve_lat)))
+            ]
+            summary["p99_client_s"] = client_lat[
+                min(len(client_lat) - 1, int(0.99 * len(client_lat)))
+            ]
+        out[entry["tenant"]] = summary
+    return out
+
+
+class TestSustainedLoad:
+    def test_fairness_latency_and_no_lost_requests_under_flood(self, registry):
+        capacity = _calibrate_capacity(registry)
+        dispatch_rps = max(20.0, min(BASE_DISPATCH_RPS, 0.5 * capacity))
+        scale = dispatch_rps / BASE_DISPATCH_RPS
+
+        tenants = [
+            TenantConfig(name, weight=1.0, rate=RT_RATE * scale,
+                         burst=max(4.0, 0.25 * RT_RATE * scale))
+            for name in REALTIME_TENANTS
+        ]
+        tenants.append(
+            TenantConfig("flood", weight=1.0, rate=FLOOD_RATE * scale,
+                         burst=max(4.0, 0.25 * FLOOD_RATE * scale),
+                         max_backlog=64)
+        )
+        tenants.append(TenantConfig("bulk", weight=1.0, rate=float("inf")))
+
+        with InferenceServer(
+            registry, model="load", max_batch=32, max_linger_s=0.002,
+            max_queue=512, default_timeout_s=60.0,
+        ) as server:
+            frontend = ServingFrontend(
+                server, tenants=tenants, dispatch_rate=dispatch_rps,
+            ).start()
+            try:
+                stats = asyncio.run(
+                    _run_workload(frontend.port, DURATION_S, scale)
+                )
+            finally:
+                frontend.stop()
+            accepted, answered = frontend.accepted, frontend.answered
+
+        per_tenant = _summarise(stats, DURATION_S)
+        total_sent = sum(s["sent"] for s in per_tenant.values())
+        total_answered = sum(s["answered"] for s in per_tenant.values())
+        total_ok = sum(s["ok"] for s in per_tenant.values())
+        total_shed = sum(s["shed"] for s in per_tenant.values())
+
+        # Weighted fair share on the realtime lane: four weight-1 tenants
+        # compete for the paced dispatch rate.
+        rt_share = dispatch_rps / (len(REALTIME_TENANTS) + 1)
+
+        print_header("Serving-load benchmark - multi-tenant Poisson open loop")
+        print(f"  capacity   : {capacity:7.1f} req/s closed-loop calibration")
+        print(f"  dispatch   : {dispatch_rps:7.1f} req/s paced "
+              f"(scale {scale:.2f}, fair share {rt_share:.1f}/s)")
+        print(f"  duration   : {DURATION_S:.1f} s sustained window")
+        print(f"  traffic    : {total_sent} sent, {total_answered} answered, "
+              f"{total_ok} ok, {total_shed} shed")
+        for name, s in sorted(per_tenant.items()):
+            lat = (f"p99 {1e3 * s['p99_serve_s']:6.1f} ms"
+                   if "p99_serve_s" in s else "p99     n/a")
+            print(f"  {name:<8} : {s['lane']:<8} sent {s['sent']:>5}  "
+                  f"ok {s['ok']:>5}  shed {s['shed']:>5}  "
+                  f"goodput {s['goodput_rps']:7.1f}/s  {lat}")
+
+        RESULTS["sustained_load"] = {
+            "capacity_rps": capacity,
+            "dispatch_rps": dispatch_rps,
+            "scale": scale,
+            "fair_share_rps": rt_share,
+            "duration_s": DURATION_S,
+            "total": {
+                "sent": total_sent,
+                "answered": total_answered,
+                "ok": total_ok,
+                "shed": total_shed,
+                "accepted_by_frontend": accepted,
+                "answered_by_frontend": answered,
+            },
+            "tenants": per_tenant,
+        }
+
+        # 1. Zero lost requests: every submission answered exactly once,
+        #    and every frontend-accepted request got a verdict.
+        assert total_answered == total_sent, (
+            f"{total_sent - total_answered} requests vanished without an answer"
+        )
+        assert accepted == answered, (
+            f"frontend accepted {accepted} but answered {answered}: "
+            f"an accepted request was lost"
+        )
+        for name, s in per_tenant.items():
+            assert s["error"] == 0, f"{name} saw {s['error']} error responses"
+            assert s["retry_after_hints_positive"], (
+                f"{name} got a shed response without a positive retry_after_s"
+            )
+
+        # 2. p99 latency bound on the realtime lane.
+        for name in REALTIME_TENANTS:
+            p99 = per_tenant[name]["p99_serve_s"]
+            assert p99 <= P99_BOUND_S, (
+                f"{name} realtime p99 {p99 * 1e3:.1f} ms over the "
+                f"{P99_BOUND_S * 1e3:.0f} ms bound"
+            )
+
+        # 3. Fairness under flood: each well-behaved tenant keeps >= 80%
+        #    of min(what it sent, its weighted fair share).
+        for name in REALTIME_TENANTS:
+            s = per_tenant[name]
+            entitled = min(s["sent"] / DURATION_S, rt_share)
+            assert s["goodput_rps"] >= FAIR_SHARE_FLOOR * entitled, (
+                f"{name} goodput {s['goodput_rps']:.1f}/s below "
+                f"{FAIR_SHARE_FLOOR:.0%} of its entitled {entitled:.1f}/s "
+                f"while the aggressor flooded"
+            )
+
+        # The aggressor is contained by its admission contract...
+        flood = per_tenant["flood"]
+        flood_budget = (
+            FLOOD_RATE * scale * DURATION_S
+            + max(4.0, 0.25 * FLOOD_RATE * scale)
+        )
+        assert flood["ok"] <= 1.1 * flood_budget + 1, (
+            f"aggressor served {flood['ok']} > its token budget "
+            f"{flood_budget:.0f}"
+        )
+        # ...and its excess was shed with hints, not dropped.
+        assert flood["shed"] > 0, "the flood was never shed"
+        assert "rate" in flood["shed_reasons"], flood["shed_reasons"]
+
+        # Backfill rides residual capacity without being starved outright.
+        assert per_tenant["bulk"]["ok"] > 0, "backfill lane fully starved"

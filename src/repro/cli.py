@@ -11,11 +11,13 @@ Usage::
         --classifier logistic --out model.zip        # deployable model bundle
     python -m repro.cli bundle inspect model.zip
     python -m repro.cli serve --bundle model.zip --burst 64
+    python -m repro.cli serve --bundle model.zip --listen 127.0.0.1:7860
+    python -m repro.cli client --connect 127.0.0.1:7860 --tenant phone-a
 
 Prints the paper-vs-measured comparison line and the confusion matrix
 (or, with ``--table``, the full reproduced table next to the published
-values). The ``bundle``/``serve`` subcommands are the serving layer —
-see :mod:`repro.serve.cli`.
+values). The ``bundle``/``serve``/``client`` subcommands are the
+serving layer — see :mod:`repro.serve.cli`.
 """
 
 from __future__ import annotations
@@ -170,8 +172,9 @@ def _list_scenarios() -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] in ("bundle", "serve"):
-        # Serving-layer subcommands: `repro bundle pack|inspect`, `repro serve`.
+    if argv and argv[0] in ("bundle", "serve", "client"):
+        # Serving-layer subcommands: `repro bundle pack|inspect`,
+        # `repro serve [--listen HOST:PORT]`, `repro client --connect …`.
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv)

@@ -124,6 +124,24 @@ class MetricsRegistry:
         with self._lock:
             return sum(v for (n, _), v in self._counters.items() if n == name)
 
+    def counter_group(self, name: str, label: str) -> Dict[str, float]:
+        """The counter summed per value of one label (e.g. per tenant).
+
+        Label sets that do not carry ``label`` are ignored, so
+        ``counter_group("frontend.requests", "tenant")`` answers exactly
+        the multi-tenant question: how much did each tenant submit?
+        """
+        grouped: Dict[str, float] = {}
+        with self._lock:
+            for (n, labels), value in self._counters.items():
+                if n != name:
+                    continue
+                for k, v in labels:
+                    if k == label:
+                        grouped[v] = grouped.get(v, 0) + value
+                        break
+        return grouped
+
     def gauge_value(self, name: str, **labels) -> Optional[float]:
         """The gauge level for one exact label set (None if absent)."""
         with self._lock:

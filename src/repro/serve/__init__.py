@@ -10,8 +10,21 @@ prediction requests through micro-batches with bounded queues,
 deadlines and CNN-to-classifier degrade. :mod:`repro.serve.stream`
 connects the :mod:`repro.attack.realtime` front end so a raw
 accelerometer stream is served end-to-end.
+
+The network tier sits on top: :mod:`repro.serve.protocol` defines the
+length-prefixed JSON/binary frame format, :mod:`repro.serve.admission`
+the per-tenant token buckets + weighted fair queueing + priority lanes,
+and :mod:`repro.serve.frontend` the asyncio TCP front-end that admits,
+schedules, load-sheds (with retry-after hints) and gracefully drains
+multi-tenant traffic into the batching server.
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    ShedDecision,
+    TenantConfig,
+    TokenBucket,
+)
 from repro.serve.bundle import (
     BUNDLE_FORMAT_VERSION,
     BundleError,
@@ -23,6 +36,12 @@ from repro.serve.bundle import (
     save_bundle,
     verify_bundle,
 )
+from repro.serve.frontend import (
+    AsyncFrontendClient,
+    FrontendClient,
+    ServingFrontend,
+)
+from repro.serve.protocol import FrameDecoder, ProtocolError, encode_message
 from repro.serve.registry import ModelRegistry, parse_ref
 from repro.serve.server import (
     InferenceServer,
@@ -36,8 +55,18 @@ from repro.serve.server import (
 from repro.serve.stream import RemoteClassifier, StreamServingClient
 
 __all__ = [
+    "AdmissionController",
+    "AsyncFrontendClient",
     "BUNDLE_FORMAT_VERSION",
     "BundleError",
+    "FrameDecoder",
+    "FrontendClient",
+    "ProtocolError",
+    "ServingFrontend",
+    "ShedDecision",
+    "TenantConfig",
+    "TokenBucket",
+    "encode_message",
     "BundleFormatError",
     "BundleIntegrityError",
     "BundleManifest",

@@ -8,13 +8,20 @@
     python -m repro.cli serve --bundle models/tess.zip --burst 64
     python -m repro.cli serve --bundle models/tess.zip \
         --stream-scenario tess-loud-oneplus7t
+    python -m repro.cli serve --bundle models/tess.zip \
+        --listen 127.0.0.1:7860 --tenant phones:200:50:2
+    python -m repro.cli client --connect 127.0.0.1:7860 --tenant phones
 
 ``bundle pack`` trains the chosen pipeline on a scenario through the
 collection engine and writes a versioned, hash-stamped artifact;
 ``bundle inspect`` verifies and prints a manifest; ``serve`` loads a
 bundle into a registry and either answers a synthetic feature burst or
 streams a freshly recorded session end-to-end through the
-:class:`~repro.serve.stream.StreamServingClient`.
+:class:`~repro.serve.stream.StreamServingClient`. With ``--listen`` it
+instead exposes the server over TCP behind the multi-tenant
+:class:`~repro.serve.frontend.ServingFrontend`; ``client`` talks to
+such a front-end with the blocking
+:class:`~repro.serve.frontend.FrontendClient`.
 """
 
 from __future__ import annotations
@@ -74,11 +81,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record a session for NAME and serve its stream")
     serve.add_argument("--subsample", type=int, default=3, metavar="N",
                        help="utterances per class in the streamed session")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="expose the server over TCP (multi-tenant "
+                            "front-end) instead of running a local demo")
+    serve.add_argument("--tenant", action="append", default=None,
+                       metavar="NAME:RATE[:BURST[:WEIGHT]]",
+                       help="tenant admission contract (repeatable); "
+                            "e.g. phones:200:50:2")
+    serve.add_argument("--dispatch-rate", type=float, default=None,
+                       metavar="RPS", help="pace dispatch into the batcher")
+    serve.add_argument("--duration", type=float, default=None, metavar="S",
+                       help="with --listen: stop after S seconds "
+                            "(default: run until interrupted)")
     serve.add_argument("--max-batch", type=int, default=32)
     serve.add_argument("--linger-ms", type=float, default=2.0)
     serve.add_argument("--seed", type=int, default=7)
     serve.add_argument("--metrics", action="store_true",
                        help="print serving metrics at exit")
+
+    client = sub.add_parser("client",
+                            help="send requests to a --listen front-end")
+    client.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="front-end address")
+    client.add_argument("--tenant", default="cli",
+                        help="tenant to identify as (default: cli)")
+    client.add_argument("--n", type=int, default=8, metavar="N",
+                        help="number of synthetic requests (default: 8)")
+    client.add_argument("--n-features", type=int, default=None, metavar="D",
+                        help="feature vector width (default: the paper's "
+                             "24-dim Table II schema)")
+    client.add_argument("--lane", choices=("realtime", "backfill"),
+                        default="realtime")
+    client.add_argument("--binary", action="store_true",
+                        help="ship features as binary tensor frames")
+    client.add_argument("--model", default=None,
+                        help="model ref to request (default: server default)")
+    client.add_argument("--ping", action="store_true",
+                        help="just check liveness and exit")
+    client.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -160,6 +200,60 @@ def _print_serve_metrics() -> None:
     print(metrics().render_table())
 
 
+def _parse_hostport(spec: str) -> tuple:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _parse_tenants(specs):
+    from repro.serve.admission import TenantConfig
+
+    tenants = []
+    for spec in specs or ():
+        parts = spec.split(":")
+        if not 2 <= len(parts) <= 4:
+            raise SystemExit(
+                f"expected NAME:RATE[:BURST[:WEIGHT]], got {spec!r}"
+            )
+        name, rate = parts[0], float(parts[1])
+        burst = float(parts[2]) if len(parts) > 2 else max(1.0, rate)
+        weight = float(parts[3]) if len(parts) > 3 else 1.0
+        tenants.append(
+            TenantConfig(name, rate=rate, burst=burst, weight=weight)
+        )
+    return tenants
+
+
+def _serve_listen(args, server) -> None:
+    import time as _time
+
+    from repro.serve.frontend import ServingFrontend
+
+    host, port = _parse_hostport(args.listen)
+    frontend = ServingFrontend(
+        server,
+        host=host,
+        port=port,
+        tenants=_parse_tenants(args.tenant),
+        dispatch_rate=args.dispatch_rate,
+    )
+    with frontend:
+        print(f"listening : {frontend.host}:{frontend.port} "
+              f"(ctrl-C drains and exits)")
+        try:
+            if args.duration is not None:
+                _time.sleep(args.duration)
+            else:
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\ndraining  : answering admitted requests…")
+    print(f"frontend  : {frontend.accepted} accepted, "
+          f"{frontend.answered} answered, {frontend.shed} shed")
+
+
 def _cmd_serve(args) -> int:
     from repro.serve.registry import ModelRegistry
     from repro.serve.server import InferenceServer, serve_burst
@@ -177,7 +271,9 @@ def _cmd_serve(args) -> int:
         max_linger_s=args.linger_ms / 1e3,
     )
     with server:
-        if args.stream_scenario:
+        if args.listen:
+            _serve_listen(args, server)
+        elif args.stream_scenario:
             _serve_stream(args, server)
         else:
             n = args.burst or 32
@@ -228,19 +324,67 @@ def _serve_stream(args, server) -> None:
           f"{correct}/{labelled} labelled regions correct")
 
 
+def _cmd_client(args) -> int:
+    from repro.serve.frontend import FrontendClient
+
+    host, port = _parse_hostport(args.connect)
+    with FrontendClient(host, port, tenant=args.tenant) as client:
+        pong = client.ping()
+        if pong.get("op") != "pong":
+            print(f"unexpected ping reply: {pong}", file=sys.stderr)
+            return 1
+        if args.ping:
+            print(f"pong      : {host}:{port} is live")
+            return 0
+        if args.n_features is None:
+            from repro.attack.features import FEATURE_NAMES
+
+            width = len(FEATURE_NAMES)
+        else:
+            width = args.n_features
+        rng = np.random.default_rng(args.seed)
+        ok = shed = err = 0
+        latencies: List[float] = []
+        for _ in range(args.n):
+            reply = client.predict(
+                rng.normal(size=width),
+                lane=args.lane,
+                model=args.model,
+                binary=args.binary,
+            )
+            status = reply.get("status")
+            if status == "ok":
+                ok += 1
+                latencies.append(float(reply.get("latency_s", 0.0)))
+            elif status == "shed":
+                shed += 1
+                print(f"shed      : reason={reply.get('reason')} "
+                      f"retry_after_s={reply.get('retry_after_s')}")
+            else:
+                err += 1
+                print(f"error     : {reply.get('error')}", file=sys.stderr)
+        mean_ms = 1e3 * float(np.mean(latencies)) if latencies else 0.0
+        print(f"client    : {ok} ok, {shed} shed, {err} error "
+              f"(tenant={args.tenant}, lane={args.lane}, "
+              f"mean server latency {mean_ms:.1f} ms)")
+        return 0 if err == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    # Accept both `repro bundle pack …` and `repro serve …` spellings:
-    # the dispatcher in repro.cli forwards the whole tail.
+    # Accept `repro bundle pack …`, `repro serve …` and `repro client …`
+    # spellings: the dispatcher in repro.cli forwards the whole tail.
     if argv and argv[0] == "bundle":
         argv = argv[1:]
-    elif argv and argv[0] == "serve":
-        argv = ["serve"] + argv[1:]
+    elif argv and argv[0] in ("serve", "client"):
+        argv = [argv[0]] + argv[1:]
     args = build_parser().parse_args(argv)
     if args.command == "pack":
         return _cmd_pack(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "client":
+        return _cmd_client(args)
     return _cmd_serve(args)
 
 

@@ -1,0 +1,768 @@
+"""Asyncio network front-end: multi-tenant intake for the inference server.
+
+The "millions of users" story: many phones (tenants) stream requests at
+one shared backend. :class:`ServingFrontend` owns a TCP listener
+speaking the :mod:`repro.serve.protocol` frame format, runs every
+request through the :mod:`repro.serve.admission` controller (per-tenant
+token buckets, weighted fair queueing, realtime-over-backfill lanes) and
+dispatches the admitted ones into an existing
+:class:`~repro.serve.server.InferenceServer`, which keeps micro-batching
+exactly as before. The event loop lives on a private thread, so the
+front-end drops into synchronous code (tests, the CLI, benchmarks) with
+``start()``/``stop()``.
+
+Contracts, layered on the server's own:
+
+- **admit-or-tell**: every well-formed request is answered exactly once
+  — with a verdict if admitted, or a ``shed`` response carrying
+  ``reason`` and ``retry_after_s`` if not. Nothing is silently dropped.
+- **fair under flood**: dispatch order is WFQ across tenants, so one
+  greedy client cannot starve the others; its excess is shed back to it
+  with back-off hints while everyone else keeps their share.
+- **lanes**: ``realtime`` requests always dispatch before ``backfill``;
+  under inflight pressure backfill is withheld entirely (preempted at
+  batch granularity) until the realtime side clears.
+- **graceful drain**: ``stop()`` (and hot-swap restarts) first stops
+  accepting, sheds new arrivals with ``reason="draining"``, then serves
+  every already-admitted request to completion before closing sockets —
+  mirroring the server's exactly-once ``ServeFuture`` contract.
+
+A malformed frame (oversized, garbage, undecodable JSON) kills only the
+connection that sent it, after a best-effort ``error`` response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.obs import metrics, tracer
+from repro.serve.admission import (
+    AdmissionController,
+    Admitted,
+    TenantConfig,
+    TokenBucket,
+)
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    LANES,
+    FrameDecoder,
+    ProtocolError,
+    encode_message,
+)
+from repro.serve.server import (
+    InferenceServer,
+    ServeResult,
+    ServerOverloaded,
+)
+
+__all__ = ["AsyncFrontendClient", "FrontendClient", "ServingFrontend"]
+
+
+@dataclass(eq=False)
+class _Connection:
+    """One client socket: its writer plus liveness for orphan detection."""
+
+    writer: asyncio.StreamWriter
+    closed: bool = False
+
+    def send(self, message: Dict[str, Any]) -> bool:
+        if self.closed:
+            return False
+        try:
+            self.writer.write(encode_message(message))
+            return True
+        except Exception:  # noqa: BLE001 - peer vanished mid-write
+            self.closed = True
+            return False
+
+
+@dataclass
+class _PendingRequest:
+    """One admitted request waiting for (or in) the inference server."""
+
+    conn: _Connection
+    msg_id: Any
+    tenant: str
+    lane: str
+    kind: str
+    payload: np.ndarray
+    fs: Optional[float]
+    model: Optional[str]
+    timeout_s: Optional[float]
+    accepted_at: float = field(default_factory=time.perf_counter)
+
+
+class ServingFrontend:
+    """TCP front-end with admission control over an :class:`InferenceServer`.
+
+    Parameters
+    ----------
+    server:
+        The started inference server requests are dispatched into.
+    host, port:
+        Listen address; port 0 binds an ephemeral port (read ``.port``
+        after :meth:`start`).
+    tenants:
+        :class:`TenantConfig` contracts for known tenants; unknown
+        tenant names are admitted under ``default_tenant``.
+    default_tenant:
+        Policy template for unregistered tenants (default: unlimited
+        rate, weight 1, backlog 64).
+    max_inflight:
+        Cap on requests handed to the server but not yet answered;
+        defaults to half the server's queue so the frontend never trips
+        the server's own overload path.
+    dispatch_rate:
+        Optional global pacing (requests/s) of dispatch into the
+        backend — models a constrained backend and makes fair-queueing
+        behaviour reproducible under test; ``None`` dispatches as fast
+        as the inflight cap allows.
+    backfill_pressure:
+        Fraction of ``max_inflight`` above which backfill dispatch is
+        withheld (preemption under pressure).
+    drain_timeout_s:
+        Longest :meth:`stop` waits for admitted requests to finish.
+    """
+
+    def __init__(
+        self,
+        server: InferenceServer,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenants: Optional[List[TenantConfig]] = None,
+        default_tenant: Optional[TenantConfig] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        max_inflight: Optional[int] = None,
+        dispatch_rate: Optional[float] = None,
+        backfill_pressure: float = 0.5,
+        drain_timeout_s: float = 30.0,
+    ):
+        self.server = server
+        self.host = host
+        self.port = int(port)
+        self.max_frame_bytes = int(max_frame_bytes)
+        if max_inflight is None:
+            max_inflight = max(8, server._queue.maxsize // 2)
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = int(max_inflight)
+        self.dispatch_rate = dispatch_rate
+        if not 0.0 < backfill_pressure <= 1.0:
+            raise ValueError("backfill_pressure must be in (0, 1]")
+        self._backfill_limit = max(1, int(backfill_pressure * self.max_inflight))
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.admission = AdmissionController(
+            tenants=tenants,
+            default_config=default_tenant,
+            drain_rate=self._service_rate,
+        )
+        self._dispatch_bucket: Optional[TokenBucket] = None
+        if dispatch_rate is not None:
+            if dispatch_rate <= 0:
+                raise ValueError("dispatch_rate must be positive")
+            self._dispatch_bucket = TokenBucket(
+                dispatch_rate, burst=max(1.0, dispatch_rate / 20.0)
+            )
+        self._connections: Set[_Connection] = set()
+        self._inflight = 0
+        self._completions: Deque[float] = deque(maxlen=128)
+        self.accepted = 0
+        self.answered = 0
+        self.shed = 0
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._dispatcher_stop = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ServingFrontend":
+        """Bind the listener on a private event-loop thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("frontend already started")
+        self._started.clear()
+        self._startup_error = None
+        self._dispatcher_stop = False
+        self._thread = threading.Thread(
+            target=self._thread_main, name="serve-frontend", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Drain gracefully: shed new work, answer all admitted, close."""
+        if self._thread is None:
+            return
+        loop = self._loop
+        if loop is not None and self._stop_event is not None:
+            loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "ServingFrontend":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._startup_error = exc
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._stop_event = asyncio.Event()
+        listener = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = listener.sockets[0].getsockname()[1]
+        self._started.set()
+        dispatcher = asyncio.create_task(self._dispatch_loop())
+        await self._stop_event.wait()
+
+        # Graceful drain: no new connections, new offers shed, admitted
+        # requests dispatched and answered before the sockets close.
+        self.admission.start_draining()
+        listener.close()
+        await listener.wait_closed()
+        deadline = self._loop.time() + self.drain_timeout_s
+        while (
+            self.admission.backlog() > 0 or self._inflight > 0
+        ) and self._loop.time() < deadline:
+            self._wake.set()
+            await asyncio.sleep(0.005)
+        # Stop the dispatcher cooperatively BEFORE cancelling: on
+        # Python 3.11, wait_for can swallow a cancellation that races
+        # with its inner future completing (gh-86296), which would leave
+        # the task running forever — the flag guarantees its loop exits
+        # even when the CancelledError is eaten.
+        self._dispatcher_stop = True
+        self._wake.set()
+        dispatcher.cancel()
+        try:
+            await dispatcher
+        except asyncio.CancelledError:
+            pass
+        for conn in list(self._connections):
+            conn.closed = True
+            try:
+                conn.writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+        await asyncio.sleep(0)
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    messages = decoder.feed(data)
+                except ProtocolError as exc:
+                    # Only this connection dies; a best-effort error
+                    # response tells the peer why.
+                    metrics().count("frontend.protocol_errors")
+                    conn.send({"op": "error", "error": str(exc)})
+                    break
+                for message, tensor in messages:
+                    self._handle_message(conn, message, tensor)
+        finally:
+            conn.closed = True
+            self._connections.discard(conn)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _handle_message(
+        self, conn: _Connection, message: Dict[str, Any], tensor: Optional[np.ndarray]
+    ) -> None:
+        op = message.get("op")
+        if op == "ping":
+            conn.send({"op": "pong", "id": message.get("id")})
+            return
+        if op != "predict":
+            conn.send(
+                {
+                    "op": "error",
+                    "id": message.get("id"),
+                    "error": f"unknown op {op!r}",
+                }
+            )
+            return
+        msg_id = message.get("id")
+        tenant = str(message.get("tenant") or "default")
+        try:
+            pending = self._parse_predict(conn, message, tensor, tenant)
+        except (TypeError, ValueError) as exc:
+            metrics().count("frontend.bad_requests", tenant=tenant)
+            conn.send(
+                {
+                    "op": "result",
+                    "id": msg_id,
+                    "status": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        decision = self.admission.offer(tenant, pending.lane, pending)
+        if decision is not None:
+            self.shed += 1
+            metrics().count("frontend.shed", tenant=tenant, reason=decision.reason)
+            tracer().record(
+                "frontend.shed",
+                0.0,
+                metric_labels={"tenant": tenant, "reason": decision.reason},
+                tenant=tenant,
+                lane=pending.lane,
+                reason=decision.reason,
+            )
+            conn.send(
+                {
+                    "op": "shed",
+                    "id": msg_id,
+                    "status": "shed",
+                    "reason": decision.reason,
+                    "retry_after_s": round(decision.retry_after_s, 6),
+                }
+            )
+            return
+        self.accepted += 1
+        metrics().count("frontend.requests", tenant=tenant, lane=pending.lane)
+        metrics().gauge("frontend.backlog", self.admission.backlog())
+        assert self._wake is not None
+        self._wake.set()
+
+    def _parse_predict(
+        self,
+        conn: _Connection,
+        message: Dict[str, Any],
+        tensor: Optional[np.ndarray],
+        tenant: str,
+    ) -> _PendingRequest:
+        lane = message.get("lane", "realtime")
+        if lane not in LANES:
+            raise ValueError(f"unknown lane {lane!r}; expected one of {LANES}")
+        kind = message.get("kind", "features")
+        if kind not in ("features", "window"):
+            raise ValueError(f"unknown request kind {kind!r}")
+        if tensor is not None:
+            payload = np.asarray(tensor, dtype=float)
+        else:
+            raw = message.get("payload")
+            if not isinstance(raw, list) or not raw:
+                raise ValueError("predict needs a non-empty payload list or tensor")
+            payload = np.asarray(raw, dtype=float)
+        if payload.ndim != 1:
+            raise ValueError(f"payload must be 1-D, got shape {payload.shape}")
+        fs = message.get("fs")
+        if kind == "window":
+            if fs is None or float(fs) <= 0:
+                raise ValueError("window requests need a positive fs")
+            fs = float(fs)
+        else:
+            fs = None
+        timeout_s = message.get("timeout_s")
+        if timeout_s is not None:
+            timeout_s = float(timeout_s)
+            if timeout_s <= 0:
+                raise ValueError("timeout_s must be positive")
+        model = message.get("model")
+        return _PendingRequest(
+            conn=conn,
+            msg_id=message.get("id"),
+            tenant=tenant,
+            lane=lane,
+            kind=kind,
+            payload=payload,
+            fs=fs,
+            model=str(model) if model is not None else None,
+            timeout_s=timeout_s,
+        )
+
+    # -- dispatch ------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._wake is not None
+        while not self._dispatcher_stop:
+            pause_s = self._dispatch_ready()
+            if pause_s is not None:
+                # Pacing bucket dry with work waiting: sleep exactly
+                # until the next token instead of busy-polling.
+                await asyncio.sleep(pause_s)
+                continue
+            self._wake.clear()
+            if self.admission.backlog() > 0 and self._inflight < self.max_inflight:
+                continue  # re-check: a slot freed between clear and here
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=0.05)
+            except asyncio.TimeoutError:
+                pass
+
+    def _dispatch_ready(self) -> Optional[float]:
+        """Dispatch as much as caps allow; returns a pacing sleep if blocked."""
+        while self._inflight < self.max_inflight:
+            realtime_waiting = self.admission.backlog(lane="realtime") > 0
+            backfill_waiting = self.admission.backlog(lane="backfill") > 0
+            if not realtime_waiting and not backfill_waiting:
+                return None
+            allow_backfill = (
+                not realtime_waiting and self._inflight < self._backfill_limit
+            )
+            if not realtime_waiting and not allow_backfill:
+                return None  # backfill preempted by inflight pressure
+            if self._dispatch_bucket is not None:
+                if not self._dispatch_bucket.try_take(1.0):
+                    return max(self._dispatch_bucket.time_until(1.0), 1e-4)
+            entry = self.admission.next(allow_backfill=allow_backfill)
+            if entry is None:
+                return None
+            self._submit_entry(entry)
+        return None
+
+    def _submit_entry(self, entry: Admitted) -> None:
+        pending = entry.item
+        assert isinstance(pending, _PendingRequest)
+        try:
+            if pending.kind == "window":
+                future = self.server.submit_window(
+                    pending.payload,
+                    pending.fs,
+                    model=pending.model,
+                    timeout_s=pending.timeout_s,
+                )
+            else:
+                future = self.server.submit_features(
+                    pending.payload,
+                    model=pending.model,
+                    timeout_s=pending.timeout_s,
+                )
+        except ServerOverloaded as exc:
+            # The inflight cap makes this rare; the admitted request is
+            # still answered exactly once — as an explicit shed with the
+            # server's own retry estimate.
+            self._answer_shed(pending, "backend", exc.retry_after_s or 0.05)
+            return
+        except Exception as exc:  # noqa: BLE001 - e.g. server stopped
+            self._answer_error(pending, f"{type(exc).__name__}: {exc}")
+            return
+        self._inflight += 1
+        metrics().gauge("frontend.inflight", self._inflight)
+        loop = self._loop
+        assert loop is not None
+        future.add_done_callback(
+            lambda result, p=pending: loop.call_soon_threadsafe(
+                self._on_result, p, result
+            )
+        )
+
+    # -- resolution ----------------------------------------------------------
+    def _on_result(self, pending: _PendingRequest, result: ServeResult) -> None:
+        self._inflight -= 1
+        self._completions.append(time.perf_counter())
+        latency = time.perf_counter() - pending.accepted_at
+        self.answered += 1
+        tracer().record(
+            "frontend.request",
+            latency,
+            metric_labels={
+                "tenant": pending.tenant,
+                "lane": pending.lane,
+                "status": result.status,
+            },
+            tenant=pending.tenant,
+            lane=pending.lane,
+            status=result.status,
+        )
+        metrics().count(
+            "frontend.responses", tenant=pending.tenant, status=result.status
+        )
+        response: Dict[str, Any] = {
+            "op": "result",
+            "id": pending.msg_id,
+            "status": result.status,
+            "model": result.model,
+            "latency_s": round(latency, 6),
+        }
+        if result.ok:
+            response["label"] = result.label
+            response["used"] = result.used
+            if result.proba is not None:
+                response["proba"] = [float(p) for p in result.proba]
+        else:
+            response["error"] = result.error
+        if not pending.conn.send(response):
+            metrics().count("frontend.orphaned", tenant=pending.tenant)
+        assert self._wake is not None
+        self._wake.set()
+
+    def _answer_shed(
+        self, pending: _PendingRequest, reason: str, retry_after_s: float
+    ) -> None:
+        self.shed += 1
+        self.accepted -= 1  # it never reached the backend; reclassified as shed
+        metrics().count("frontend.shed", tenant=pending.tenant, reason=reason)
+        pending.conn.send(
+            {
+                "op": "shed",
+                "id": pending.msg_id,
+                "status": "shed",
+                "reason": reason,
+                "retry_after_s": round(retry_after_s, 6),
+            }
+        )
+
+    def _answer_error(self, pending: _PendingRequest, error: str) -> None:
+        self.answered += 1
+        metrics().count(
+            "frontend.responses", tenant=pending.tenant, status="error"
+        )
+        pending.conn.send(
+            {
+                "op": "result",
+                "id": pending.msg_id,
+                "status": "error",
+                "error": error,
+            }
+        )
+
+    def _service_rate(self) -> float:
+        """Recent completion rate (req/s) for retry-after pricing."""
+        if len(self._completions) < 2:
+            return 0.0
+        span = self._completions[-1] - self._completions[0]
+        if span <= 0:
+            return 0.0
+        return (len(self._completions) - 1) / span
+
+
+class AsyncFrontendClient:
+    """Pipelined asyncio client: submit many requests, await each response.
+
+    Each :meth:`submit` writes one frame and returns an
+    :class:`asyncio.Future` resolving to the response message (a
+    ``result`` or ``shed`` dict). A background reader task correlates
+    responses by ``id``, so any number of requests can be in flight on
+    one connection — the open-loop load generator the benchmark needs.
+    """
+
+    def __init__(self, host: str, port: int, tenant: str = "default"):
+        self.host = host
+        self.port = int(port)
+        self.tenant = tenant
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._task: Optional[asyncio.Task] = None
+
+    async def connect(self) -> "AsyncFrontendClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._task = asyncio.create_task(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+            self._writer = None
+        self._fail_pending(ConnectionError("client closed"))
+
+    def submit(
+        self,
+        features: Optional[np.ndarray] = None,
+        *,
+        window: Optional[np.ndarray] = None,
+        fs: Optional[float] = None,
+        lane: str = "realtime",
+        model: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        binary: bool = False,
+    ) -> "asyncio.Future[Dict[str, Any]]":
+        """Send one predict request; resolve with its response message."""
+        if self._writer is None:
+            raise ConnectionError("client is not connected")
+        if (features is None) == (window is None):
+            raise ValueError("pass exactly one of features= or window=")
+        msg_id = next(self._ids)
+        message: Dict[str, Any] = {
+            "op": "predict",
+            "id": msg_id,
+            "tenant": self.tenant,
+            "lane": lane,
+        }
+        if model is not None:
+            message["model"] = model
+        if timeout_s is not None:
+            message["timeout_s"] = timeout_s
+        payload = features if features is not None else window
+        payload = np.asarray(payload, dtype=float)
+        if window is not None:
+            message["kind"] = "window"
+            message["fs"] = float(fs) if fs is not None else None
+        else:
+            message["kind"] = "features"
+        if binary:
+            frame = encode_message(message, payload)
+        else:
+            message["payload"] = [float(x) for x in payload]
+            frame = encode_message(message)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[msg_id] = future
+        self._writer.write(frame)
+        return future
+
+    async def predict(self, features: np.ndarray, **kwargs) -> Dict[str, Any]:
+        return await self.submit(features, **kwargs)
+
+    async def ping(self) -> Dict[str, Any]:
+        if self._writer is None:
+            raise ConnectionError("client is not connected")
+        msg_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[msg_id] = future
+        self._writer.write(encode_message({"op": "ping", "id": msg_id}))
+        return await future
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    self._fail_pending(ConnectionError("server closed the connection"))
+                    return
+                for message, _ in decoder.feed(data):
+                    self._route(message)
+        except ProtocolError as exc:
+            self._fail_pending(exc)
+        except asyncio.CancelledError:
+            raise
+
+    def _route(self, message: Dict[str, Any]) -> None:
+        if message.get("op") == "error" and message.get("id") is None:
+            self._fail_pending(ProtocolError(str(message.get("error"))))
+            return
+        future = self._pending.pop(message.get("id"), None)
+        if future is not None and not future.done():
+            future.set_result(message)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+
+class FrontendClient:
+    """Blocking one-request-at-a-time client (CLI and simple scripts)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        timeout_s: float = 30.0,
+    ):
+        import socket
+
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, int(port)), timeout=timeout_s)
+        self._decoder = FrameDecoder()
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FrontendClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(self, frame: bytes) -> Dict[str, Any]:
+        self._sock.sendall(frame)
+        while True:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            messages = self._decoder.feed(data)
+            if messages:
+                return messages[0][0]
+
+    def ping(self) -> Dict[str, Any]:
+        return self._roundtrip(encode_message({"op": "ping", "id": next(self._ids)}))
+
+    def predict(
+        self,
+        features: np.ndarray,
+        *,
+        lane: str = "realtime",
+        model: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        binary: bool = False,
+    ) -> Dict[str, Any]:
+        """Send one feature-vector request and block for its response."""
+        features = np.asarray(features, dtype=float)
+        message: Dict[str, Any] = {
+            "op": "predict",
+            "id": next(self._ids),
+            "tenant": self.tenant,
+            "lane": lane,
+            "kind": "features",
+        }
+        if model is not None:
+            message["model"] = model
+        if timeout_s is not None:
+            message["timeout_s"] = timeout_s
+        if binary:
+            frame = encode_message(message, features)
+        else:
+            message["payload"] = [float(x) for x in features]
+            frame = encode_message(message)
+        return self._roundtrip(frame)

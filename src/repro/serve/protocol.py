@@ -1,0 +1,190 @@
+"""Length-prefixed wire protocol for the serving front-end.
+
+Every message on the wire is one **frame**::
+
+    +----------------+------+-------------------------------------------+
+    | u32 big-endian | kind | body                                      |
+    | body length    | byte |                                           |
+    +----------------+------+-------------------------------------------+
+
+with two body kinds:
+
+- ``KIND_JSON`` (``0x01``) — the body is one UTF-8 JSON object;
+- ``KIND_TENSOR`` (``0x02``) — a u32 header length, a UTF-8 JSON header
+  whose ``_tensor`` entry records dtype and shape, then the raw
+  little-endian array bytes. Raw accelerometer windows ride this kind so
+  a float window never round-trips through decimal text.
+
+:func:`encode_message` builds a frame from ``(dict, optional ndarray)``;
+:class:`FrameDecoder` is the incremental inverse — feed it arbitrary
+byte chunks (half a frame, three frames and a torn fourth, one byte at a
+time) and it yields each completed message exactly once. Anything
+malformed — an oversized or zero-length frame, an unknown kind byte, a
+body that is not valid JSON, a tensor header that lies about its size or
+names a non-float dtype — raises :class:`ProtocolError`; the connection
+that sent it is the only thing that needs to die.
+
+Message vocabulary (the ``op`` field):
+
+- ``predict`` request: ``id``, ``tenant``, ``lane`` (``realtime`` |
+  ``backfill``), ``kind`` (``features`` | ``window``), ``payload`` (or a
+  tensor body), optional ``fs``, ``model``, ``timeout_s``;
+- ``result`` response: ``id``, ``status`` (``ok``/``error``/``timeout``),
+  ``label``, ``proba``, ``model``, ``used``, ``latency_s``;
+- ``shed`` response: ``id``, ``status="shed"``, ``reason``,
+  ``retry_after_s`` — an explicit back-off hint, never a dropped request;
+- ``ping`` / ``pong`` for liveness, ``error`` for protocol-level
+  failures just before the server closes the offending connection.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "KIND_JSON",
+    "KIND_TENSOR",
+    "LANES",
+    "FrameDecoder",
+    "ProtocolError",
+    "encode_message",
+]
+
+#: Frames above this are rejected before the body is buffered.
+DEFAULT_MAX_FRAME_BYTES = 4 << 20
+
+KIND_JSON = 0x01
+KIND_TENSOR = 0x02
+
+#: Priority lanes the front-end schedules between.
+LANES = ("realtime", "backfill")
+
+#: Tensor dtypes a peer may ship; anything else (notably object dtypes)
+#: is rejected before ``np.frombuffer`` ever sees the bytes.
+_TENSOR_DTYPES = ("<f4", "<f8")
+
+_LEN = struct.Struct("!I")
+
+
+class ProtocolError(ValueError):
+    """The peer sent bytes that are not a well-formed frame."""
+
+
+def encode_message(message: Dict[str, Any], tensor: Optional[np.ndarray] = None) -> bytes:
+    """Serialise one message (plus an optional tensor payload) to a frame."""
+    if tensor is None:
+        body = bytes([KIND_JSON]) + _json_bytes(message)
+    else:
+        tensor = np.ascontiguousarray(tensor)
+        dtype = "<f4" if tensor.dtype == np.float32 else "<f8"
+        tensor = tensor.astype(np.dtype(dtype), copy=False)
+        header = dict(message)
+        header["_tensor"] = {"dtype": dtype, "shape": list(tensor.shape)}
+        header_bytes = _json_bytes(header)
+        prefix = bytes([KIND_TENSOR]) + _LEN.pack(len(header_bytes))
+        body = prefix + header_bytes + tensor.tobytes()
+    return _LEN.pack(len(body)) + body
+
+
+def _json_bytes(message: Dict[str, Any]) -> bytes:
+    try:
+        return json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-serialisable: {exc}") from None
+
+
+class FrameDecoder:
+    """Incremental frame parser: bytes in, complete messages out.
+
+    One decoder per connection. :meth:`feed` buffers whatever arrived
+    and returns every message completed by it; a torn frame stays
+    buffered until its remaining bytes show up. A malformed frame
+    raises :class:`ProtocolError` and poisons the decoder (the
+    connection cannot be resynchronised after garbage).
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> List[Tuple[Dict[str, Any], Optional[np.ndarray]]]:
+        """Buffer ``data``; return the messages it completed, in order."""
+        if self._poisoned:
+            raise ProtocolError("decoder already failed; close the connection")
+        self._buffer.extend(data)
+        try:
+            return list(self._drain())
+        except ProtocolError:
+            self._poisoned = True
+            raise
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def _drain(self) -> Iterator[Tuple[Dict[str, Any], Optional[np.ndarray]]]:
+        while len(self._buffer) >= _LEN.size:
+            (body_len,) = _LEN.unpack_from(self._buffer)
+            if body_len < 1:
+                raise ProtocolError("zero-length frame")
+            if body_len > self.max_frame_bytes:
+                raise ProtocolError(
+                    f"frame of {body_len} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+            if len(self._buffer) < _LEN.size + body_len:
+                return  # torn frame: wait for the rest
+            body = bytes(self._buffer[_LEN.size : _LEN.size + body_len])
+            del self._buffer[: _LEN.size + body_len]
+            yield _decode_body(body)
+
+
+def _decode_body(body: bytes) -> Tuple[Dict[str, Any], Optional[np.ndarray]]:
+    kind = body[0]
+    if kind == KIND_JSON:
+        return _parse_json(body[1:]), None
+    if kind == KIND_TENSOR:
+        return _decode_tensor_body(body[1:])
+    raise ProtocolError(f"unknown frame kind byte 0x{kind:02x}")
+
+
+def _decode_tensor_body(rest: bytes) -> Tuple[Dict[str, Any], np.ndarray]:
+    if len(rest) < _LEN.size:
+        raise ProtocolError("tensor frame truncated before its header length")
+    (header_len,) = _LEN.unpack_from(rest)
+    if header_len < 2 or _LEN.size + header_len > len(rest):
+        raise ProtocolError("tensor header length does not fit its frame")
+    header = _parse_json(rest[_LEN.size : _LEN.size + header_len])
+    spec = header.pop("_tensor", None)
+    if not isinstance(spec, dict):
+        raise ProtocolError("tensor frame missing its _tensor header entry")
+    dtype = spec.get("dtype")
+    shape = spec.get("shape")
+    if dtype not in _TENSOR_DTYPES:
+        raise ProtocolError(f"tensor dtype {dtype!r} is not an allowed float dtype")
+    if not isinstance(shape, list) or not all(isinstance(n, int) and n >= 0 for n in shape):
+        raise ProtocolError(f"tensor shape {shape!r} is not a list of sizes")
+    raw = rest[_LEN.size + header_len :]
+    expected = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+    if len(raw) != expected:
+        raise ProtocolError(
+            f"tensor body has {len(raw)} bytes; shape {shape} dtype "
+            f"{dtype} needs {expected}"
+        )
+    tensor = np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
+    return header, tensor
+
+
+def _parse_json(raw: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame body must be a JSON object, got {type(message).__name__}")
+    return message

@@ -61,7 +61,17 @@ class ServeError(RuntimeError):
 
 
 class ServerOverloaded(ServeError):
-    """The bounded request queue is full; the caller should back off."""
+    """The bounded request queue is full; the caller should back off.
+
+    ``retry_after_s`` is the server's own estimate of when a retry is
+    worth making — current queue depth in batches times the recent
+    batch latency — so callers back off for as long as the backlog
+    actually needs, not a guessed constant.
+    """
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class ServerStopped(ServeError):
@@ -99,16 +109,37 @@ class ServeFuture:
         self._event = threading.Event()
         self._result: Optional[ServeResult] = None
         self._resolved = 0
+        self._lock = threading.Lock()
+        self._callbacks: List = []
 
     def _resolve(self, result: ServeResult) -> None:
-        if self._resolved:
-            raise AssertionError(
-                f"request {self.request_id} resolved twice "
-                f"(exactly-once answer invariant broken)"
-            )
-        self._resolved = 1
-        self._result = result
+        with self._lock:
+            if self._resolved:
+                raise AssertionError(
+                    f"request {self.request_id} resolved twice "
+                    f"(exactly-once answer invariant broken)"
+                )
+            self._resolved = 1
+            self._result = result
+            callbacks, self._callbacks = self._callbacks, []
         self._event.set()
+        for callback in callbacks:
+            callback(result)
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(result)`` on resolution (immediately if already done).
+
+        Callbacks fire on the resolving thread (the batcher); keep them
+        cheap and never raise — this is the bridge the asyncio front-end
+        uses to hop results back onto its event loop.
+        """
+        with self._lock:
+            if not self._resolved:
+                self._callbacks.append(callback)
+                return
+            result = self._result
+        assert result is not None
+        callback(result)
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -202,6 +233,9 @@ class InferenceServer:
         self.requests_accepted = 0
         self.requests_answered = 0
         self.batches_run = 0
+        #: EWMA of recent batch wall time; prices ServerOverloaded's
+        #: retry_after_s hint (None until the first batch completes).
+        self._batch_latency_s: Optional[float] = None
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "InferenceServer":
@@ -286,8 +320,11 @@ class InferenceServer:
                 self._queue.put_nowait(request)
             except queue.Full:
                 metrics().count("serve.rejected", reason="overloaded")
+                retry_after = self.estimate_retry_after()
                 raise ServerOverloaded(
-                    f"request queue full ({self._queue.maxsize}); back off"
+                    f"request queue full ({self._queue.maxsize}); retry in "
+                    f"~{retry_after:.3f}s",
+                    retry_after_s=retry_after,
                 ) from None
             self.requests_accepted += 1
         metrics().count("serve.requests", kind=kind)
@@ -374,6 +411,7 @@ class InferenceServer:
 
     def _run_batch(self, batch: List[_Request]) -> None:
         self.batches_run += 1
+        t_start = time.perf_counter()
         groups: Dict[str, List[_Request]] = {}
         for request in batch:
             groups.setdefault(request.model, []).append(request)
@@ -383,6 +421,25 @@ class InferenceServer:
             metrics().count("serve.batches")
             metrics().observe("serve.batch_size", len(batch))
             self._pool.map(self._run_group, list(groups.items()))
+        elapsed = time.perf_counter() - t_start
+        previous = self._batch_latency_s
+        self._batch_latency_s = (
+            elapsed if previous is None else 0.7 * previous + 0.3 * elapsed
+        )
+
+    def estimate_retry_after(self) -> float:
+        """Expected seconds until the current backlog has been batched away.
+
+        Queue depth in batches times the recent (EWMA) batch latency;
+        before the first batch has run, a linger-based floor stands in.
+        Clamped to [1ms, 10s] so a pathological measurement never turns
+        into a zero or an hour of client back-off.
+        """
+        per_batch = self._batch_latency_s
+        if per_batch is None or per_batch <= 0:
+            per_batch = self.max_linger_s + 0.005
+        batches_ahead = max(1.0, self._queue.qsize() / float(self.max_batch))
+        return float(min(max(batches_ahead * per_batch, 1e-3), 10.0))
 
     # -- per-group execution ------------------------------------------------
     def _run_group(self, group: Tuple[str, List[_Request]]) -> None:

@@ -17,13 +17,15 @@ eval helpers) can be pointed at a served bundle unchanged.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.attack.realtime import StreamedRegion, StreamingAttack, StreamingDetector
-from repro.serve.server import InferenceServer, ServeFuture
+from repro.obs import metrics
+from repro.serve.server import InferenceServer, ServeFuture, ServerOverloaded
 
 __all__ = ["StreamServingClient", "RemoteClassifier"]
 
@@ -85,12 +87,20 @@ class StreamServingClient:
     feature extraction stay on-device, exactly the paper's split) and
     submits each completed region's features to the server. ``pending``
     accumulates every ``(region, features, future)`` triple.
+
+    An overloaded server is a back-off signal, not a failure: a
+    :class:`ServerOverloaded` rejection is retried up to ``max_retries``
+    times with capped exponential backoff seeded by the server's own
+    ``retry_after_s`` estimate (``backoffs`` counts the sleeps taken).
     """
 
     server: InferenceServer
     detector: StreamingDetector
     model: Optional[str] = None
     timeout_s: Optional[float] = None
+    max_retries: int = 5
+    backoff_cap_s: float = 0.5
+    backoffs: int = 0
     pending: List[Tuple[StreamedRegion, np.ndarray, ServeFuture]] = field(
         default_factory=list
     )
@@ -98,14 +108,27 @@ class StreamServingClient:
     def __post_init__(self):
         self._attack = StreamingAttack(self.detector, classifier=None)
 
+    def _submit_with_backoff(self, features: np.ndarray) -> ServeFuture:
+        """Submit one feature vector, honouring overload retry hints."""
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self.server.submit_features(
+                    features, model=self.model, timeout_s=self.timeout_s
+                )
+            except ServerOverloaded as exc:
+                if attempt >= self.max_retries:
+                    raise
+                hint = exc.retry_after_s if exc.retry_after_s else 0.01
+                delay = min(hint * (2.0 ** attempt), self.backoff_cap_s)
+                self.backoffs += 1
+                metrics().count("serve.client_backoff")
+                time.sleep(delay)
+        raise AssertionError("unreachable: retry loop returns or raises")
+
     def _submit_events(self, events) -> List[Tuple[StreamedRegion, np.ndarray, ServeFuture]]:
         submitted = []
         for region, features, _ in events:
-            future = self.server.submit_features(
-                np.nan_to_num(features, nan=0.0),
-                model=self.model,
-                timeout_s=self.timeout_s,
-            )
+            future = self._submit_with_backoff(np.nan_to_num(features, nan=0.0))
             triple = (region, features, future)
             self.pending.append(triple)
             submitted.append(triple)

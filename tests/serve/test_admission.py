@@ -1,0 +1,234 @@
+"""Admission control: token buckets, WFQ fairness, lanes, shed hints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionController,
+    ShedDecision,
+    TenantConfig,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_starve_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        assert all(bucket.try_take() for _ in range(5))
+        assert not bucket.try_take()
+        assert bucket.time_until() == pytest.approx(0.1)
+        clock.advance(0.1)
+        assert bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_infinite_rate_never_sheds(self):
+        bucket = TokenBucket(rate=float("inf"), burst=1.0, clock=FakeClock())
+        assert all(bucket.try_take() for _ in range(1000))
+        assert bucket.time_until() == 0.0
+
+
+class TestTenantConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 0.0},
+            {"rate": 0.0},
+            {"burst": -1.0},
+            {"max_backlog": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantConfig("t", **kwargs)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TenantConfig("")
+
+
+def controller(clock, *tenants, **kwargs):
+    return AdmissionController(list(tenants), clock=clock, **kwargs)
+
+
+class TestOfferAndShed:
+    def test_admits_within_rate_and_backlog(self):
+        clock = FakeClock()
+        ctl = controller(clock, TenantConfig("a", rate=100.0, burst=10.0))
+        assert ctl.offer("a", "realtime", "req") is None
+        assert ctl.backlog() == 1
+
+    def test_rate_shed_carries_refill_eta(self):
+        clock = FakeClock()
+        ctl = controller(clock, TenantConfig("a", rate=10.0, burst=1.0))
+        assert ctl.offer("a", "realtime", 1) is None
+        decision = ctl.offer("a", "realtime", 2)
+        assert isinstance(decision, ShedDecision)
+        assert decision.reason == "rate"
+        assert decision.retry_after_s == pytest.approx(0.1)
+        assert ctl.backlog() == 1  # the shed request was never queued
+
+    def test_backlog_shed_uses_drain_rate(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            [TenantConfig("a", max_backlog=2, burst=100.0, rate=float("inf"))],
+            clock=clock,
+            drain_rate=lambda: 10.0,
+        )
+        assert ctl.offer("a", "realtime", 1) is None
+        assert ctl.offer("a", "realtime", 2) is None
+        decision = ctl.offer("a", "realtime", 3)
+        assert decision.reason == "backlog"
+        assert decision.retry_after_s == pytest.approx(0.2)
+
+    def test_draining_sheds_everything_but_keeps_queued(self):
+        clock = FakeClock()
+        ctl = controller(clock, TenantConfig("a"))
+        assert ctl.offer("a", "realtime", 1) is None
+        ctl.start_draining()
+        decision = ctl.offer("a", "realtime", 2)
+        assert decision.reason == "draining"
+        assert ctl.backlog() == 1
+        assert ctl.next().item == 1  # queued work still drains
+
+    def test_unknown_lane_rejected(self):
+        ctl = controller(FakeClock())
+        with pytest.raises(ValueError, match="lane"):
+            ctl.offer("a", "express", 1)
+
+    def test_unknown_tenant_gets_default_policy(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            clock=clock,
+            default_config=TenantConfig("default", rate=10.0, burst=1.0),
+        )
+        assert ctl.offer("stranger", "realtime", 1) is None
+        assert ctl.offer("stranger", "realtime", 2).reason == "rate"
+        # Another stranger gets a fresh private bucket, not a shared one.
+        assert ctl.offer("stranger2", "realtime", 1) is None
+
+
+class TestWeightedFairQueueing:
+    def test_interleaves_equal_weights_round_robin(self):
+        clock = FakeClock()
+        ctl = controller(clock, TenantConfig("a"), TenantConfig("b"))
+        for i in range(3):
+            ctl.offer("a", "realtime", f"a{i}")
+        for i in range(3):
+            ctl.offer("b", "realtime", f"b{i}")
+        order = [ctl.next().tenant for _ in range(6)]
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_weights_set_the_share(self):
+        """A weight-3 tenant drains three requests per weight-1 request."""
+        clock = FakeClock()
+        ctl = controller(
+            clock,
+            TenantConfig("heavy", weight=3.0, burst=100.0),
+            TenantConfig("light", weight=1.0, burst=100.0),
+        )
+        for i in range(30):
+            ctl.offer("heavy", "realtime", i)
+        for i in range(10):
+            ctl.offer("light", "realtime", i)
+        first_12 = [ctl.next().tenant for _ in range(12)]
+        assert first_12.count("heavy") == 9
+        assert first_12.count("light") == 3
+
+    def test_flood_cannot_starve_a_trickle(self):
+        """10:1 arrival imbalance still drains 1:1 at equal weights."""
+        clock = FakeClock()
+        ctl = controller(
+            clock,
+            TenantConfig("flood", burst=1000.0),
+            TenantConfig("calm", burst=1000.0),
+        )
+        for i in range(100):
+            ctl.offer("flood", "realtime", i)
+        for i in range(10):
+            ctl.offer("calm", "realtime", i)
+        first_20 = [ctl.next().tenant for _ in range(20)]
+        assert first_20.count("calm") == 10
+        assert first_20.count("flood") == 10
+
+    def test_late_arrival_does_not_collect_idle_credit(self):
+        """A tenant that was idle starts at the current virtual time, not 0."""
+        clock = FakeClock()
+        ctl = controller(clock, TenantConfig("a"), TenantConfig("b"))
+        for i in range(10):
+            ctl.offer("a", "realtime", i)
+        for _ in range(8):
+            assert ctl.next().tenant == "a"
+        for i in range(5):
+            ctl.offer("b", "realtime", i)
+        # b interleaves from here on; it does not drain 5-in-a-row.
+        nxt = [ctl.next().tenant for _ in range(4)]
+        assert nxt in (["a", "b", "a", "b"], ["b", "a", "b", "a"])
+
+
+class TestLanes:
+    def test_realtime_strictly_before_backfill(self):
+        clock = FakeClock()
+        ctl = controller(clock, TenantConfig("a", burst=100.0))
+        ctl.offer("a", "backfill", "bulk0")
+        ctl.offer("a", "realtime", "rt0")
+        ctl.offer("a", "backfill", "bulk1")
+        ctl.offer("a", "realtime", "rt1")
+        drained = [ctl.next().item for _ in range(4)]
+        assert drained == ["rt0", "rt1", "bulk0", "bulk1"]
+
+    def test_backfill_withheld_when_disallowed(self):
+        clock = FakeClock()
+        ctl = controller(clock, TenantConfig("a", burst=100.0))
+        ctl.offer("a", "backfill", "bulk")
+        assert ctl.next(allow_backfill=False) is None
+        assert ctl.backlog(lane="backfill") == 1
+        assert ctl.next(allow_backfill=True).item == "bulk"
+
+    def test_lanes_have_independent_virtual_time(self):
+        clock = FakeClock()
+        ctl = controller(
+            clock,
+            TenantConfig("a", burst=100.0),
+            TenantConfig("b", burst=100.0),
+        )
+        for i in range(4):
+            ctl.offer("a", "realtime", f"rt{i}")
+            ctl.offer("a", "backfill", f"bk-a{i}")
+            ctl.offer("b", "backfill", f"bk-b{i}")
+        # Draining realtime does not skew backfill fairness between a and b.
+        for _ in range(4):
+            assert ctl.next().lane == "realtime"
+        backfill_order = [ctl.next().tenant for _ in range(8)]
+        assert backfill_order.count("a") == 4
+        assert backfill_order.count("b") == 4
+        assert backfill_order[:2] in (["a", "b"], ["b", "a"])
+
+    def test_backlog_filters(self):
+        clock = FakeClock()
+        ctl = controller(clock, TenantConfig("a", burst=100.0))
+        ctl.offer("a", "realtime", 1)
+        ctl.offer("a", "backfill", 2)
+        ctl.offer("a", "backfill", 3)
+        assert ctl.backlog() == 3
+        assert ctl.backlog(lane="realtime") == 1
+        assert ctl.backlog(lane="backfill") == 2
+        assert ctl.backlog(tenant="a") == 3
+        assert ctl.backlog(tenant="ghost") == 0

@@ -1,0 +1,150 @@
+"""Overload back-pressure: retry_after_s hints and client backoff."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.attack.realtime import StreamingDetector
+from repro.serve import (
+    InferenceServer,
+    ModelRegistry,
+    ServerOverloaded,
+    StreamServingClient,
+)
+
+from tests.serve.conftest import make_blobs
+
+
+@pytest.fixture()
+def clf_registry(packed_classifier_bundle):
+    registry = ModelRegistry()
+    registry.register(packed_classifier_bundle)
+    registry.get("blobs-clf")
+    return registry
+
+
+def fill_queue(server, row):
+    """Block the batcher and stuff the queue until it rejects."""
+    futures = [server.submit_features(row)]
+    for _ in range(100):
+        try:
+            futures.append(server.submit_features(row))
+        except ServerOverloaded as exc:
+            return futures, exc
+    pytest.fail("queue never filled")
+
+
+class TestRetryAfterHint:
+    def test_overload_carries_a_retry_after_estimate(self, clf_registry):
+        release = threading.Event()
+        bundle = clf_registry.get("blobs-clf")
+        original = bundle.classifier.predict_proba
+        bundle.classifier.predict_proba = lambda X: (
+            release.wait(timeout=30.0),
+            original(X),
+        )[1]
+        X, _ = make_blobs(n_per_class=2)
+        server = InferenceServer(
+            clf_registry,
+            model="blobs-clf",
+            max_batch=1,
+            max_linger_s=0.0,
+            max_queue=2,
+        ).start()
+        try:
+            futures, exc = fill_queue(server, X[0])
+            assert exc.retry_after_s is not None
+            assert 1e-3 <= exc.retry_after_s <= 10.0
+            assert "retry" in str(exc)
+            release.set()
+            assert all(f.result(timeout=30.0).ok for f in futures)
+        finally:
+            release.set()
+            server.stop()
+            bundle.classifier.predict_proba = original
+
+    def test_estimate_scales_with_queue_depth(self, clf_registry):
+        server = InferenceServer(
+            clf_registry, model="blobs-clf", max_batch=4, max_queue=64
+        )
+        server._batch_latency_s = 0.1
+        assert server.estimate_retry_after() == pytest.approx(0.1)  # empty queue
+        for _ in range(16):
+            server._queue.put_nowait(object())
+        assert server.estimate_retry_after() == pytest.approx(0.4)  # 4 batches
+
+    def test_estimate_clamped(self, clf_registry):
+        server = InferenceServer(clf_registry, model="blobs-clf", max_batch=1)
+        server._batch_latency_s = 1e9
+        for _ in range(4):
+            server._queue.put_nowait(object())
+        assert server.estimate_retry_after() == 10.0
+
+
+class _FlakyServer:
+    """Rejects the first ``n_rejections`` submits, then accepts."""
+
+    def __init__(self, n_rejections, retry_after_s=0.05):
+        self.n_rejections = n_rejections
+        self.retry_after_s = retry_after_s
+        self.calls = 0
+
+    def submit_features(self, features, model=None, timeout_s=None):
+        self.calls += 1
+        if self.calls <= self.n_rejections:
+            raise ServerOverloaded(
+                "full", retry_after_s=self.retry_after_s
+            )
+        return f"future-{self.calls}"
+
+
+class TestClientBackoff:
+    def _client(self, server, **kwargs):
+        return StreamServingClient(
+            server, StreamingDetector(fs=500.0, threshold_factor=3.0), **kwargs
+        )
+
+    def test_backoff_honours_the_server_hint(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serve.stream.time.sleep", lambda s: sleeps.append(s)
+        )
+        server = _FlakyServer(n_rejections=3, retry_after_s=0.04)
+        client = self._client(server)
+        future = client._submit_with_backoff(np.zeros(24))
+        assert future == "future-4"
+        assert client.backoffs == 3
+        # Exponential from the hint: 0.04, 0.08, 0.16 — capped at 0.5.
+        assert sleeps == pytest.approx([0.04, 0.08, 0.16])
+
+    def test_backoff_is_capped(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serve.stream.time.sleep", lambda s: sleeps.append(s)
+        )
+        server = _FlakyServer(n_rejections=5, retry_after_s=0.3)
+        client = self._client(server, backoff_cap_s=0.5)
+        client._submit_with_backoff(np.zeros(24))
+        assert max(sleeps) <= 0.5
+        assert sleeps[-1] == 0.5
+
+    def test_retries_exhausted_reraises(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.stream.time.sleep", lambda s: None)
+        server = _FlakyServer(n_rejections=100)
+        client = self._client(server, max_retries=2)
+        with pytest.raises(ServerOverloaded):
+            client._submit_with_backoff(np.zeros(24))
+        assert server.calls == 3  # initial try + 2 retries
+
+    def test_missing_hint_falls_back_to_default(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serve.stream.time.sleep", lambda s: sleeps.append(s)
+        )
+        server = _FlakyServer(n_rejections=1, retry_after_s=None)
+        client = self._client(server)
+        client._submit_with_backoff(np.zeros(24))
+        assert sleeps == pytest.approx([0.01])

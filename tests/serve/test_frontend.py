@@ -1,0 +1,332 @@
+"""Network front-end: e2e round trips, shedding, isolation, drain."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics, reset_observability
+from repro.serve import (
+    AsyncFrontendClient,
+    FrontendClient,
+    InferenceServer,
+    ModelRegistry,
+    ServingFrontend,
+    TenantConfig,
+)
+from repro.serve.protocol import FrameDecoder, encode_message
+
+from tests.serve.conftest import make_blobs
+
+
+@pytest.fixture()
+def clf_registry(packed_classifier_bundle):
+    registry = ModelRegistry()
+    registry.register(packed_classifier_bundle)
+    registry.get("blobs-clf")
+    return registry
+
+
+@pytest.fixture()
+def served(clf_registry):
+    """A started server + frontend with generous tenant defaults."""
+    with InferenceServer(
+        clf_registry, model="blobs-clf", max_batch=16, max_linger_s=0.001
+    ) as server:
+        with ServingFrontend(
+            server,
+            default_tenant=TenantConfig("default", rate=float("inf"), burst=64.0),
+        ) as frontend:
+            yield server, frontend
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestRoundTrips:
+    def test_sync_client_predicts(self, served):
+        _, frontend = served
+        X, _ = make_blobs(n_per_class=2)
+        with FrontendClient("127.0.0.1", frontend.port, tenant="phone-1") as client:
+            response = client.predict(X[0])
+        assert response["op"] == "result"
+        assert response["status"] == "ok"
+        assert response["label"].startswith("emo")
+        assert len(response["proba"]) == 3
+        assert response["latency_s"] > 0
+
+    def test_binary_tensor_request_answers_identically(self, served):
+        _, frontend = served
+        X, _ = make_blobs(n_per_class=2)
+        with FrontendClient("127.0.0.1", frontend.port) as client:
+            via_json = client.predict(X[0])
+            via_binary = client.predict(X[0], binary=True)
+        assert via_binary["label"] == via_json["label"]
+        np.testing.assert_allclose(via_binary["proba"], via_json["proba"])
+
+    def test_network_answers_match_direct_serving(self, served):
+        """The wire adds transport, never changes predictions."""
+        server, frontend = served
+        X, _ = make_blobs(n_per_class=4, seed=3)
+
+        async def through_the_wire():
+            client = await AsyncFrontendClient(
+                "127.0.0.1", frontend.port, tenant="t"
+            ).connect()
+            try:
+                futures = [client.submit(row) for row in X]
+                return await asyncio.gather(*futures)
+            finally:
+                await client.close()
+
+        responses = run_async(through_the_wire())
+        direct = [server.predict(row) for row in X]
+        assert [r["label"] for r in responses] == [d.label for d in direct]
+
+    def test_raw_window_request_served(self, served):
+        _, frontend = served
+        rng = np.random.default_rng(0)
+        window = rng.normal(size=512)
+
+        async def send_window():
+            client = await AsyncFrontendClient("127.0.0.1", frontend.port).connect()
+            try:
+                return await client.submit(window=window, fs=500.0, binary=True)
+            finally:
+                await client.close()
+
+        response = run_async(send_window())
+        assert response["status"] == "ok"
+
+    def test_ping_pong(self, served):
+        _, frontend = served
+        with FrontendClient("127.0.0.1", frontend.port) as client:
+            assert client.ping()["op"] == "pong"
+
+    def test_backfill_lane_served_when_idle(self, served):
+        _, frontend = served
+        X, _ = make_blobs(n_per_class=1)
+        with FrontendClient("127.0.0.1", frontend.port) as client:
+            response = client.predict(X[0], lane="backfill")
+        assert response["status"] == "ok"
+
+
+class TestBadRequests:
+    def test_unknown_op_answers_error_and_connection_survives(self, served):
+        _, frontend = served
+        with FrontendClient("127.0.0.1", frontend.port) as client:
+            response = client._roundtrip(
+                encode_message({"op": "transmogrify", "id": 1})
+            )
+            assert response["op"] == "error"
+            assert "transmogrify" in response["error"]
+            assert client.ping()["op"] == "pong"  # still alive
+
+    def test_bad_payload_answers_error_result(self, served):
+        _, frontend = served
+        with FrontendClient("127.0.0.1", frontend.port) as client:
+            response = client._roundtrip(
+                encode_message(
+                    {"op": "predict", "id": 2, "kind": "features", "payload": []}
+                )
+            )
+            assert response["status"] == "error"
+            assert client.ping()["op"] == "pong"
+
+    def test_unknown_model_answers_error_value(self, served):
+        _, frontend = served
+        X, _ = make_blobs(n_per_class=1)
+        with FrontendClient("127.0.0.1", frontend.port) as client:
+            response = client.predict(X[0], model="ghost@9")
+        assert response["status"] == "error"
+
+    def test_unknown_lane_rejected(self, served):
+        _, frontend = served
+        with FrontendClient("127.0.0.1", frontend.port) as client:
+            response = client._roundtrip(
+                encode_message(
+                    {
+                        "op": "predict",
+                        "id": 3,
+                        "lane": "express",
+                        "payload": [1.0],
+                    }
+                )
+            )
+        assert response["status"] == "error"
+        assert "lane" in response["error"]
+
+
+class TestConnectionIsolation:
+    def _raw_connect(self, port):
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10.0)
+        sock.settimeout(10.0)
+        return sock
+
+    def _recv_messages(self, sock):
+        decoder = FrameDecoder()
+        messages = []
+        try:
+            while not messages:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                messages.extend(decoder.feed(data))
+        except socket.timeout:
+            pass
+        return messages
+
+    def test_garbage_closes_only_the_offending_connection(self, served):
+        _, frontend = served
+        healthy = FrontendClient("127.0.0.1", frontend.port)
+        rogue = self._raw_connect(frontend.port)
+        try:
+            rogue.sendall(b"\xff" * 64)  # an absurd length prefix
+            messages = self._recv_messages(rogue)
+            assert messages and messages[0][0]["op"] == "error"
+            # The rogue connection is closed by the server...
+            assert rogue.recv(65536) == b""
+            # ...while the healthy one keeps serving.
+            assert healthy.ping()["op"] == "pong"
+            X, _ = make_blobs(n_per_class=1)
+            assert healthy.predict(X[0])["status"] == "ok"
+        finally:
+            rogue.close()
+            healthy.close()
+
+    def test_oversized_frame_rejected_with_clean_error(self, clf_registry):
+        with InferenceServer(
+            clf_registry, model="blobs-clf", max_batch=8, max_linger_s=0.001
+        ) as server:
+            with ServingFrontend(server, max_frame_bytes=1024) as frontend:
+                sock = self._raw_connect(frontend.port)
+                try:
+                    sock.sendall(struct.pack("!I", 1 << 24))
+                    messages = self._recv_messages(sock)
+                    assert messages
+                    assert "exceeds" in messages[0][0]["error"]
+                    assert sock.recv(65536) == b""
+                finally:
+                    sock.close()
+
+
+class TestLoadShedding:
+    def test_rate_limited_tenant_gets_shed_with_retry_hint(self, clf_registry):
+        reset_observability()
+        with InferenceServer(
+            clf_registry, model="blobs-clf", max_batch=8, max_linger_s=0.001
+        ) as server:
+            with ServingFrontend(
+                server,
+                tenants=[TenantConfig("greedy", rate=5.0, burst=1.0)],
+            ) as frontend:
+                X, _ = make_blobs(n_per_class=1)
+
+                async def flood():
+                    client = await AsyncFrontendClient(
+                        "127.0.0.1", frontend.port, tenant="greedy"
+                    ).connect()
+                    try:
+                        futures = [client.submit(X[0]) for _ in range(6)]
+                        return await asyncio.gather(*futures)
+                    finally:
+                        await client.close()
+
+                responses = run_async(flood())
+        statuses = [r["status"] for r in responses]
+        assert statuses.count("ok") >= 1  # the burst token
+        shed = [r for r in responses if r["status"] == "shed"]
+        assert shed, f"nothing shed: {statuses}"
+        for response in shed:
+            assert response["reason"] == "rate"
+            assert 0 < response["retry_after_s"] <= 0.5
+        assert (
+            metrics().counter_value("frontend.shed", tenant="greedy", reason="rate")
+            == len(shed)
+        )
+
+    def test_per_tenant_counters_recorded(self, served):
+        reset_observability()
+        _, frontend = served
+        X, _ = make_blobs(n_per_class=1)
+        for tenant, n in (("alice", 3), ("bob", 2)):
+            with FrontendClient("127.0.0.1", frontend.port, tenant=tenant) as client:
+                for _ in range(n):
+                    assert client.predict(X[0])["status"] == "ok"
+        by_tenant = metrics().counter_group("frontend.requests", "tenant")
+        assert by_tenant == {"alice": 3.0, "bob": 2.0}
+        answered = metrics().counter_group("frontend.responses", "tenant")
+        assert answered == {"alice": 3.0, "bob": 2.0}
+
+
+class TestGracefulDrain:
+    def test_drain_answers_every_accepted_request(self, clf_registry):
+        """stop() sheds new work but serves everything already admitted."""
+        bundle = clf_registry.get("blobs-clf")
+        original = bundle.classifier.predict_proba
+
+        def slow(X):
+            time.sleep(0.02)
+            return original(X)
+
+        bundle.classifier.predict_proba = slow
+        X, _ = make_blobs(n_per_class=1)
+        try:
+            with InferenceServer(
+                clf_registry, model="blobs-clf", max_batch=4, max_linger_s=0.001
+            ) as server:
+                frontend = ServingFrontend(
+                    server,
+                    default_tenant=TenantConfig(
+                        "default", rate=float("inf"), burst=64.0
+                    ),
+                ).start()
+
+                async def submit_then_drain():
+                    client = await AsyncFrontendClient(
+                        "127.0.0.1", frontend.port
+                    ).connect()
+                    try:
+                        futures = [client.submit(X[0]) for _ in range(10)]
+                        # Wait until every request is admitted, then drain
+                        # from a side thread while answers are in flight.
+                        while frontend.accepted < 10:
+                            await asyncio.sleep(0.001)
+                        stopper = threading.Thread(target=frontend.stop)
+                        stopper.start()
+                        responses = await asyncio.gather(*futures)
+                        stopper.join()
+                        return responses
+                    finally:
+                        await client.close()
+
+                responses = run_async(submit_then_drain())
+        finally:
+            bundle.classifier.predict_proba = original
+        assert len(responses) == 10
+        assert all(r["status"] == "ok" for r in responses)
+        assert frontend.accepted == frontend.answered == 10
+
+    def test_requests_after_drain_are_shed_as_draining(self, served):
+        server, frontend = served
+        X, _ = make_blobs(n_per_class=1)
+        frontend.admission.start_draining()
+        with FrontendClient("127.0.0.1", frontend.port) as client:
+            response = client.predict(X[0])
+        assert response["status"] == "shed"
+        assert response["reason"] == "draining"
+
+    def test_stop_is_idempotent(self, clf_registry):
+        with InferenceServer(
+            clf_registry, model="blobs-clf", max_batch=4, max_linger_s=0.001
+        ) as server:
+            frontend = ServingFrontend(server).start()
+            frontend.stop()
+            frontend.stop()  # no-op, no error

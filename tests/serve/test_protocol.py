@@ -1,0 +1,176 @@
+"""Wire-protocol framing: round trips, torn frames, hostile bytes."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.protocol import (
+    KIND_JSON,
+    FrameDecoder,
+    ProtocolError,
+    encode_message,
+)
+
+
+def decode_all(blob: bytes, **kwargs):
+    return FrameDecoder(**kwargs).feed(blob)
+
+
+class TestRoundTrip:
+    def test_json_message_round_trips(self):
+        message = {"op": "predict", "id": 7, "payload": [1.0, 2.5, -3.0]}
+        [(decoded, tensor)] = decode_all(encode_message(message))
+        assert decoded == message
+        assert tensor is None
+
+    def test_tensor_message_round_trips(self):
+        tensor = np.linspace(-1.0, 1.0, 24)
+        message = {"op": "predict", "id": 1, "kind": "features"}
+        [(decoded, out)] = decode_all(encode_message(message, tensor))
+        assert decoded == message  # the _tensor header entry is stripped
+        np.testing.assert_array_equal(out, tensor)
+        assert out.dtype == np.float64
+
+    def test_float32_tensor_keeps_its_dtype(self):
+        tensor = np.arange(6, dtype=np.float32).reshape(6)
+        [(_, out)] = decode_all(encode_message({"op": "x"}, tensor))
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, tensor)
+
+    def test_multiple_frames_in_one_feed(self):
+        blob = b"".join(encode_message({"op": "ping", "id": i}) for i in range(5))
+        messages = decode_all(blob)
+        assert [m["id"] for m, _ in messages] == [0, 1, 2, 3, 4]
+
+
+class TestPartialReads:
+    def test_byte_at_a_time_reassembly(self):
+        """A frame torn into single bytes decodes exactly once, at the end."""
+        frames = [
+            encode_message({"op": "ping", "id": 1}),
+            encode_message({"op": "predict", "id": 2}, np.arange(4.0)),
+        ]
+        decoder = FrameDecoder()
+        out = []
+        blob = b"".join(frames)
+        for i in range(len(blob)):
+            out.extend(decoder.feed(blob[i : i + 1]))
+        assert len(out) == 2
+        assert out[0][0]["id"] == 1
+        np.testing.assert_array_equal(out[1][1], np.arange(4.0))
+        assert decoder.pending_bytes() == 0
+
+    def test_torn_frame_stays_buffered(self):
+        frame = encode_message({"op": "ping", "id": 9})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.pending_bytes() == len(frame) - 1
+        [(message, _)] = decoder.feed(frame[-1:])
+        assert message["id"] == 9
+
+
+class TestHostileBytes:
+    def test_oversized_frame_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        huge = struct.pack("!I", 1 << 20)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decoder.feed(huge)
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="zero-length"):
+            decode_all(struct.pack("!I", 0))
+
+    def test_garbage_bytes_raise(self):
+        # Random-ish bytes decode as an absurd length or bad JSON; either
+        # way the decoder refuses instead of guessing.
+        with pytest.raises(ProtocolError):
+            decode_all(b"\x00\x00\x00\x05hello")
+
+    def test_unknown_kind_byte_rejected(self):
+        body = bytes([0x7F]) + b"{}"
+        with pytest.raises(ProtocolError, match="kind byte"):
+            decode_all(struct.pack("!I", len(body)) + body)
+
+    def test_non_object_json_rejected(self):
+        body = bytes([KIND_JSON]) + b"[1,2,3]"
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_all(struct.pack("!I", len(body)) + body)
+
+    def test_poisoned_decoder_stays_dead(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(struct.pack("!I", 0))
+        with pytest.raises(ProtocolError, match="close the connection"):
+            decoder.feed(encode_message({"op": "ping"}))
+
+    def test_tensor_dtype_whitelist(self):
+        """An object dtype smuggled into the header must never reach frombuffer."""
+        header = json.dumps(
+            {"op": "x", "_tensor": {"dtype": "|O8", "shape": [1]}}
+        ).encode()
+        body = bytes([0x02]) + struct.pack("!I", len(header)) + header + b"\x00" * 8
+        with pytest.raises(ProtocolError, match="dtype"):
+            decode_all(struct.pack("!I", len(body)) + body)
+
+    def test_tensor_size_lie_rejected(self):
+        frame = bytearray(encode_message({"op": "x"}, np.arange(4.0)))
+        truncated = bytes(frame[:-8])
+        fixed = struct.pack("!I", len(truncated) - 4) + truncated[4:]
+        with pytest.raises(ProtocolError, match="bytes"):
+            decode_all(fixed)
+
+
+# JSON-representable scalar values survive a round trip exactly.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=20),
+)
+
+
+class TestProperties:
+    @given(
+        message=st.dictionaries(
+            st.text(min_size=1, max_size=10).filter(lambda s: s != "_tensor"),
+            _scalars,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_json_round_trip_property(self, message):
+        [(decoded, tensor)] = decode_all(encode_message(message))
+        assert decoded == message
+        assert tensor is None
+
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=0,
+            max_size=64,
+        ),
+        dtype=st.sampled_from([np.float32, np.float64]),
+        msg_id=st.integers(min_value=0, max_value=2**31),
+        chunk=st.integers(min_value=1, max_value=13),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_tensor_round_trip_property_under_arbitrary_chunking(
+        self, values, dtype, msg_id, chunk
+    ):
+        tensor = np.asarray(values, dtype=dtype)
+        blob = encode_message({"op": "predict", "id": msg_id}, tensor)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(blob), chunk):
+            out.extend(decoder.feed(blob[i : i + chunk]))
+        [(decoded, round_tripped)] = out
+        assert decoded == {"op": "predict", "id": msg_id}
+        assert round_tripped.dtype == tensor.dtype
+        np.testing.assert_array_equal(round_tripped, tensor)
