@@ -421,12 +421,27 @@ class ServingFrontend:
                 await asyncio.sleep(pause_s)
                 continue
             self._wake.clear()
-            if self.admission.backlog() > 0 and self._inflight < self.max_inflight:
+            if self._dispatchable():
                 continue  # re-check: a slot freed between clear and here
             try:
                 await asyncio.wait_for(self._wake.wait(), timeout=0.05)
             except asyncio.TimeoutError:
                 pass
+
+    def _dispatchable(self) -> bool:
+        """Whether :meth:`_dispatch_ready` could dispatch something right now.
+
+        Must mirror its lane gating exactly: any weaker condition (e.g.
+        total backlog under ``max_inflight``) makes the dispatch loop
+        ``continue`` forever when only preempted backfill is waiting,
+        starving the event loop so the completion callbacks that would
+        free inflight slots never run.
+        """
+        if self.admission.backlog(lane="realtime") > 0:
+            return self._inflight < self.max_inflight
+        if self.admission.backlog(lane="backfill") > 0:
+            return self._inflight < self._backfill_limit
+        return False
 
     def _dispatch_ready(self) -> Optional[float]:
         """Dispatch as much as caps allow; returns a pacing sleep if blocked."""
@@ -477,13 +492,27 @@ class ServingFrontend:
             return
         self._inflight += 1
         metrics().gauge("frontend.inflight", self._inflight)
-        loop = self._loop
-        assert loop is not None
         future.add_done_callback(
-            lambda result, p=pending: loop.call_soon_threadsafe(
-                self._on_result, p, result
-            )
+            lambda result, p=pending: self._post_result(p, result)
         )
+
+    def _post_result(self, pending: _PendingRequest, result: ServeResult) -> None:
+        """Hop a resolution from the batcher thread onto the event loop.
+
+        Runs on the server's batcher thread and must never raise (the
+        ``add_done_callback`` contract): if the drain deadline expired
+        with this request still inflight, the loop is already closed and
+        ``call_soon_threadsafe`` raises RuntimeError — swallowing it
+        loses only a response nobody is waiting for, while letting it
+        propagate would kill the batcher worker.
+        """
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._on_result, pending, result)
+        except RuntimeError:
+            pass  # event loop closed after the drain deadline expired
 
     # -- resolution ----------------------------------------------------------
     def _on_result(self, pending: _PendingRequest, result: ServeResult) -> None:
@@ -676,10 +705,13 @@ class AsyncFrontendClient:
                     return
                 for message, _ in decoder.feed(data):
                     self._route(message)
-        except ProtocolError as exc:
-            self._fail_pending(exc)
         except asyncio.CancelledError:
             raise
+        except Exception as exc:  # noqa: BLE001 - reset, protocol, decode, ...
+            # Any transport or framing failure must resolve the pending
+            # futures; otherwise every in-flight submit() hangs until
+            # the caller's own outer timeout.
+            self._fail_pending(exc)
 
     def _route(self, message: Dict[str, Any]) -> None:
         if message.get("op") == "error" and message.get("id") is None:

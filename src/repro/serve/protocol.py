@@ -170,13 +170,19 @@ def _decode_tensor_body(rest: bytes) -> Tuple[Dict[str, Any], np.ndarray]:
     if not isinstance(shape, list) or not all(isinstance(n, int) and n >= 0 for n in shape):
         raise ProtocolError(f"tensor shape {shape!r} is not a list of sizes")
     raw = rest[_LEN.size + header_len :]
-    expected = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+    n_elems = 1
+    for n in shape:
+        n_elems *= n  # Python ints: a crafted huge shape cannot wrap to small
+    expected = n_elems * np.dtype(dtype).itemsize
     if len(raw) != expected:
         raise ProtocolError(
             f"tensor body has {len(raw)} bytes; shape {shape} dtype "
             f"{dtype} needs {expected}"
         )
-    tensor = np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
+    try:
+        tensor = np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
+    except ValueError as exc:
+        raise ProtocolError(f"tensor body does not match its header: {exc}") from None
     return header, tensor
 
 

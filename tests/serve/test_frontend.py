@@ -266,6 +266,91 @@ class TestLoadShedding:
         assert answered == {"alice": 3.0, "bob": 2.0}
 
 
+class TestDispatchLiveness:
+    def test_preempted_backfill_does_not_livelock_the_event_loop(self, clf_registry):
+        """Backfill beyond the preemption limit must not starve the loop.
+
+        Regression: with backfill backlogged, realtime idle, and inflight
+        pinned between the backfill limit and ``max_inflight`` by a slow
+        backend, the dispatch loop used to spin on ``continue`` without
+        awaiting — completion callbacks never ran, so inflight never
+        dropped and the whole frontend (pings included) froze.
+        """
+        bundle = clf_registry.get("blobs-clf")
+        original = bundle.classifier.predict_proba
+
+        def slow(X):
+            time.sleep(0.05)
+            return original(X)
+
+        bundle.classifier.predict_proba = slow
+        X, _ = make_blobs(n_per_class=1)
+        try:
+            with InferenceServer(
+                clf_registry, model="blobs-clf", max_batch=2, max_linger_s=0.001
+            ) as server:
+                frontend = ServingFrontend(
+                    server,
+                    max_inflight=8,
+                    backfill_pressure=0.5,
+                    default_tenant=TenantConfig(
+                        "default", rate=float("inf"), burst=64.0
+                    ),
+                ).start()
+                try:
+
+                    async def flood_backfill():
+                        client = await AsyncFrontendClient(
+                            "127.0.0.1", frontend.port
+                        ).connect()
+                        try:
+                            futures = [
+                                client.submit(X[0], lane="backfill")
+                                for _ in range(6)
+                            ]
+                            responses = await asyncio.wait_for(
+                                asyncio.gather(*futures), timeout=30.0
+                            )
+                            pong = await asyncio.wait_for(
+                                client.ping(), timeout=10.0
+                            )
+                            return responses, pong
+                        finally:
+                            await client.close()
+
+                    responses, pong = run_async(flood_backfill())
+                finally:
+                    # A livelocked loop would also hang stop(); keep the
+                    # regression failure a test failure, not a suite hang.
+                    stopper = threading.Thread(target=frontend.stop, daemon=True)
+                    stopper.start()
+                    stopper.join(timeout=15.0)
+        finally:
+            bundle.classifier.predict_proba = original
+        assert [r["status"] for r in responses] == ["ok"] * 6
+        assert pong["op"] == "pong"
+
+
+class TestAsyncClient:
+    def test_transport_error_fails_pending_futures(self):
+        """An OSError from the socket must resolve in-flight submits."""
+
+        class ExplodingReader:
+            async def read(self, n):
+                raise ConnectionResetError("peer reset")
+
+        async def scenario():
+            client = AsyncFrontendClient("127.0.0.1", 1)
+            client._reader = ExplodingReader()
+            future = asyncio.get_running_loop().create_future()
+            client._pending[1] = future
+            await client._read_loop()  # swallows the error, never raises
+            with pytest.raises(ConnectionResetError):
+                future.result()
+
+        run_async(scenario())
+
+
 class TestGracefulDrain:
     def test_drain_answers_every_accepted_request(self, clf_registry):
         """stop() sheds new work but serves everything already admitted."""
@@ -313,6 +398,58 @@ class TestGracefulDrain:
         assert len(responses) == 10
         assert all(r["status"] == "ok" for r in responses)
         assert frontend.accepted == frontend.answered == 10
+
+    def test_expired_drain_deadline_keeps_batcher_alive(self, clf_registry):
+        """A result arriving after the loop closed must not kill the batcher.
+
+        When stop()'s deadline expires with a request still inflight, the
+        ServeFuture done-callback fires on the batcher thread after
+        asyncio.run has closed the loop; it must swallow the dead-loop
+        RuntimeError (add_done_callback's never-raise contract) so the
+        server keeps serving.
+        """
+        bundle = clf_registry.get("blobs-clf")
+        original = bundle.classifier.predict_proba
+        release = threading.Event()
+
+        def blocked(X):
+            release.wait(10.0)
+            return original(X)
+
+        bundle.classifier.predict_proba = blocked
+        X, _ = make_blobs(n_per_class=1)
+        try:
+            with InferenceServer(
+                clf_registry, model="blobs-clf", max_batch=4, max_linger_s=0.2
+            ) as server:
+                frontend = ServingFrontend(server, drain_timeout_s=0.05).start()
+
+                async def fire_and_forget():
+                    client = await AsyncFrontendClient(
+                        "127.0.0.1", frontend.port
+                    ).connect()
+                    try:
+                        # Two requests so they linger into ONE blocked
+                        # batch: both done-callbacks then fire against
+                        # the closed loop, exercising the batch-fault
+                        # path as well as the direct one.
+                        futures = [client.submit(X[0]) for _ in range(2)]
+                        while frontend._inflight < 2:
+                            await asyncio.sleep(0.001)
+                        for future in futures:
+                            future.cancel()  # only the server side matters
+                    finally:
+                        await client.close()
+
+                run_async(fire_and_forget())
+                frontend.stop()  # deadline expires with requests inflight
+                release.set()  # now the done-callbacks fire on a closed loop
+                bundle.classifier.predict_proba = original
+                # A dead batcher surfaces as a ServeError wait timeout here.
+                assert server.predict(X[0], timeout_s=2.0).status == "ok"
+        finally:
+            bundle.classifier.predict_proba = original
+            release.set()
 
     def test_requests_after_drain_are_shed_as_draining(self, served):
         server, frontend = served

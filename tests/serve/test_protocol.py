@@ -125,6 +125,24 @@ class TestHostileBytes:
         with pytest.raises(ProtocolError, match="bytes"):
             decode_all(fixed)
 
+    @pytest.mark.parametrize(
+        "shape, raw",
+        [
+            # 274177 * 67280421310721 == 2**64 + 1: an int64 product wraps
+            # to 1 element, so the size check would accept an 8-byte body
+            # and reshape would raise a plain ValueError instead.
+            ([274177, 67280421310721], b"\x00" * 8),
+            ([2**32, 2**32], b""),  # product wraps to 0 elements
+        ],
+    )
+    def test_overflowing_shape_product_rejected_as_protocol_error(self, shape, raw):
+        header = json.dumps(
+            {"op": "x", "_tensor": {"dtype": "<f8", "shape": shape}}
+        ).encode()
+        body = bytes([0x02]) + struct.pack("!I", len(header)) + header + raw
+        with pytest.raises(ProtocolError, match="bytes"):
+            decode_all(struct.pack("!I", len(body)) + body)
+
 
 # JSON-representable scalar values survive a round trip exactly.
 _scalars = st.one_of(
