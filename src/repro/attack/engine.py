@@ -44,11 +44,20 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.attack.features import FEATURE_NAMES, extract_features
+from repro.attack.features import (
+    FEATURE_NAMES,
+    extract_features,
+    extract_features_batch,
+)
 from repro.attack.labeling import label_regions
 from repro.attack.regions import Region, RegionDetector
-from repro.attack.specimages import region_spectrogram_image
+from repro.attack.specimages import (
+    region_spectrogram_image,
+    region_spectrogram_images_batch,
+)
+from repro.batch import batch_dtype
 from repro.datasets.base import Corpus, UtteranceSpec
+from repro.dsp.filters import cached_butter_highpass, sosfilt_zero_phase
 from repro.obs import MetricsRegistry, metrics, trace, tracer
 from repro.parallel import EXECUTOR_NAMES, resolve_executor
 from repro.parallel import run_tasks as _run_tasks_generic
@@ -56,6 +65,9 @@ from repro.phone.channel import Placement, VibrationChannel
 
 __all__ = [
     "EXECUTOR_NAMES",
+    "PIPELINES",
+    "DEFAULT_PIPELINE",
+    "DEFAULT_BATCH_CHUNK",
     "CollectionStats",
     "FeatureDataset",
     "SpectrogramDataset",
@@ -74,6 +86,25 @@ __all__ = [
 #: Seconds of silence padded around each per-utterance playback so the
 #: region detector sees the noise floor (matches the paper's protocol).
 _UTTERANCE_PAD_S = 0.3
+
+#: Collection pipelines: ``batched`` stacks utterances into chunks and runs
+#: each stage across the batch axis (the default; byte-identical to the
+#: reference under the float64 batch policy); ``per_utterance`` is the
+#: original one-utterance-at-a-time reference path.
+PIPELINES: Tuple[str, ...] = ("batched", "per_utterance")
+DEFAULT_PIPELINE = "batched"
+
+#: Utterances per stacked batch chunk. Chunking bounds peak memory and
+#: gives the process executor work units; results are identical at any
+#: chunk size.
+DEFAULT_BATCH_CHUNK = 32
+
+
+def _resolve_pipeline(pipeline: Optional[str]) -> str:
+    name = str(pipeline or DEFAULT_PIPELINE).replace("-", "_")
+    if name not in PIPELINES:
+        raise ValueError(f"pipeline must be one of {PIPELINES}, got {pipeline!r}")
+    return name
 
 
 # ---------------------------------------------------------------------------
@@ -500,6 +531,205 @@ def _collect_per_utterance(
     return products, stats
 
 
+# ---------------------------------------------------------------------------
+# Batched pipeline (stacked utterance chunks)
+# ---------------------------------------------------------------------------
+
+
+def _process_batch_entry(items: List[Tuple[int, UtteranceSpec]]):
+    return _run_batch_chunk(_WORKER_CONTEXT, items)
+
+
+def _run_batch_chunk_fast(config: _PassConfig, items: Sequence[Tuple[int, UtteranceSpec]]):
+    """One stacked chunk through every batched stage.
+
+    Raises on any per-row pathology (NaN audio poisoning the shared
+    detector statistics, a corpus that rejects a spec, …);
+    :func:`_run_batch_chunk` catches and degrades to per-row isolation.
+    """
+    stats = CollectionStats()
+    corpus, detector = config.corpus, config.detector
+    indices = [index for index, _ in items]
+    specs = [spec for _, spec in items]
+    rngs = [_item_rng(config.seed, index) for index in indices]
+    n = len(items)
+
+    render_batch = getattr(corpus, "render_batch", None)
+    with trace("render", n=n) as span:
+        if render_batch is not None:
+            audios = render_batch(specs)
+        else:
+            audios = [corpus.render(spec) for spec in specs]
+    stats.renders += n
+    stats.render_s += span.duration_s
+
+    # Pad with silence so the detector sees the noise floor.
+    pad = np.zeros(int(_UTTERANCE_PAD_S * corpus.audio_fs))
+    audios = [np.concatenate([pad, audio, pad]) for audio in audios]
+
+    with trace("transmit", n=n) as span:
+        if config.channel.placement is Placement.HANDHELD:
+            # Handheld motion is stateful: per-item reseeded clones keep
+            # the chunked run identical to the per-utterance reference.
+            signals = [
+                _item_channel(config, index).transmit(audio, corpus.audio_fs, rng)
+                for index, audio, rng in zip(indices, audios, rngs)
+            ]
+        else:
+            signals = config.channel.transmit_batch(audios, corpus.audio_fs, rngs)
+    stats.transmits += n
+    stats.transmit_s += span.duration_s
+
+    fs = config.channel.accel_fs
+    detect_batch = getattr(detector, "detect_batch", None)
+    with trace("detect", n=n) as span:
+        if detect_batch is not None:
+            regions_list = detect_batch(signals, fs)
+        else:
+            regions_list = [detector.detect(signal, fs) for signal in signals]
+    stats.detect_s += span.duration_s
+
+    bests: List[Optional[Region]] = []
+    for signal, regions in zip(signals, regions_list):
+        stats.regions_detected += len(regions)
+        if not regions:
+            bests.append(None)
+            continue
+        best = max(
+            regions,
+            key=lambda r: float(
+                np.sum((r.slice(signal) - np.mean(r.slice(signal))) ** 2)
+            ),
+        )
+        stats.regions_used += 1
+        bests.append(best)
+
+    dtype = batch_dtype()
+    with trace("product", n=n) as span:
+        hit = [k for k in range(n) if bests[k] is not None]
+        feat_rows, feat_pos = [], []
+        for k in hit:
+            samples = bests[k].slice(signals[k])
+            if samples.size < 4:
+                continue
+            if config.feature_highpass_hz is not None and samples.size > 32:
+                sos = cached_butter_highpass(config.feature_highpass_hz, fs, order=4)
+                samples = sosfilt_zero_phase(sos, samples)
+            feat_rows.append(samples)
+            feat_pos.append(k)
+        features_by_row: Dict[int, np.ndarray] = {}
+        if feat_rows:
+            matrix = extract_features_batch(feat_rows, fs, dtype=dtype)
+            for row_index, k in enumerate(feat_pos):
+                features_by_row[k] = matrix[row_index]
+        img_pos = [k for k in hit if bests[k].end - bests[k].start >= 8]
+        images_by_row: Dict[int, np.ndarray] = {}
+        if img_pos:
+            images = region_spectrogram_images_batch(
+                [signals[k] for k in img_pos],
+                [bests[k] for k in img_pos],
+                size=config.size,
+                dtype=dtype,
+            )
+            for k, image in zip(img_pos, images):
+                images_by_row[k] = image
+    stats.product_s += span.duration_s
+
+    rows: List[Tuple[int, Optional[str], Optional[np.ndarray], Optional[np.ndarray]]] = [
+        (index, None, None, None) for index in indices
+    ]
+    for k in hit:
+        rows[k] = (
+            indices[k],
+            specs[k].emotion,
+            features_by_row.get(k),
+            images_by_row.get(k),
+        )
+    return rows, stats
+
+
+def _run_batch_chunk(config: _PassConfig, items: Sequence[Tuple[int, UtteranceSpec]]):
+    """One chunk through the fast path, degrading to per-row isolation.
+
+    If the stacked fast path raises — one poisoned utterance must not
+    take down its batchmates — the chunk re-runs row by row through the
+    per-utterance reference path; only the offending rows are dropped
+    (counted under ``batch.rows_isolated``), every healthy row keeps its
+    byte-identical product.
+    """
+    try:
+        return _run_batch_chunk_fast(config, items)
+    except Exception:
+        metrics().count("batch.chunk_fallbacks")
+    stats = CollectionStats()
+    rows = []
+    for index, spec in items:
+        try:
+            row_index, label, features, image, item_stats = _run_work_item(
+                config, index, spec
+            )
+        except Exception:
+            metrics().count("batch.rows_isolated")
+            rows.append((index, None, None, None))
+            continue
+        stats.add(item_stats)
+        rows.append((row_index, label, features, image))
+    return rows, stats
+
+
+def _collect_batched(
+    config: _PassConfig,
+    specs: List[UtteranceSpec],
+    n_jobs: int,
+    executor: str,
+    batch_chunk: int,
+) -> Tuple[List, CollectionStats]:
+    """Fan stacked utterance chunks out over the chosen executor."""
+    stats = CollectionStats(n_jobs=max(1, int(n_jobs)), executor=executor)
+    indexed = list(enumerate(specs))
+    chunk = max(1, int(batch_chunk))
+    chunks = [indexed[i : i + chunk] for i in range(0, len(indexed), chunk)]
+    ran_in_pool = executor == "process" and len(chunks) > 1 and n_jobs > 1
+    if ran_in_pool:
+        with ProcessPoolExecutor(
+            max_workers=max(1, int(n_jobs)),
+            initializer=_init_worker,
+            initargs=(config,),
+        ) as pool:
+            outs = list(pool.map(_process_batch_entry, chunks, chunksize=1))
+    else:
+        def run_chunk(chunk_items):
+            return _run_batch_chunk(config, chunk_items)
+
+        outs = run_tasks(
+            run_chunk,
+            chunks,
+            n_jobs=n_jobs,
+            executor="serial" if executor == "process" else executor,
+        )
+    products = []
+    for rows, chunk_stats in outs:
+        stats.add(chunk_stats)
+        for index, label, features, image in rows:
+            if label is not None:
+                products.append((index, label, features, image))
+    if ran_in_pool:
+        # Worker-process spans die with their workers; reconstruct the
+        # stage timings as aggregate spans (exactly once), as the
+        # per-utterance pool path does.
+        tr = tracer()
+        for field_name, span_name in _TIMER_FIELDS.items():
+            if span_name == "collect":
+                continue
+            tr.record(
+                span_name,
+                getattr(stats, field_name),
+                aggregated="worker-sum",
+                n_jobs=stats.n_jobs,
+            )
+    return products, stats
+
+
 def collect_per_utterance_products(
     corpus: Corpus,
     channel: VibrationChannel,
@@ -665,14 +895,19 @@ def collection_key(
     seed: int,
     size: int = 32,
     feature_highpass_hz: Optional[float] = None,
+    batch_dtype: Optional[str] = None,
 ) -> str:
     """Stable key for one collection pass.
 
     Readable prefix ``corpus-device-placement-rate-seed`` plus a digest
     over everything else that changes the numerics (spec list, device
     profile, detector configuration, sensor, environment, image size,
-    feature-path filter). Executor choice and worker count are
-    deliberately excluded: they do not change the result.
+    feature-path filter, batch-policy compute dtype). Executor choice,
+    worker count, pipeline and chunk size are deliberately excluded:
+    they do not change the result. ``batch_dtype=None`` normalises to
+    ``"float64"`` — the golden batched pipeline is byte-identical to the
+    per-utterance reference, so the two share cache entries; a float32
+    hot-path pass keys separately.
     """
     import hashlib
 
@@ -697,6 +932,7 @@ def collection_key(
         int(seed),
         int(size),
         feature_highpass_hz,
+        str(batch_dtype) if batch_dtype is not None else "float64",
     )).encode()
     digest = hashlib.sha256(fingerprint).hexdigest()[:16]
     rate = f"{channel.accel_fs:g}"
@@ -801,6 +1037,8 @@ def collect_datasets(
     n_jobs: int = 1,
     executor: Optional[str] = None,
     cache: Optional[CollectionCache] = None,
+    pipeline: Optional[str] = None,
+    batch_chunk: Optional[int] = None,
 ) -> CollectionResult:
     """Collect the feature *and* spectrogram datasets in one shared pass.
 
@@ -816,18 +1054,36 @@ def collect_datasets(
     cache:
         Optional :class:`CollectionCache`; a hit skips the pass entirely
         and returns the registered result object.
+    pipeline:
+        ``"batched"`` (default) stacks utterances into chunks and runs
+        every stage across the batch axis; ``"per_utterance"`` is the
+        one-at-a-time reference path. Under the golden float64 batch
+        policy the two are byte-identical; the continuous (handheld
+        session) protocol ignores this knob.
+    batch_chunk:
+        Utterances per stacked chunk for the batched pipeline
+        (default :data:`DEFAULT_BATCH_CHUNK`). Results are identical at
+        any chunk size.
     """
     detector = detector or _default_detector(channel)
     if continuous is None:
         continuous = channel.placement is Placement.HANDHELD
     specs = list(specs if specs is not None else corpus.specs)
     executor_name = _resolve_executor(n_jobs, executor)
+    pipeline_name = _resolve_pipeline(pipeline)
+
+    # Only the batched per-utterance pipeline honours the batch policy;
+    # every other path computes in float64.
+    active_dtype = (
+        batch_dtype() if (pipeline_name == "batched" and not continuous)
+        else np.dtype(np.float64)
+    )
 
     key = None
     if cache is not None:
         key = collection_key(
             corpus, channel, specs, detector, continuous, seed, size,
-            feature_highpass_hz,
+            feature_highpass_hz, batch_dtype=str(active_dtype),
         )
         hit = cache.lookup(key)
         if hit is not None:
@@ -853,10 +1109,19 @@ def collect_datasets(
         placement=channel.placement.value,
         executor=executor_name,
         n_jobs=max(1, int(n_jobs)),
+        pipeline="continuous" if continuous else pipeline_name,
     ) as pass_span:
         if continuous:
             products, stats = _collect_continuous(
                 config, specs, n_jobs, executor_name
+            )
+        elif pipeline_name == "batched":
+            products, stats = _collect_batched(
+                config,
+                specs,
+                n_jobs,
+                executor_name,
+                batch_chunk if batch_chunk is not None else DEFAULT_BATCH_CHUNK,
             )
         else:
             products, stats = _collect_per_utterance(

@@ -60,6 +60,8 @@ def collect_feature_dataset(
     n_jobs: int = 1,
     executor: Optional[str] = None,
     cache: Optional[CollectionCache] = None,
+    pipeline: Optional[str] = None,
+    batch_chunk: Optional[int] = None,
 ) -> FeatureDataset:
     """Run the attack's collection + feature-extraction stages.
 
@@ -83,6 +85,8 @@ def collect_feature_dataset(
         n_jobs=n_jobs,
         executor=executor,
         cache=cache,
+        pipeline=pipeline,
+        batch_chunk=batch_chunk,
     ).features
 
 
@@ -97,6 +101,8 @@ def collect_spectrogram_dataset(
     n_jobs: int = 1,
     executor: Optional[str] = None,
     cache: Optional[CollectionCache] = None,
+    pipeline: Optional[str] = None,
+    batch_chunk: Optional[int] = None,
 ) -> SpectrogramDataset:
     """Run the attack's collection + spectrogram-image stages."""
     return collect_datasets(
@@ -110,6 +116,8 @@ def collect_spectrogram_dataset(
         n_jobs=n_jobs,
         executor=executor,
         cache=cache,
+        pipeline=pipeline,
+        batch_chunk=batch_chunk,
     ).spectrograms
 
 
@@ -130,7 +138,10 @@ class EmoLeakAttack:
     ``n_jobs``/``executor`` fan the collection out over the engine's
     worker pool; ``cache`` registers every pass in a
     :class:`~repro.attack.engine.CollectionCache` so repeated collections
-    of the same scenario are free.
+    of the same scenario are free. ``pipeline``/``batch_chunk`` select
+    between the batched data plane (the default) and the per-utterance
+    reference path — byte-identical under the golden float64 batch
+    policy.
     """
 
     def __init__(
@@ -141,6 +152,8 @@ class EmoLeakAttack:
         n_jobs: int = 1,
         executor: Optional[str] = None,
         cache: Optional[CollectionCache] = None,
+        pipeline: Optional[str] = None,
+        batch_chunk: Optional[int] = None,
     ):
         self.channel = channel
         self.detector = detector or _default_detector(channel)
@@ -148,6 +161,8 @@ class EmoLeakAttack:
         self.n_jobs = int(n_jobs)
         self.executor = executor
         self.cache = cache
+        self.pipeline = pipeline
+        self.batch_chunk = batch_chunk
 
     def collect_features(
         self,
@@ -166,6 +181,8 @@ class EmoLeakAttack:
             n_jobs=self.n_jobs,
             executor=self.executor,
             cache=self.cache,
+            pipeline=self.pipeline,
+            batch_chunk=self.batch_chunk,
         )
 
     def collect_spectrograms(
@@ -187,6 +204,8 @@ class EmoLeakAttack:
             n_jobs=self.n_jobs,
             executor=self.executor,
             cache=self.cache,
+            pipeline=self.pipeline,
+            batch_chunk=self.batch_chunk,
         )
 
     def collect_datasets(
@@ -208,4 +227,6 @@ class EmoLeakAttack:
             n_jobs=self.n_jobs,
             executor=self.executor,
             cache=self.cache,
+            pipeline=self.pipeline,
+            batch_chunk=self.batch_chunk,
         )

@@ -25,9 +25,38 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dsp.envelope import moving_rms
-from repro.dsp.filters import highpass
+from repro.dsp.filters import cached_butter_highpass, highpass, sosfilt_zero_phase
 
 __all__ = ["Region", "RegionDetector", "detection_rate"]
+
+
+def _hysteresis_spans(
+    envelope: np.ndarray, threshold_on: float, threshold_off: float
+) -> List[Tuple[int, int]]:
+    """Hysteresis thresholding as a transition walk.
+
+    Equivalent to the per-sample loop (enter when ``value >=
+    threshold_on`` while inactive, leave when ``value < threshold_off``
+    while active, re-entry possible from the next sample) but walks only
+    the precomputed crossing indices.
+    """
+    spans: List[Tuple[int, int]] = []
+    on_idx = np.flatnonzero(envelope >= threshold_on)
+    off_idx = np.flatnonzero(envelope < threshold_off)
+    pos = 0
+    while True:
+        k = int(np.searchsorted(on_idx, pos))
+        if k == on_idx.size:
+            break
+        start = int(on_idx[k])
+        j = int(np.searchsorted(off_idx, start + 1))
+        if j == off_idx.size:
+            spans.append((start, int(envelope.size)))
+            break
+        end = int(off_idx[j])
+        spans.append((start, end))
+        pos = end + 1
+    return spans
 
 
 @dataclass(frozen=True)
@@ -149,23 +178,24 @@ class RegionDetector:
         between[~np.isfinite(between)] = 0.0
         return float(centers[int(np.argmax(between))])
 
-    def detect(self, trace: np.ndarray, fs: float) -> List[Region]:
-        """Detect speech regions in an accelerometer trace."""
-        if fs <= 0:
-            raise ValueError("fs must be positive")
-        envelope = self.detection_signal(trace, fs)
+    def _regions_from_envelope(
+        self, envelope: np.ndarray, fs: float
+    ) -> List[Region]:
+        """Threshold an RMS envelope into regions (shared scalar/batched core)."""
         if envelope.size == 0:
             return []
+        # One fused percentile call: numpy partitions the envelope once
+        # for all four ranks, with each value bit-equal to a separate call.
+        median, peak, floor, floor_hi = np.percentile(
+            envelope,
+            [50.0, 99.0, self.floor_percentile, self.floor_percentile + 10.0],
+        )
         # Signal-presence gate: a speech-free trace has a tight, unimodal
         # envelope distribution; thresholding it would hallucinate regions.
-        median = np.percentile(envelope, 50.0)
-        if np.percentile(envelope, 99.0) < self.min_peak_ratio * max(median, 1e-12):
+        if peak < self.min_peak_ratio * max(median, 1e-12):
             return []
         # Noise-floor statistics from the quiet end of the envelope.
-        floor = np.percentile(envelope, self.floor_percentile)
-        noise_spread = max(
-            np.percentile(envelope, self.floor_percentile + 10.0) - floor, 1e-9
-        )
+        noise_spread = max(floor_hi - floor, 1e-9)
         guard = floor + self.threshold_factor * noise_spread
         # Bimodal split between the noise and speech envelope modes.
         log_env = np.log10(np.maximum(envelope, 1e-12))
@@ -175,18 +205,7 @@ class RegionDetector:
             floor + self.release_factor * (threshold_on - floor), floor
         )
 
-        regions: List[Tuple[int, int]] = []
-        active = False
-        start = 0
-        for i, value in enumerate(envelope):
-            if not active and value >= threshold_on:
-                active = True
-                start = i
-            elif active and value < threshold_off:
-                regions.append((start, i))
-                active = False
-        if active:
-            regions.append((start, envelope.size))
+        regions = _hysteresis_spans(envelope, threshold_on, threshold_off)
 
         # Merge regions separated by small gaps.
         merge_gap = int(round(self.merge_gap_s * fs))
@@ -201,6 +220,77 @@ class RegionDetector:
         return [
             Region(start=s, end=e, fs=fs) for s, e in merged if e - s >= min_len
         ]
+
+    def detect(self, trace: np.ndarray, fs: float) -> List[Region]:
+        """Detect speech regions in an accelerometer trace."""
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        envelope = self.detection_signal(trace, fs)
+        return self._regions_from_envelope(envelope, fs)
+
+    def _detection_signals(
+        self, traces: Sequence[np.ndarray], fs: float
+    ) -> List[np.ndarray]:
+        """Batched :meth:`detection_signal`, byte-identical per row.
+
+        DC removal and the optional zero-phase high-pass stay per row
+        (``sosfiltfilt`` edge padding is not pad-safe; the filter design
+        is cached), then the RMS envelopes of every row come from one
+        cumulative sum over the padded ``x**2`` stack — a zero-padded
+        row's cumsum prefix is exactly the unpadded cumsum, so the
+        per-row window gathers reproduce ``moving_rms`` bit for bit.
+        """
+        rows = [np.asarray(t, dtype=float) for t in traces]
+        for i, trace in enumerate(rows):
+            if trace.ndim != 1:
+                raise ValueError(f"trace {i} must be 1-D, got shape {trace.shape}")
+        window = max(3, int(round(self.envelope_window_s * fs)))
+        filtered: List[np.ndarray] = []
+        for trace in rows:
+            x = trace - np.median(trace)
+            if self.highpass_hz is not None and trace.size > 32:
+                sos = cached_butter_highpass(self.highpass_hz, fs, order=4)
+                x = sosfilt_zero_phase(sos, x)
+            filtered.append(x)
+        envelopes: List[Optional[np.ndarray]] = [None] * len(rows)
+        # Rows too short for the cumsum window path keep the scalar code
+        # (moving_average's window-1 fallback is a straight copy).
+        big = [i for i in range(len(rows)) if filtered[i].size >= 2]
+        for i in range(len(rows)):
+            if filtered[i].size < 2:
+                envelopes[i] = moving_rms(filtered[i], window)
+        if big:
+            lengths = np.array([filtered[i].size for i in big], dtype=np.int64)
+            stack = np.zeros((len(big), int(lengths.max())))
+            for r, i in enumerate(big):
+                stack[r, : lengths[r]] = filtered[i] ** 2
+            csum = np.concatenate(
+                [np.zeros((len(big), 1)), np.cumsum(stack, axis=-1)], axis=1
+            )
+            for r, i in enumerate(big):
+                n = int(lengths[r])
+                w = min(window, n)
+                half_left = w // 2
+                half_right = w - half_left - 1
+                idx = np.arange(n)
+                lo = np.maximum(idx - half_left, 0)
+                hi = np.minimum(idx + half_right + 1, n)
+                envelopes[i] = np.sqrt((csum[r, hi] - csum[r, lo]) / (hi - lo))
+        return envelopes  # type: ignore[return-value]
+
+    def detect_batch(
+        self, traces: Sequence[np.ndarray], fs: float
+    ) -> List[List[Region]]:
+        """Batched :meth:`detect` over a ragged list of traces.
+
+        Region boundaries are discrete, so this path always runs in
+        double precision; every row's regions match the scalar call
+        exactly regardless of batch composition.
+        """
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        envelopes = self._detection_signals(traces, fs)
+        return [self._regions_from_envelope(env, fs) for env in envelopes]
 
     @classmethod
     def for_setting(cls, placement: str) -> "RegionDetector":

@@ -8,14 +8,18 @@ unfiltered region samples.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.attack.regions import Region
-from repro.dsp.spectrogram import spectrogram_image
+from repro.dsp.spectrogram import spectrogram_image, spectrogram_image_batch
 
-__all__ = ["region_spectrogram_image", "regions_to_images"]
+__all__ = [
+    "region_spectrogram_image",
+    "region_spectrogram_images_batch",
+    "regions_to_images",
+]
 
 
 def region_spectrogram_image(
@@ -27,6 +31,34 @@ def region_spectrogram_image(
         raise ValueError(f"region too short for a spectrogram: {samples.size} samples")
     samples = samples - samples.mean()  # drop gravity offset
     return spectrogram_image(samples, region.fs, size=size)
+
+
+def region_spectrogram_images_batch(
+    traces: Sequence[np.ndarray],
+    regions: Sequence[Region],
+    size: int = 32,
+    dtype: Optional[Union[str, np.dtype, type]] = None,
+) -> List[np.ndarray]:
+    """Batched :func:`region_spectrogram_image` over (trace, region) pairs.
+
+    Region slices are mean-subtracted per row and handed to
+    :func:`repro.dsp.spectrogram.spectrogram_image_batch`, which shares
+    one FFT across rows with the same effective frame geometry. Image
+    values do not depend on the sampling rate (it only labels the
+    frequency axis), so mixed-rate regions batch together safely.
+    """
+    if len(traces) != len(regions):
+        raise ValueError("traces and regions must have the same length")
+    rows = []
+    for i, (trace, region) in enumerate(zip(traces, regions)):
+        samples = region.slice(np.asarray(trace, dtype=float))
+        if samples.size < 8:
+            raise ValueError(
+                f"region {i} too short for a spectrogram: {samples.size} samples"
+            )
+        rows.append(samples - samples.mean())
+    fs = float(regions[0].fs) if regions else 1.0
+    return spectrogram_image_batch(rows, fs, size=size, dtype=dtype)
 
 
 def regions_to_images(

@@ -1,0 +1,152 @@
+"""Padded/ragged utterance-batch container.
+
+:class:`UtteranceBatch` stacks variable-length 1-D signals into one
+``(n, max_len)`` array padded with zeros, plus a ``lengths`` vector that
+recovers each row's valid prefix. The contract every batched stage is
+tested against:
+
+- **Padding invariant**: every entry of ``data[i, lengths[i]:]`` is
+  exactly zero, and any function of a batch must depend only on the
+  valid prefixes — re-packing with extra padding columns
+  (:meth:`padded_to`) must not change a single output byte
+  (pad-invariance).
+- **Row fidelity**: ``row(i)`` is the original signal, bitwise — packing
+  and unpacking is the identity.
+- **Order independence**: batched stages act row-wise, so permuting the
+  batch permutes the outputs and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["UtteranceBatch"]
+
+
+@dataclass(frozen=True)
+class UtteranceBatch:
+    """A zero-padded stack of variable-length utterance signals.
+
+    Attributes
+    ----------
+    data:
+        ``(n, max_len)`` array; row ``i`` holds its signal in
+        ``data[i, :lengths[i]]`` and zeros after.
+    lengths:
+        ``(n,)`` int64 vector of valid prefix lengths.
+    fs:
+        Sampling rate the rows share (0.0 when not meaningful).
+    """
+
+    data: np.ndarray
+    lengths: np.ndarray
+    fs: float = 0.0
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.data)
+        lengths = np.asarray(self.lengths, dtype=np.int64)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D (n, max_len), got shape {data.shape}")
+        if lengths.ndim != 1 or lengths.shape[0] != data.shape[0]:
+            raise ValueError(
+                f"lengths shape {lengths.shape} does not match {data.shape[0]} rows"
+            )
+        if lengths.size and (lengths.min() < 0 or lengths.max() > data.shape[1]):
+            raise ValueError("lengths must lie in [0, max_len]")
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "lengths", lengths)
+        object.__setattr__(self, "fs", float(self.fs))
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def pack(
+        cls,
+        rows: Sequence[np.ndarray],
+        fs: float = 0.0,
+        dtype: Optional[Union[str, np.dtype, type]] = None,
+        min_cols: int = 0,
+    ) -> "UtteranceBatch":
+        """Stack 1-D signals into a zero-padded batch.
+
+        ``dtype`` defaults to the common numpy result type of the rows
+        (float64 for an empty batch); ``min_cols`` forces at least that
+        many columns (used by the pad-invariance tests).
+        """
+        arrays = [np.asarray(r) for r in rows]
+        for i, a in enumerate(arrays):
+            if a.ndim != 1:
+                raise ValueError(f"row {i} must be 1-D, got shape {a.shape}")
+        if dtype is None:
+            dtype = np.result_type(*arrays) if arrays else np.float64
+        dtype = np.dtype(dtype)
+        lengths = np.array([a.size for a in arrays], dtype=np.int64)
+        max_len = max(int(lengths.max()) if arrays else 0, int(min_cols))
+        data = np.zeros((len(arrays), max_len), dtype=dtype)
+        for i, a in enumerate(arrays):
+            data[i, : a.size] = a
+        return cls(data=data, lengths=lengths, fs=fs)
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self.row(i)
+
+    @property
+    def max_len(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def row(self, i: int) -> np.ndarray:
+        """Row ``i``'s valid prefix (a view into ``data``)."""
+        return self.data[i, : int(self.lengths[i])]
+
+    def unpack(self) -> List[np.ndarray]:
+        """The original signals, as independent arrays."""
+        return [self.row(i).copy() for i in range(len(self))]
+
+    # -- transforms ---------------------------------------------------------
+
+    def astype(self, dtype: Union[str, np.dtype, type]) -> "UtteranceBatch":
+        """The same batch with rows cast to ``dtype``."""
+        return UtteranceBatch(
+            data=self.data.astype(dtype, copy=True), lengths=self.lengths, fs=self.fs
+        )
+
+    def padded_to(self, n_cols: int) -> "UtteranceBatch":
+        """The same rows padded out to at least ``n_cols`` columns.
+
+        Valid prefixes are untouched, so any pad-invariant consumer must
+        produce byte-identical output for ``self`` and the result.
+        """
+        if n_cols <= self.max_len:
+            return self
+        data = np.zeros((len(self), n_cols), dtype=self.data.dtype)
+        data[:, : self.max_len] = self.data
+        return UtteranceBatch(data=data, lengths=self.lengths, fs=self.fs)
+
+    def permuted(self, order: Sequence[int]) -> "UtteranceBatch":
+        """The batch with rows reordered by ``order``."""
+        order = np.asarray(order, dtype=np.int64)
+        if sorted(order.tolist()) != list(range(len(self))):
+            raise ValueError(f"order must be a permutation of 0..{len(self) - 1}")
+        return UtteranceBatch(
+            data=self.data[order], lengths=self.lengths[order], fs=self.fs
+        )
+
+    def check_padding(self) -> None:
+        """Raise if any padding entry is non-zero (the container invariant)."""
+        for i in range(len(self)):
+            tail = self.data[i, int(self.lengths[i]) :]
+            if tail.size and np.any(tail != 0):
+                raise ValueError(f"row {i} has non-zero padding")

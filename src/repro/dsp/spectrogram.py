@@ -8,17 +8,19 @@ bilinear resize to the target resolution.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.dsp.stft import stft
+from repro.dsp.stft import frame_signal, stft
+from repro.dsp.windows import get_window
 
 __all__ = [
     "power_spectrogram",
     "log_spectrogram",
     "resize_image",
     "spectrogram_image",
+    "spectrogram_image_batch",
 ]
 
 
@@ -99,3 +101,58 @@ def spectrogram_image(
     if hi - lo < 1e-12:
         return np.zeros((size, size))
     return (image - lo) / (hi - lo)
+
+
+def spectrogram_image_batch(
+    rows: Sequence[np.ndarray],
+    fs: float,
+    size: int = 32,
+    frame_length: int = 64,
+    hop_length: int = 16,
+    window: str = "hann",
+    dtype: Optional[Union[str, np.dtype, type]] = None,
+) -> List[np.ndarray]:
+    """Batched :func:`spectrogram_image` over variable-length regions.
+
+    Rows are grouped by their effective ``(frame_length, hop_length)``
+    (both depend on row length), each group's frames are concatenated
+    into one matrix and transformed with a single ``rfft`` call, and the
+    log compression / resize / normalisation run per row on the split
+    results. Under the default float64 ``dtype`` every image is
+    byte-identical to the per-row function; ``float32`` is the hot path —
+    frames are cast before the FFT (a complex64 transform) and images are
+    stored single-precision, tolerance-close to the float64 chain.
+    """
+    out_dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+    arrays = [np.asarray(r, dtype=float) for r in rows]
+    images: List[Optional[np.ndarray]] = [None] * len(arrays)
+    groups: dict = {}
+    for i, x in enumerate(arrays):
+        fl = min(frame_length, max(8, x.size))
+        hl = max(1, min(hop_length, fl // 2))
+        groups.setdefault((fl, hl), []).append(i)
+    floor_power = 10 ** (-120.0 / 10.0)
+    for (fl, hl), idxs in groups.items():
+        frames_list = [frame_signal(arrays[i], fl, hl, pad=True) for i in idxs]
+        counts = [f.shape[0] for f in frames_list]
+        all_frames = np.concatenate(frames_list, axis=0)
+        win = get_window(window, fl)
+        if out_dtype == np.dtype(np.float32):
+            all_frames = all_frames.astype(np.float32)
+            win = win.astype(np.float32)
+        spectrum = np.fft.rfft(all_frames * win, axis=1)
+        power = np.abs(spectrum) ** 2
+        offset = 0
+        for k, i in enumerate(idxs):
+            # (n_freqs, n_frames) orientation, as log_spectrogram returns.
+            p = power[offset : offset + counts[k]].T
+            offset += counts[k]
+            ref = p.max() if p.size and p.max() > 0 else 1.0
+            db = 10.0 * np.log10(np.maximum(p / ref, floor_power))
+            image = resize_image(db, (size, size))
+            lo, hi = image.min(), image.max()
+            if hi - lo < 1e-12:
+                images[i] = np.zeros((size, size), dtype=out_dtype)
+            else:
+                images[i] = ((image - lo) / (hi - lo)).astype(out_dtype, copy=False)
+    return images  # type: ignore[return-value]

@@ -19,12 +19,14 @@ __all__ = ["frame_signal", "stft", "istft"]
 def frame_signal(
     x: np.ndarray, frame_length: int, hop_length: int, pad: bool = True
 ) -> np.ndarray:
-    """Slice a 1-D signal into overlapping frames.
+    """Slice a signal into overlapping frames.
 
     Parameters
     ----------
     x:
-        Input signal.
+        Input signal: 1-D, or 2-D ``(batch, n)`` to frame each row of a
+        stacked batch identically (rows share one length; ragged batches
+        are framed per row by the callers that own the lengths).
     frame_length:
         Samples per frame.
     hop_length:
@@ -35,25 +37,31 @@ def frame_signal(
 
     Returns
     -------
-    ndarray of shape ``(n_frames, frame_length)``.
+    ndarray of shape ``(n_frames, frame_length)`` for 1-D input, or
+    ``(batch, n_frames, frame_length)`` for 2-D input — each row framed
+    exactly as the 1-D call would frame it.
     """
     x = np.asarray(x, dtype=float)
-    if x.ndim != 1:
-        raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+    if x.ndim not in (1, 2):
+        raise ValueError(f"expected a 1-D or 2-D signal, got shape {x.shape}")
     if frame_length < 1 or hop_length < 1:
         raise ValueError("frame_length and hop_length must be positive")
-    if x.size < frame_length:
+    lead = x.shape[:-1]
+    n = x.shape[-1]
+    if n < frame_length:
         if not pad:
-            return np.empty((0, frame_length))
-        x = np.pad(x, (0, frame_length - x.size))
+            return np.empty(lead + (0, frame_length))
+        x = np.pad(x, [(0, 0)] * len(lead) + [(0, frame_length - n)])
+        n = x.shape[-1]
     if pad:
-        n_frames = 1 + int(np.ceil((x.size - frame_length) / hop_length))
+        n_frames = 1 + int(np.ceil((n - frame_length) / hop_length))
         needed = (n_frames - 1) * hop_length + frame_length
-        x = np.pad(x, (0, max(0, needed - x.size)))
+        if needed > n:
+            x = np.pad(x, [(0, 0)] * len(lead) + [(0, needed - n)])
     else:
-        n_frames = 1 + (x.size - frame_length) // hop_length
-    windows = np.lib.stride_tricks.sliding_window_view(x, frame_length)
-    return np.ascontiguousarray(windows[:: hop_length][:n_frames])
+        n_frames = 1 + (n - frame_length) // hop_length
+    windows = np.lib.stride_tricks.sliding_window_view(x, frame_length, axis=-1)
+    return np.ascontiguousarray(windows[..., ::hop_length, :][..., :n_frames, :])
 
 
 def stft(
@@ -70,13 +78,15 @@ def stft(
     (frequencies, times, Z):
         ``frequencies`` in Hz (length ``frame_length // 2 + 1``),
         ``times`` in seconds (frame centres) and the complex STFT matrix
-        ``Z`` of shape ``(n_freqs, n_frames)``.
+        ``Z`` of shape ``(n_freqs, n_frames)`` — or
+        ``(batch, n_freqs, n_frames)`` for a 2-D ``(batch, n)`` input,
+        each slice byte-identical to the corresponding 1-D transform.
     """
     frames = frame_signal(x, frame_length, hop_length, pad=True)
     win = get_window(window, frame_length)
-    spectrum = np.fft.rfft(frames * win[None, :], axis=1).T
+    spectrum = np.swapaxes(np.fft.rfft(frames * win, axis=-1), -2, -1)
     freqs = np.fft.rfftfreq(frame_length, d=1.0 / fs)
-    times = (np.arange(frames.shape[0]) * hop_length + frame_length / 2) / fs
+    times = (np.arange(frames.shape[-2]) * hop_length + frame_length / 2) / fs
     return freqs, times, spectrum
 
 

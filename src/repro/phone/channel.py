@@ -16,10 +16,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
+from scipy.signal import lfilter
 
+from repro.dsp.filters import (
+    _length_buckets,
+    cached_butter_highpass,
+    sosfilt_zero_phase_batch,
+)
 from repro.phone.accelerometer import Accelerometer
 from repro.phone.chassis import ChassisTransfer
 from repro.phone.devices import DeviceProfile, get_device
@@ -155,3 +161,84 @@ class VibrationChannel:
         if self.environment is not None:
             slow = slow + self.environment.noise(vibration.size, audio_fs, rng)
         return self._accel.sample(vibration, audio_fs, rng, slow_component=slow)
+
+    def transmit_batch(
+        self,
+        audios: Sequence[np.ndarray],
+        audio_fs: float,
+        rngs: Sequence[np.random.Generator],
+    ) -> List[np.ndarray]:
+        """Batched :meth:`transmit`, byte-identical per row.
+
+        Each row keeps its own generator (matching the engine's
+        per-utterance RNG derivation), the speaker rolloff runs as two
+        stacked causal passes over all rows
+        (:func:`repro.dsp.filters.sosfilt_zero_phase_batch`), and the
+        compression nonlinearity plus the causal chassis biquad run once
+        over the padded stack. The sensor front end stays per row
+        because it draws from the row's generator.
+
+        Handheld placement is rejected: the motion process is stateful
+        across calls, so the engine routes those rows through per-row
+        :meth:`transmit` on cloned channels instead.
+        """
+        if self.placement is Placement.HANDHELD:
+            raise ValueError(
+                "transmit_batch does not support handheld placement; "
+                "use per-row transmit() on cloned channels"
+            )
+        if len(audios) != len(rngs):
+            raise ValueError("audios and rngs must have the same length")
+        audios = [np.asarray(a, dtype=float) for a in audios]
+        for i, audio in enumerate(audios):
+            if audio.ndim != 1:
+                raise ValueError(f"audio {i} must be 1-D, got shape {audio.shape}")
+        traces: List[Optional[np.ndarray]] = [None] * len(audios)
+        work = [i for i in range(len(audios)) if audios[i].size > 0]
+        for i in range(len(audios)):
+            if audios[i].size == 0:
+                traces[i] = self.transmit(audios[i], audio_fs, rngs[i])
+        if not work:
+            return traces  # type: ignore[return-value]
+
+        lengths = [audios[i].size for i in work]
+        speaker = self._speaker
+        if 0 < speaker.rolloff_hz < 0.45 * audio_fs:
+            sos = cached_butter_highpass(speaker.rolloff_hz, audio_fs, order=2)
+            rolled = sosfilt_zero_phase_batch(sos, [audios[i] for i in work])
+        else:
+            rolled = [audios[i] for i in work]
+
+        chassis = self._chassis
+        f0 = min(chassis.resonance_hz, 0.45 * audio_fs)
+        w0 = 2.0 * np.pi * f0 / audio_fs
+        q = max(chassis.q_factor, 0.3)
+        alpha = np.sin(w0) / (2.0 * q)
+        b = np.array([alpha, 0.0, -alpha])
+        a = np.array([1.0 + alpha, -2.0 * np.cos(w0), 1.0 - alpha])
+
+        # Stack rows in length buckets: the compression tanh and the
+        # chassis biquad cost per padded sample, so near-equal rows
+        # share a stack while outliers get their own.
+        vib_rows: List[Optional[np.ndarray]] = [None] * len(work)
+        for bucket in _length_buckets(lengths):
+            stack = np.zeros((len(bucket), lengths[bucket[-1]]))
+            for s, r in enumerate(bucket):
+                stack[s, : lengths[r]] = rolled[r]
+            if speaker.compression > 0:
+                knee = max(1e-6, 1.0 - speaker.compression)
+                stack = np.tanh(stack / knee) * knee
+            force = speaker.drive_gain * stack
+            resonant = lfilter(b / a[0], a / a[0], force, axis=-1)
+            vibration = chassis.attenuation * (0.6 * resonant + 0.4 * force)
+            for s, r in enumerate(bucket):
+                vib_rows[r] = vibration[s, : lengths[r]]
+
+        for r, i in enumerate(work):
+            vib = vib_rows[r]
+            rng = rngs[i]
+            slow = np.zeros_like(vib)
+            if self.environment is not None:
+                slow = slow + self.environment.noise(vib.size, audio_fs, rng)
+            traces[i] = self._accel.sample(vib, audio_fs, rng, slow_component=slow)
+        return traces  # type: ignore[return-value]

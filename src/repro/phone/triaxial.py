@@ -12,7 +12,7 @@ flat), enabling an axis-fusion ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -95,3 +95,59 @@ class TriaxialAccelerometer:
             columns.append(np.clip(sampled, -self.full_scale, self.full_scale))
         length = min(c.size for c in columns)
         return np.column_stack([c[:length] for c in columns])
+
+    def sample_batch(
+        self,
+        vibrations: Sequence[np.ndarray],
+        fs_in: float,
+        rngs: Sequence[np.random.Generator],
+        slow_components: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> List[np.ndarray]:
+        """Batched :meth:`sample`, byte-identical per row.
+
+        Per row, the reference draws three sequential length-``m`` noise
+        vectors (one per axis); a single ``(3, m)`` draw fills the same
+        values in C order, so the noise for all three axes comes from one
+        generator call. Decimation stays per axis — resampling a scaled
+        copy is not bitwise the same as scaling a resampled one.
+        """
+        if len(vibrations) != len(rngs):
+            raise ValueError("vibrations and rngs must have the same length")
+        if slow_components is None:
+            slow_components = [None] * len(vibrations)
+        elif len(slow_components) != len(vibrations):
+            raise ValueError("slow_components must match vibrations")
+        from repro.dsp.resample import sample_and_decimate
+
+        out: List[np.ndarray] = []
+        for vibration, rng, slow_component in zip(vibrations, rngs, slow_components):
+            vibration = np.asarray(vibration, dtype=float)
+            if vibration.ndim != 1:
+                raise ValueError(
+                    f"expected a 1-D signal, got shape {vibration.shape}"
+                )
+            slow = None
+            if slow_component is not None:
+                slow = np.asarray(slow_component, dtype=float)
+                if slow.shape != vibration.shape:
+                    raise ValueError(
+                        f"slow_component shape {slow.shape} != "
+                        f"vibration shape {vibration.shape}"
+                    )
+            phase = float(rng.uniform(0.0, 1.0))
+            axes = []
+            for coupling in self.axis_coupling:
+                total = coupling * vibration
+                if slow is not None:
+                    total = total + coupling * slow
+                axes.append(sample_and_decimate(total, fs_in, self.fs, phase=phase))
+            m = axes[0].size
+            stack = np.stack(axes)
+            stack = stack + np.asarray(self.gravity_axis)[:, None] * GRAVITY
+            if self.noise_rms > 0:
+                stack = stack + rng.normal(0.0, self.noise_rms, (3, m))
+            if self.lsb > 0:
+                stack = np.round(stack / self.lsb) * self.lsb
+            stack = np.clip(stack, -self.full_scale, self.full_scale)
+            out.append(np.column_stack([stack[0], stack[1], stack[2]]))
+        return out

@@ -9,16 +9,47 @@ envelope with emotion-dependent attack sharpness modulates intensity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.speech.formants import formant_filter, vowel_formants
-from repro.speech.glottal import glottal_source
+from repro.speech.formants import formant_filter, formant_filter_batch, vowel_formants
+from repro.speech.glottal import (
+    glottal_finish_batch,
+    glottal_source,
+    glottal_source_deferred,
+)
 from repro.speech.phonemes import UtterancePlan, plan_utterance
 from repro.speech.prosody import ProsodyProfile
 
 __all__ = ["SpeakerVoice", "Synthesizer"]
+
+
+#: Memoized read-only envelope ramps keyed by (start, stop, n, power).
+#: ``np.linspace(start, stop, n)`` is exactly ``arange(n) * delta + start``
+#: with the endpoint pinned, so the cached ramps are byte-identical to the
+#: linspace calls they replace; syllable lengths repeat heavily across a
+#: corpus, which makes the cache hit rate high. Races between executor
+#: threads at worst rebuild the same deterministic array.
+_RAMP_CACHE: Dict[Tuple[float, float, int, Optional[float]], np.ndarray] = {}
+
+
+def _cached_ramp(
+    start: float, stop: float, n: int, power: Optional[float] = None
+) -> np.ndarray:
+    key = (start, stop, n, power)
+    ramp = _RAMP_CACHE.get(key)
+    if ramp is None:
+        if n == 1:
+            ramp = np.array([float(start)])
+        else:
+            ramp = np.arange(n) * ((stop - start) / (n - 1)) + start
+            ramp[-1] = stop
+        if power is not None:
+            ramp **= power
+        ramp.setflags(write=False)
+        _RAMP_CACHE[key] = ramp
+    return ramp
 
 
 @dataclass(frozen=True)
@@ -80,7 +111,8 @@ class Synthesizer:
         excursion = (
             voice.f0_excursion_hz * profile.f0_range_scale * stress
         )
-        t = np.linspace(0.0, 1.0, n, endpoint=False)
+        # Bitwise-equal fast path for linspace(0, 1, n, endpoint=False).
+        t = np.arange(n) * (1.0 / n)
         # Rise-fall accent with a random peak position plus declination.
         peak = rng.uniform(0.25, 0.5)
         accent = np.exp(-0.5 * ((t - peak) / 0.25) ** 2)
@@ -112,7 +144,7 @@ class Synthesizer:
             n_onset = int(round(syllable.onset_noise_s / rate * fs))
             if n_onset > 0:
                 burst = rng.normal(0.0, 0.25, n_onset)
-                burst *= np.linspace(1.0, 0.2, n_onset)
+                burst *= _cached_ramp(1.0, 0.2, n_onset)
                 pieces.append(burst)
             # Voiced nucleus.
             n_voiced = max(8, int(round(syllable.duration_s / rate * fs)))
@@ -133,8 +165,8 @@ class Synthesizer:
             n_attack = max(1, int(n_voiced * attack_frac))
             n_decay = max(1, int(n_voiced * 0.25))
             envelope = np.ones(n_voiced)
-            envelope[:n_attack] = np.linspace(0.0, 1.0, n_attack) ** 0.7
-            envelope[-n_decay:] *= np.linspace(1.0, 0.1, n_decay)
+            envelope[:n_attack] = _cached_ramp(0.0, 1.0, n_attack, power=0.7)
+            envelope[-n_decay:] *= _cached_ramp(1.0, 0.1, n_decay)
             voiced = voiced * envelope * syllable.stress
             pieces.append(voiced)
             # Pause.
@@ -149,3 +181,106 @@ class Synthesizer:
             target_db = -20.0 + profile.energy_db + voice.loudness_db
             wave = wave * (10 ** (target_db / 20.0) / rms)
         return np.clip(wave, -1.0, 1.0)
+
+    def render_batch(
+        self,
+        voices: Sequence[SpeakerVoice],
+        profiles: Sequence[ProsodyProfile],
+        rngs: Sequence[np.random.Generator],
+        plans: Optional[Sequence[Optional[UtterancePlan]]] = None,
+    ) -> List[np.ndarray]:
+        """Render many utterances at once, byte-identical to :meth:`render`.
+
+        Each utterance keeps its own generator, so per-item RNG streams
+        match the serial path exactly. The win comes from restructuring
+        the work: the RNG-ordered draws (onset bursts, F0 contours, the
+        banked glottal source) run in a tight first phase, then *all*
+        syllables across the whole batch go through the formant cascade
+        as padded stacks grouped by formant targets
+        (:func:`repro.speech.formants.formant_filter_batch`), and a final
+        phase applies envelopes, concatenation and leveling per item.
+        """
+        n_items = len(voices)
+        if not (len(profiles) == len(rngs) == n_items):
+            raise ValueError("voices, profiles and rngs must have the same length")
+        if plans is None:
+            plans = [None] * n_items
+        elif len(plans) != n_items:
+            raise ValueError("plans must match the number of voices")
+        fs = self.fs
+
+        # Phase 1: per-item planning + glottal sources, serial per item so
+        # each generator is consumed in exactly the order render() uses.
+        item_pieces = []  # per item: [("arr", waveform) | ("syll", flat index)]
+        glottal_works: list = []
+        syll_formants: List[tuple] = []
+        syll_meta: List[tuple] = []  # (n_voiced, stress, attack_sharpness)
+        for voice, profile, rng, plan in zip(voices, profiles, rngs, plans):
+            if plan is None:
+                plan = plan_utterance(rng)
+            rate = max(profile.rate_scale, 1e-3)
+            pieces = []
+            for i, syllable in enumerate(plan.syllables):
+                n_onset = int(round(syllable.onset_noise_s / rate * fs))
+                if n_onset > 0:
+                    burst = rng.normal(0.0, 0.25, n_onset)
+                    burst *= _cached_ramp(1.0, 0.2, n_onset)
+                    pieces.append(("arr", burst))
+                n_voiced = max(8, int(round(syllable.duration_s / rate * fs)))
+                f0 = self._f0_contour(n_voiced, voice, profile, syllable.stress, rng)
+                work = glottal_source_deferred(
+                    f0,
+                    fs,
+                    rng,
+                    jitter=profile.jitter,
+                    shimmer=profile.shimmer,
+                    tilt_db_per_octave=profile.tilt_db_per_octave,
+                    breathiness=profile.breathiness,
+                )
+                pieces.append(("syll", len(glottal_works)))
+                glottal_works.append(work)
+                syll_formants.append(vowel_formants(syllable.vowel, voice.tract_scale))
+                syll_meta.append((n_voiced, syllable.stress, profile.attack_sharpness))
+                if i < len(plan.pauses_s):
+                    n_pause = int(
+                        round(plan.pauses_s[i] * profile.pause_scale / rate * fs)
+                    )
+                    if n_pause > 0:
+                        pieces.append(("arr", np.zeros(n_pause)))
+            item_pieces.append((pieces, profile, voice))
+
+        # Phase 2: finish the RNG-free glottal tail (spectral tilt +
+        # breathiness mix) for every syllable at once, then run one
+        # formant cascade pass over the whole batch.
+        syll_sources = glottal_finish_batch(glottal_works)
+        filtered = (
+            formant_filter_batch(syll_sources, syll_formants, fs)
+            if syll_sources
+            else []
+        )
+
+        # Phase 3: envelopes, concatenation, leveling — RNG-free.
+        waves: List[np.ndarray] = []
+        for pieces, profile, voice in item_pieces:
+            arrs = []
+            for kind, payload in pieces:
+                if kind == "arr":
+                    arrs.append(payload)
+                else:
+                    n_voiced, stress, attack_sharpness = syll_meta[payload]
+                    attack_frac = float(
+                        np.clip(0.18 / max(attack_sharpness, 0.2), 0.02, 0.45)
+                    )
+                    n_attack = max(1, int(n_voiced * attack_frac))
+                    n_decay = max(1, int(n_voiced * 0.25))
+                    envelope = np.ones(n_voiced)
+                    envelope[:n_attack] = _cached_ramp(0.0, 1.0, n_attack, power=0.7)
+                    envelope[-n_decay:] *= _cached_ramp(1.0, 0.1, n_decay)
+                    arrs.append(filtered[payload] * envelope * stress)
+            wave = np.concatenate(arrs) if arrs else np.zeros(int(0.1 * fs))
+            rms = np.sqrt(np.mean(wave**2))
+            if rms > 0:
+                target_db = -20.0 + profile.energy_db + voice.loudness_db
+                wave = wave * (10 ** (target_db / 20.0) / rms)
+            waves.append(np.clip(wave, -1.0, 1.0))
+        return waves

@@ -40,6 +40,7 @@ class TestExceptionAccounting:
                 specs=tiny_tess.specs[:3],
                 detector=ExplodingDetector(fail_at=0),
                 seed=1,
+                pipeline="per_utterance",
             )
         reg = metrics()
         # The render and transmit that *completed* before the failure are
@@ -62,6 +63,7 @@ class TestExceptionAccounting:
                 specs=tiny_tess.specs[:3],
                 detector=ExplodingDetector(fail_at=0),
                 seed=1,
+                pipeline="per_utterance",
             )
         (detect,) = tracer().find("detect")
         assert detect.status == "error"
@@ -84,6 +86,7 @@ class TestExceptionAccounting:
                 specs=tiny_tess.specs[:5],
                 detector=ExplodingDetector(fail_at=2),
                 seed=1,
+                pipeline="per_utterance",
             )
         reg = metrics()
         assert reg.timer_total("render").count == 3
@@ -103,6 +106,7 @@ class TestExceptionAccounting:
                 specs=tiny_tess.specs[:3],
                 detector=ExplodingDetector(fail_at=0),
                 seed=1,
+                pipeline="per_utterance",
             )
         stats = global_stats()
         assert stats.transmits == 0  # counter path needs a finished pass
@@ -117,9 +121,14 @@ class TestExceptionAccounting:
                 specs=tiny_tess.specs[:3],
                 detector=ExplodingDetector(fail_at=0),
                 seed=1,
+                pipeline="per_utterance",
             )
         result = collect_datasets(
-            tiny_tess, loud_channel, specs=tiny_tess.specs[:5], seed=1
+            tiny_tess,
+            loud_channel,
+            specs=tiny_tess.specs[:5],
+            seed=1,
+            pipeline="per_utterance",
         )
         assert result.features.X.shape[1] == 24
         assert np.all(np.isfinite(result.features.X))

@@ -1,0 +1,136 @@
+"""Tests for the UtteranceBatch container and the batch policy knob."""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    BATCH_DTYPES,
+    BatchPolicy,
+    UtteranceBatch,
+    batch_dtype,
+    batch_policy_scope,
+    get_batch_policy,
+    set_batch_policy,
+)
+
+
+def _ragged(rng, n=5, max_len=200):
+    return [rng.normal(size=rng.integers(1, max_len)) for _ in range(n)]
+
+
+class TestPackUnpack:
+    def test_round_trip_is_identity(self, rng):
+        rows = _ragged(rng)
+        batch = UtteranceBatch.pack(rows, fs=500.0)
+        out = batch.unpack()
+        assert len(out) == len(rows)
+        for a, b in zip(rows, out):
+            assert a.tobytes() == b.tobytes()
+
+    def test_row_views_match(self, rng):
+        rows = _ragged(rng)
+        batch = UtteranceBatch.pack(rows)
+        for i, a in enumerate(rows):
+            assert batch.row(i).tobytes() == a.tobytes()
+
+    def test_padding_is_zero(self, rng):
+        batch = UtteranceBatch.pack(_ragged(rng))
+        batch.check_padding()
+        for i in range(len(batch)):
+            tail = batch.data[i, int(batch.lengths[i]):]
+            assert not tail.size or not np.any(tail)
+
+    def test_empty_batch(self):
+        batch = UtteranceBatch.pack([])
+        assert len(batch) == 0
+        assert batch.unpack() == []
+        assert batch.dtype == np.float64
+
+    def test_zero_length_row(self):
+        batch = UtteranceBatch.pack([np.ones(3), np.empty(0)])
+        assert batch.row(1).size == 0
+        assert batch.unpack()[1].size == 0
+
+    def test_rejects_2d_rows(self):
+        with pytest.raises(ValueError, match="row 1 must be 1-D"):
+            UtteranceBatch.pack([np.ones(3), np.ones((2, 2))])
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError, match="lengths"):
+            UtteranceBatch(data=np.zeros((2, 4)), lengths=np.array([1, 5]))
+        with pytest.raises(ValueError, match="lengths"):
+            UtteranceBatch(data=np.zeros((2, 4)), lengths=np.array([1]))
+
+    def test_min_cols_pads_without_changing_rows(self, rng):
+        rows = _ragged(rng, max_len=50)
+        a = UtteranceBatch.pack(rows)
+        b = UtteranceBatch.pack(rows, min_cols=500)
+        assert b.max_len == 500
+        for i in range(len(a)):
+            assert a.row(i).tobytes() == b.row(i).tobytes()
+
+
+class TestTransforms:
+    def test_padded_to_preserves_rows(self, rng):
+        batch = UtteranceBatch.pack(_ragged(rng))
+        wide = batch.padded_to(batch.max_len + 173)
+        assert wide.max_len == batch.max_len + 173
+        wide.check_padding()
+        for a, b in zip(batch.unpack(), wide.unpack()):
+            assert a.tobytes() == b.tobytes()
+
+    def test_padded_to_noop_when_narrower(self, rng):
+        batch = UtteranceBatch.pack(_ragged(rng))
+        assert batch.padded_to(1) is batch
+
+    def test_permuted(self, rng):
+        rows = _ragged(rng, n=6)
+        batch = UtteranceBatch.pack(rows)
+        order = [3, 1, 5, 0, 4, 2]
+        perm = batch.permuted(order)
+        for out_i, src_i in enumerate(order):
+            assert perm.row(out_i).tobytes() == rows[src_i].tobytes()
+
+    def test_permuted_rejects_non_permutation(self, rng):
+        batch = UtteranceBatch.pack(_ragged(rng, n=3))
+        with pytest.raises(ValueError, match="permutation"):
+            batch.permuted([0, 0, 2])
+
+    def test_astype(self, rng):
+        batch = UtteranceBatch.pack(_ragged(rng))
+        cast = batch.astype(np.float32)
+        assert cast.dtype == np.float32
+        assert batch.dtype == np.float64  # original untouched
+        for a, b in zip(batch.unpack(), cast.unpack()):
+            np.testing.assert_array_equal(a.astype(np.float32), b)
+
+
+class TestBatchPolicy:
+    def test_default_is_golden_float64(self):
+        policy = get_batch_policy()
+        assert policy.is_golden
+        assert batch_dtype() == np.float64
+
+    def test_scope_sets_and_restores(self):
+        before = get_batch_policy()
+        with batch_policy_scope(compute_dtype="float32") as policy:
+            assert policy.compute_dtype == np.float32
+            assert not policy.is_golden
+            assert batch_dtype() == np.float32
+        assert get_batch_policy() is before
+        assert batch_dtype() == np.float64
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with batch_policy_scope(compute_dtype="float32"):
+                raise RuntimeError("boom")
+        assert batch_dtype() == np.float64
+
+    def test_set_policy_rejects_unknown_dtype(self):
+        with pytest.raises((ValueError, TypeError)):
+            set_batch_policy(compute_dtype="float16")
+        assert batch_dtype() == np.float64
+
+    def test_dtype_registry(self):
+        assert set(BATCH_DTYPES) == {"float32", "float64"}
+        assert BatchPolicy("float32").compute_dtype == np.float32

@@ -36,9 +36,16 @@ class TestFrameSignal:
         with pytest.raises(ValueError):
             frame_signal(np.ones(10), 4, 0)
 
-    def test_rejects_2d(self):
+    def test_2d_frames_each_row(self):
+        X = np.stack([np.arange(50.0), np.arange(50.0, 100.0)])
+        frames = frame_signal(X, 10, 5, pad=False)
+        assert frames.shape == (2, 9, 10)
+        for r in range(2):
+            assert frames[r].tobytes() == frame_signal(X[r], 10, 5, pad=False).tobytes()
+
+    def test_rejects_3d(self):
         with pytest.raises(ValueError):
-            frame_signal(np.ones((3, 3)), 2, 1)
+            frame_signal(np.ones((2, 3, 3)), 2, 1)
 
 
 class TestSTFT:

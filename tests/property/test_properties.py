@@ -60,8 +60,14 @@ class TestDSPProperties:
     @given(finite_signal)
     @settings(max_examples=20, deadline=None)
     def test_stft_parseval_like(self, x):
-        """STFT energy scales with signal energy (no blow-up, no loss)."""
-        _, _, Z = stft(x, 100.0, frame_length=16, hop_length=8)
+        """STFT energy scales with signal energy (no blow-up, no loss).
+
+        Hamming keeps nonzero window endpoints: under hann a signal
+        whose energy sits exactly on the zero-valued frame edges (e.g.
+        an impulse at sample 0) transforms to zero energy, which is a
+        property of the window, not an analysis bug.
+        """
+        _, _, Z = stft(x, 100.0, frame_length=16, hop_length=8, window="hamming")
         if np.sum(x**2) > 1e-9:
             ratio = np.sum(np.abs(Z) ** 2) / np.sum(x**2)
             assert 0.01 < ratio < 100.0
