@@ -49,14 +49,14 @@ from repro.attack.features import (
     extract_features,
     extract_features_batch,
 )
-from repro.attack.labeling import label_regions
+from repro.attack.labeling import LABELING_VERSION, label_regions, match_regions
 from repro.attack.regions import Region, RegionDetector
 from repro.attack.specimages import (
     region_spectrogram_image,
     region_spectrogram_images_batch,
 )
 from repro.batch import batch_dtype
-from repro.datasets.base import Corpus, UtteranceSpec
+from repro.datasets.base import Corpus, UtteranceSpec, resolve_task
 from repro.dsp.filters import cached_butter_highpass, sosfilt_zero_phase
 from repro.obs import MetricsRegistry, metrics, trace, tracer
 from repro.parallel import EXECUTOR_NAMES, resolve_executor
@@ -870,13 +870,16 @@ def _collect_continuous(
 
     with trace("product", metric_labels={}) as span:
         products = []
-        for region, label in label_regions(regions, session.events):
+        # Product rows carry the matched playback *event* (not just its
+        # emotion string) so a cached pass can be re-labelled for any
+        # task — the event records speaker/utterance identity too.
+        for region, event in match_regions(regions, session.events):
             stats.regions_used += 1
             features = _feature_row(
                 session.trace, region, session.fs, config.feature_highpass_hz
             )
             image = _image_product(session.trace, region, config.size)
-            products.append((-1, label, features, image))
+            products.append((-1, event, features, image))
     stats.product_s += span.duration_s
     return products, stats
 
@@ -896,6 +899,7 @@ def collection_key(
     size: int = 32,
     feature_highpass_hz: Optional[float] = None,
     batch_dtype: Optional[str] = None,
+    task: str = "emotion",
 ) -> str:
     """Stable key for one collection pass.
 
@@ -908,10 +912,18 @@ def collection_key(
     ``"float64"`` — the golden batched pipeline is byte-identical to the
     per-utterance reference, so the two share cache entries; a float32
     hot-path pass keys separately.
+
+    The label ``task`` only affects which labels are attached, never the
+    physics, so the default emotion task keys exactly as before this
+    parameter existed — warm emotion entries (in memory and on disk)
+    stay valid. Non-emotion tasks key separately, fingerprinting
+    ``(task, LABELING_VERSION)`` so a labeling-policy bump invalidates
+    only re-labelled entries.
     """
     import hashlib
 
-    fingerprint = repr((
+    task_name = resolve_task(task)
+    parts = [
         corpus.name,
         corpus.audio_fs,
         corpus.expressiveness,
@@ -933,12 +945,16 @@ def collection_key(
         int(size),
         feature_highpass_hz,
         str(batch_dtype) if batch_dtype is not None else "float64",
-    )).encode()
-    digest = hashlib.sha256(fingerprint).hexdigest()[:16]
+    ]
+    infix = ""
+    if task_name != "emotion":
+        parts.append((task_name, LABELING_VERSION))
+        infix = f"{task_name}-"
+    digest = hashlib.sha256(repr(tuple(parts)).encode()).hexdigest()[:16]
     rate = f"{channel.accel_fs:g}"
     return (
         f"{corpus.name}-{channel.device.name}-{channel.placement.value}"
-        f"-{rate}hz-s{int(seed)}-{digest}"
+        f"-{rate}hz-s{int(seed)}-{infix}{digest}"
     )
 
 
@@ -948,10 +964,17 @@ class CollectionCache:
     In-memory by default; pass ``cache_dir`` to also persist each pass as
     an ``.npz`` bundle (via :mod:`repro.eval.io`) that later processes —
     or later runs — can reload instead of re-collecting.
+
+    Alongside finished (already-labelled) results the cache keeps a
+    memory-only *products* layer keyed by the task-independent base key:
+    the raw ``(index, record, features, image)`` rows of a physical
+    pass. A request for the same corpus under a different label task is
+    served by re-labelling those rows — zero extra collection cost.
     """
 
     def __init__(self, cache_dir=None):
         self._entries: Dict[str, CollectionResult] = {}
+        self._products: Dict[str, Tuple[List, int]] = {}
         self._lock = threading.Lock()
         self.cache_dir = None
         if cache_dir is not None:
@@ -999,10 +1022,26 @@ class CollectionCache:
 
             save_collection(result, self.cache_dir / f"{key}.npz")
 
+    def store_products(self, base_key: str, products: List, n_played: int) -> None:
+        """Keep a pass's raw product rows for later re-labelling.
+
+        Memory-only by design: rows reference live record objects
+        (specs indices / playback events) that the ``.npz`` bundle
+        format does not carry.
+        """
+        with self._lock:
+            self._products[base_key] = (list(products), int(n_played))
+
+    def lookup_products(self, base_key: str) -> Optional[Tuple[List, int]]:
+        """Raw ``(products, n_played)`` of a finished pass, or None."""
+        with self._lock:
+            return self._products.get(base_key)
+
     def clear(self) -> None:
         """Drop every in-memory entry (on-disk bundles are kept)."""
         with self._lock:
             self._entries.clear()
+            self._products.clear()
         self.hits = 0
         self.misses = 0
 
@@ -1025,6 +1064,64 @@ def _default_detector(channel: VibrationChannel) -> RegionDetector:
     return RegionDetector.for_setting(channel.placement.value)
 
 
+def _task_labelled_rows(
+    products: Sequence[Tuple],
+    specs: Sequence[UtteranceSpec],
+    corpus: Corpus,
+    task: str,
+) -> List[Tuple[str, Optional[np.ndarray], Optional[np.ndarray]]]:
+    """Attach the task's label to each product row.
+
+    Per-utterance/batched rows carry ``index >= 0`` into ``specs`` and
+    an emotion-string payload; continuous rows carry ``index == -1`` and
+    the matched :class:`~repro.phone.recording.PlaybackEvent` as
+    payload. Either record type exposes ``speaker_id``/``emotion``, so
+    :meth:`Corpus.task_label` covers both.
+    """
+    labelled = []
+    for index, payload, features, image in products:
+        if task == "emotion":
+            label = payload if isinstance(payload, str) else payload.emotion
+        else:
+            record = specs[index] if index >= 0 else payload
+            label = corpus.task_label(record, task)
+        labelled.append((label, features, image))
+    return labelled
+
+
+def _assemble_result(
+    labelled: Sequence[Tuple[str, Optional[np.ndarray], Optional[np.ndarray]]],
+    fs: float,
+    n_played: int,
+    size: int,
+    stats: CollectionStats,
+) -> CollectionResult:
+    """Build both datasets from labelled product rows."""
+    rows = [(label, f) for label, f, _ in labelled if f is not None]
+    X = np.vstack([f for _, f in rows]) if rows else np.empty((0, len(FEATURE_NAMES)))
+    features = FeatureDataset(
+        X=X,
+        y=np.array([label for label, _ in rows]),
+        fs=fs,
+        n_played=n_played,
+        stats=stats,
+    )
+    shots = [(label, img) for label, _, img in labelled if img is not None]
+    stack = (
+        np.stack([img for _, img in shots])[..., None]
+        if shots
+        else np.empty((0, size, size, 1))
+    )
+    spectrograms = SpectrogramDataset(
+        images=stack,
+        y=np.array([label for label, _ in shots]),
+        fs=fs,
+        n_played=n_played,
+        stats=stats,
+    )
+    return CollectionResult(features=features, spectrograms=spectrograms, stats=stats)
+
+
 def collect_datasets(
     corpus: Corpus,
     channel: VibrationChannel,
@@ -1039,6 +1136,7 @@ def collect_datasets(
     cache: Optional[CollectionCache] = None,
     pipeline: Optional[str] = None,
     batch_chunk: Optional[int] = None,
+    task: str = "emotion",
 ) -> CollectionResult:
     """Collect the feature *and* spectrogram datasets in one shared pass.
 
@@ -1064,6 +1162,13 @@ def collect_datasets(
         Utterances per stacked chunk for the batched pipeline
         (default :data:`DEFAULT_BATCH_CHUNK`). Results are identical at
         any chunk size.
+    task:
+        Which label to attach to each collected region — one of
+        :data:`repro.datasets.base.TASKS` (``emotion``, ``speaker-id``,
+        ``gender``, ``content-id``). The physics of the pass is
+        task-independent: with a ``cache``, a second task over the same
+        corpus re-labels the cached product rows instead of re-running
+        render→transmit→detect.
     """
     detector = detector or _default_detector(channel)
     if continuous is None:
@@ -1071,6 +1176,7 @@ def collect_datasets(
     specs = list(specs if specs is not None else corpus.specs)
     executor_name = _resolve_executor(n_jobs, executor)
     pipeline_name = _resolve_pipeline(pipeline)
+    task_name = resolve_task(task)
 
     # Only the batched per-utterance pipeline honours the batch policy;
     # every other path computes in float64.
@@ -1079,11 +1185,15 @@ def collect_datasets(
         else np.dtype(np.float64)
     )
 
-    key = None
+    key = base_key = None
     if cache is not None:
-        key = collection_key(
+        base_key = collection_key(
             corpus, channel, specs, detector, continuous, seed, size,
             feature_highpass_hz, batch_dtype=str(active_dtype),
+        )
+        key = base_key if task_name == "emotion" else collection_key(
+            corpus, channel, specs, detector, continuous, seed, size,
+            feature_highpass_hz, batch_dtype=str(active_dtype), task=task_name,
         )
         hit = cache.lookup(key)
         if hit is not None:
@@ -1092,6 +1202,24 @@ def collect_datasets(
             if hit.stats is not None:
                 hit.stats.cache_hits += 1
             return hit
+        # The task key missed, but a pass under another task may have
+        # left its raw products behind: re-label instead of re-collect.
+        cached_products = cache.lookup_products(base_key)
+        if cached_products is not None:
+            products, n_played = cached_products
+            cache.hits += 1
+            metrics().count("cache.relabel_hits")
+            _publish(CollectionStats(cache_hits=1))
+            stats = CollectionStats(n_played=n_played, cache_hits=1)
+            result = _assemble_result(
+                _task_labelled_rows(products, specs, corpus, task_name),
+                channel.accel_fs,
+                n_played,
+                int(size),
+                stats,
+            )
+            cache.store(key, result)
+            return result
         cache.misses += 1
 
     config = _PassConfig(
@@ -1132,32 +1260,15 @@ def collect_datasets(
         stats.total_s = pass_span.elapsed()
         _publish(stats)
 
-    rows = [(label, f) for _, label, f, _ in products if f is not None]
-    X = np.vstack([f for _, f in rows]) if rows else np.empty((0, len(FEATURE_NAMES)))
-    features = FeatureDataset(
-        X=X,
-        y=np.array([label for label, _ in rows]),
-        fs=channel.accel_fs,
-        n_played=len(specs),
-        stats=stats,
-    )
-    shots = [(label, img) for _, label, _, img in products if img is not None]
-    stack = (
-        np.stack([img for _, img in shots])[..., None]
-        if shots
-        else np.empty((0, size, size, 1))
-    )
-    spectrograms = SpectrogramDataset(
-        images=stack,
-        y=np.array([label for label, _ in shots]),
-        fs=channel.accel_fs,
-        n_played=len(specs),
-        stats=stats,
-    )
-    result = CollectionResult(
-        features=features, spectrograms=spectrograms, stats=stats
+    result = _assemble_result(
+        _task_labelled_rows(products, specs, corpus, task_name),
+        channel.accel_fs,
+        len(specs),
+        int(size),
+        stats,
     )
     if cache is not None and key is not None:
+        cache.store_products(base_key, products, len(specs))
         cache.store(key, result)
     return result
 

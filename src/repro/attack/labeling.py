@@ -1,21 +1,120 @@
-"""Label assignment from playback logs.
+"""Label assignment from playback logs, per attack task.
 
 The collection procedure groups all audio of one emotion together and
 records playback times; the analysis tools then "automatically assign
 labels to the spectrograms of each speech region based on the recorded
-playback times" (Section III-B3). A region is labelled with the emotion
+playback times" (Section III-B3). A region is labelled with the event
 whose playback interval contains the region's centre; regions falling in
 gaps (false detections) are dropped.
+
+When ``tolerance_s > 0`` the expanded playback intervals of adjacent
+events can overlap, so a region centre may fall inside several
+intervals. Matching is deterministic: the event whose interval *centre*
+is nearest wins; an exact distance tie between events that would carry
+the same label resolves to the earlier event; an exact tie between
+events with *conflicting* labels is truly ambiguous — the region is
+dropped and counted under the ``labeling.rows_ambiguous`` metric.
+
+The multi-task label plane rides on the same matching: a matched
+:class:`~repro.phone.recording.PlaybackEvent` carries the utterance's
+speaker and identity, so one playback log labels regions for any task in
+:data:`~repro.datasets.base.TASKS` (see :func:`label_regions_for_task`).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from repro.attack.regions import Region
+from repro.datasets.base import TASKS, resolve_task
+from repro.obs import metrics
 from repro.phone.recording import PlaybackEvent
 
-__all__ = ["label_regions"]
+__all__ = [
+    "LABELING_VERSION",
+    "TASKS",
+    "label_regions",
+    "label_regions_for_task",
+    "match_regions",
+    "resolve_task",
+]
+
+#: Version of the label-assignment semantics. Folded into collection
+#: cache keys for non-emotion tasks so cached datasets invalidate when
+#: label derivation changes; the emotion task keeps its historical keys.
+LABELING_VERSION = 1
+
+
+def _match_one(
+    center: float,
+    events: Sequence[PlaybackEvent],
+    tolerance_s: float,
+    label_of: Callable[[PlaybackEvent], str],
+):
+    """Match one region centre to a playback event, or None.
+
+    Implements the deterministic ambiguity policy described in the
+    module docstring. Returns the matched event, or None for regions in
+    gaps or truly ambiguous (equidistant, conflicting-label) regions —
+    the latter counted under ``labeling.rows_ambiguous``.
+    """
+    candidates = [
+        event
+        for event in events
+        if event.start_s - tolerance_s <= center < event.end_s + tolerance_s
+    ]
+    if not candidates:
+        return None
+    if len(candidates) == 1:
+        return candidates[0]
+    # Overlapping expanded intervals: nearest interval centre wins.
+    distances = [
+        abs(center - 0.5 * (event.start_s + event.end_s)) for event in candidates
+    ]
+    best = min(distances)
+    nearest = [
+        event for event, dist in zip(candidates, distances) if dist == best
+    ]
+    if len(nearest) == 1:
+        return nearest[0]
+    # Exact distance tie. Same label on every tied event -> the earlier
+    # event (deterministic, label unchanged); conflicting labels -> the
+    # region is truly ambiguous and dropped.
+    if len({label_of(event) for event in nearest}) == 1:
+        return min(nearest, key=lambda event: event.start_s)
+    metrics().count("labeling.rows_ambiguous")
+    return None
+
+
+def match_regions(
+    regions: Sequence[Region],
+    events: Sequence[PlaybackEvent],
+    tolerance_s: float = 0.05,
+    label_of: Callable[[PlaybackEvent], str] = lambda event: event.emotion,
+) -> List[Tuple[Region, PlaybackEvent]]:
+    """Pair detected regions with their playback events.
+
+    Parameters
+    ----------
+    tolerance_s:
+        Slack added around each playback interval (sensor/pipeline delay).
+    label_of:
+        Label under which ambiguity is judged: equidistant events whose
+        labels agree resolve to the earlier event, conflicting ones drop
+        the region (counted as ``labeling.rows_ambiguous``).
+
+    Returns
+    -------
+    List of ``(region, event)`` pairs; unmatched regions are omitted.
+    """
+    if tolerance_s < 0:
+        raise ValueError("tolerance_s must be non-negative")
+    matched: List[Tuple[Region, PlaybackEvent]] = []
+    for region in regions:
+        event = _match_one(region.center_s, events, tolerance_s, label_of)
+        if event is not None:
+            matched.append((region, event))
+    return matched
 
 
 def label_regions(
@@ -25,25 +124,38 @@ def label_regions(
 ) -> List[Tuple[Region, str]]:
     """Pair detected regions with emotion labels from the playback log.
 
-    Parameters
-    ----------
-    tolerance_s:
-        Slack added around each playback interval (sensor/pipeline delay).
-
-    Returns
-    -------
-    List of ``(region, emotion)`` pairs; unlabellable regions are omitted.
+    Returns ``(region, emotion)`` pairs; unlabellable regions (gaps,
+    truly ambiguous overlaps) are omitted. See :func:`match_regions` for
+    the matching policy.
     """
-    if tolerance_s < 0:
-        raise ValueError("tolerance_s must be non-negative")
-    labelled: List[Tuple[Region, str]] = []
-    for region in regions:
-        center = region.center_s
-        label: Optional[str] = None
-        for event in events:
-            if event.start_s - tolerance_s <= center < event.end_s + tolerance_s:
-                label = event.emotion
-                break
-        if label is not None:
-            labelled.append((region, label))
-    return labelled
+    return [
+        (region, event.emotion)
+        for region, event in match_regions(regions, events, tolerance_s)
+    ]
+
+
+def label_regions_for_task(
+    regions: Sequence[Region],
+    events: Sequence[PlaybackEvent],
+    corpus,
+    task: str = "emotion",
+    tolerance_s: float = 0.05,
+) -> List[Tuple[Region, str]]:
+    """Pair detected regions with per-task labels from the playback log.
+
+    The matched event carries ``speaker_id``/``emotion``/``utterance_id``,
+    so label extraction goes through :meth:`repro.datasets.base.Corpus.task_label`
+    — speaker-ID and gender heads label from the same playback log that
+    the emotion attack uses, at zero extra collection cost.
+    """
+    task = resolve_task(task)
+
+    def label_of(event: PlaybackEvent) -> str:
+        return corpus.task_label(event, task)
+
+    return [
+        (region, label_of(event))
+        for region, event in match_regions(
+            regions, events, tolerance_s, label_of=label_of
+        )
+    ]

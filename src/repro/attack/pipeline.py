@@ -62,6 +62,7 @@ def collect_feature_dataset(
     cache: Optional[CollectionCache] = None,
     pipeline: Optional[str] = None,
     batch_chunk: Optional[int] = None,
+    task: str = "emotion",
 ) -> FeatureDataset:
     """Run the attack's collection + feature-extraction stages.
 
@@ -87,6 +88,7 @@ def collect_feature_dataset(
         cache=cache,
         pipeline=pipeline,
         batch_chunk=batch_chunk,
+        task=task,
     ).features
 
 
@@ -103,6 +105,7 @@ def collect_spectrogram_dataset(
     cache: Optional[CollectionCache] = None,
     pipeline: Optional[str] = None,
     batch_chunk: Optional[int] = None,
+    task: str = "emotion",
 ) -> SpectrogramDataset:
     """Run the attack's collection + spectrogram-image stages."""
     return collect_datasets(
@@ -118,6 +121,7 @@ def collect_spectrogram_dataset(
         cache=cache,
         pipeline=pipeline,
         batch_chunk=batch_chunk,
+        task=task,
     ).spectrograms
 
 
@@ -154,6 +158,7 @@ class EmoLeakAttack:
         cache: Optional[CollectionCache] = None,
         pipeline: Optional[str] = None,
         batch_chunk: Optional[int] = None,
+        task: str = "emotion",
     ):
         self.channel = channel
         self.detector = detector or _default_detector(channel)
@@ -163,6 +168,7 @@ class EmoLeakAttack:
         self.cache = cache
         self.pipeline = pipeline
         self.batch_chunk = batch_chunk
+        self.task = task
 
     def collect_features(
         self,
@@ -183,6 +189,7 @@ class EmoLeakAttack:
             cache=self.cache,
             pipeline=self.pipeline,
             batch_chunk=self.batch_chunk,
+            task=self.task,
         )
 
     def collect_spectrograms(
@@ -206,6 +213,7 @@ class EmoLeakAttack:
             cache=self.cache,
             pipeline=self.pipeline,
             batch_chunk=self.batch_chunk,
+            task=self.task,
         )
 
     def collect_datasets(
@@ -229,4 +237,5 @@ class EmoLeakAttack:
             cache=self.cache,
             pipeline=self.pipeline,
             batch_chunk=self.batch_chunk,
+            task=self.task,
         )

@@ -1,7 +1,11 @@
-"""Canonical evaluation scenarios (dataset x device x mode x placement).
+"""Canonical evaluation scenarios (dataset x device x mode x placement x task).
 
 One entry per experimental cell family in the paper's Section V, so the
 benchmarks, examples and tests all construct identical configurations.
+Beyond the paper's emotion cells, sibling attacks over the same channel
+are first-class scenarios distinguished by ``task``: speaker-ID and
+gender (Spearphone / EarSpy) and song content-ID (Kinetic Song
+Comprehension) — see :data:`repro.datasets.base.TASKS`.
 """
 
 from __future__ import annotations
@@ -9,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.datasets.base import resolve_task
 from repro.phone.channel import Placement, SpeakerMode, VibrationChannel
 
 __all__ = ["Scenario", "SCENARIOS", "get_scenario"]
@@ -16,7 +21,7 @@ __all__ = ["Scenario", "SCENARIOS", "get_scenario"]
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named (dataset, device, speaker mode, placement) configuration."""
+    """A named (dataset, device, mode, placement, task) configuration."""
 
     name: str
     dataset: str
@@ -24,6 +29,10 @@ class Scenario:
     mode: SpeakerMode
     placement: Placement
     paper_table: str
+    task: str = "emotion"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "task", resolve_task(self.task))
 
     def channel(self, sample_rate: Optional[float] = None, seed: int = 0) -> VibrationChannel:
         """Instantiate the vibration channel for this scenario."""
@@ -76,6 +85,36 @@ SCENARIOS: Dict[str, Scenario] = {
         _ear("savee-ear-oneplus7t", "savee", "oneplus7t", "Table VI"),
         _ear("savee-ear-oneplus9", "savee", "oneplus9", "Table VI"),
         _ear("tess-ear-oneplus7t", "tess", "oneplus7t", "Table VI"),
+        # Sibling attacks over the same channel (multi-task heads).
+        # Speaker-ID on SAVEE (4 speakers, chance 25%); gender on CREMA-D
+        # (the only mixed-sex corpus); content-ID on the song catalogue.
+        Scenario(
+            name="savee-speaker-oneplus7t",
+            dataset="savee",
+            device="oneplus7t",
+            mode=SpeakerMode.LOUDSPEAKER,
+            placement=Placement.TABLE_TOP,
+            paper_table="Attacks",
+            task="speaker-id",
+        ),
+        Scenario(
+            name="cremad-gender-galaxys10",
+            dataset="cremad",
+            device="galaxys10",
+            mode=SpeakerMode.LOUDSPEAKER,
+            placement=Placement.TABLE_TOP,
+            paper_table="Attacks",
+            task="gender",
+        ),
+        Scenario(
+            name="songs-content-oneplus7t",
+            dataset="songs",
+            device="oneplus7t",
+            mode=SpeakerMode.LOUDSPEAKER,
+            placement=Placement.TABLE_TOP,
+            paper_table="Attacks",
+            task="content-id",
+        ),
     )
 }
 

@@ -25,14 +25,15 @@ from repro.attack.engine import collect_per_utterance_products
 from repro.attack.features import FEATURE_NAMES
 from repro.attack.pipeline import FeatureDataset
 from repro.attack.regions import RegionDetector
-from repro.datasets.base import Corpus, UtteranceSpec
+from repro.datasets.base import GENDER_F0_SPLIT_HZ, Corpus, UtteranceSpec
 from repro.phone.channel import VibrationChannel
 
 __all__ = ["SpearphoneBaseline", "collect_speaker_dataset"]
 
-#: Female speakers have base F0 above this (Hz); used to derive gender
-#: labels from the corpus's speaker voices.
-_GENDER_F0_SPLIT = 160.0
+#: Backward-compatible alias; the split lives with the task-label plane
+#: (:data:`repro.datasets.base.GENDER_F0_SPLIT_HZ`) so the baseline and
+#: the engine's gender task agree by construction.
+_GENDER_F0_SPLIT = GENDER_F0_SPLIT_HZ
 
 
 def collect_speaker_dataset(
@@ -77,14 +78,7 @@ def collect_speaker_dataset(
     dataset = FeatureDataset(
         X=X, y=np.array(emotions), fs=channel.accel_fs, n_played=len(specs)
     )
-    genders = np.array(
-        [
-            "female"
-            if corpus.speakers[sid].base_f0_hz > _GENDER_F0_SPLIT
-            else "male"
-            for sid in speaker_ids
-        ]
-    )
+    genders = np.array([corpus.speaker_gender(sid) for sid in speaker_ids])
     return dataset, np.array(speaker_ids), genders
 
 

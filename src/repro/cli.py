@@ -34,7 +34,7 @@ from repro.attack.engine import (
 )
 from repro.attack.pipeline import EmoLeakAttack
 from repro.attack.scenarios import SCENARIOS, get_scenario
-from repro.datasets import build_corpus
+from repro.datasets import TASKS, build_corpus
 from repro.eval.experiment import (
     CLASSIFIER_NAMES,
     run_feature_experiment,
@@ -59,8 +59,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--table",
-        choices=("III", "IV", "V", "VI"),
-        help="regenerate a whole paper table instead of one cell",
+        choices=("III", "IV", "V", "VI", "ATTACKS"),
+        help="regenerate a whole paper table instead of one cell "
+             "(ATTACKS: the multi-attack task comparison)",
+    )
+    parser.add_argument(
+        "--task",
+        choices=TASKS,
+        default=None,
+        help="attack label to train on: emotion, speaker-id, gender or "
+             "content-id (default: the scenario's own task)",
     )
     parser.add_argument(
         "--classifier",
@@ -169,12 +177,13 @@ def _finish_observability(args) -> None:
 
 
 def _list_scenarios() -> None:
-    print(f"{'scenario':<24} {'dataset':<8} {'device':<16} {'mode':<12} paper")
+    print(f"{'scenario':<26} {'dataset':<8} {'device':<16} {'mode':<12} "
+          f"{'task':<11} paper")
     for name in sorted(SCENARIOS):
         s = SCENARIOS[name]
         print(
-            f"{name:<24} {s.dataset:<8} {s.device:<16} "
-            f"{s.mode.value:<12} {s.paper_table}"
+            f"{name:<26} {s.dataset:<8} {s.device:<16} "
+            f"{s.mode.value:<12} {s.task:<11} {s.paper_table}"
         )
 
 
@@ -218,6 +227,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     scenario = get_scenario(args.scenario)
+    task = args.task if args.task else scenario.task
     corpus = build_corpus(scenario.dataset)
     if args.subsample:
         corpus = corpus.subsample(per_class=args.subsample, seed=args.seed)
@@ -230,9 +240,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         executor=args.executor,
         cache=cache,
         pipeline=args.pipeline,
+        task=task,
     )
 
     print(f"scenario  : {scenario.name} ({scenario.paper_table})")
+    print(f"task      : {task}")
     print(f"corpus    : {scenario.dataset}, {len(corpus)} utterances")
     print(f"channel   : {channel.device.display_name}, {channel.mode.value}, "
           f"{channel.placement.value}, {channel.accel_fs:.0f} Hz")
@@ -256,9 +268,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     table = _TABLE_OF.get(scenario.paper_table, scenario.paper_table)
     print()
-    print(paper_comparison(
-        table, scenario.dataset, scenario.device, args.classifier, result.accuracy
-    ))
+    if task == "emotion":
+        print(paper_comparison(
+            table, scenario.dataset, scenario.device, args.classifier,
+            result.accuracy,
+        ))
+    else:
+        # Non-emotion tasks have no published EmoLeak number to compare
+        # against; report accuracy against the random-guess rate instead.
+        print(
+            f"{task}: accuracy={result.accuracy:.2%} over {result.n_classes} "
+            f"classes (chance {result.random_guess:.2%}, "
+            f"{result.gain_over_chance:.1f}x)"
+        )
     print()
     print(format_confusion(result.confusion, result.labels))
     _finish_observability(args)

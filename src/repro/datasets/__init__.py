@@ -10,18 +10,28 @@ and CREMA-D (91 crowd-sourced actors) is the most heterogeneous. These
 parameters reproduce the paper's accuracy ordering TESS ≫ CREMA-D ≈ SAVEE.
 """
 
-from repro.datasets.base import Corpus, UtteranceSpec
+from repro.datasets.base import (
+    TASKS,
+    Corpus,
+    UtteranceSpec,
+    resolve_task,
+)
 from repro.datasets.savee import build_savee
 from repro.datasets.tess import build_tess
 from repro.datasets.cremad import build_cremad
+from repro.datasets.songs import SongCorpus, build_songs
 from repro.datasets.registry import available_corpora, build_corpus
 
 __all__ = [
+    "TASKS",
     "Corpus",
+    "SongCorpus",
     "UtteranceSpec",
+    "resolve_task",
     "build_savee",
     "build_tess",
     "build_cremad",
+    "build_songs",
     "available_corpora",
     "build_corpus",
 ]

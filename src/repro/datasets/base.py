@@ -17,7 +17,31 @@ from repro.speech.prosody import emotion_profile, perturbed_profile
 from repro.speech.phonemes import plan_utterance
 from repro.speech.synthesizer import SpeakerVoice, Synthesizer
 
-__all__ = ["UtteranceSpec", "Corpus"]
+__all__ = [
+    "GENDER_F0_SPLIT_HZ",
+    "TASKS",
+    "UtteranceSpec",
+    "Corpus",
+    "resolve_task",
+]
+
+#: Canonical attack-task inventory. One collected corpus supports several
+#: label extractions: ``emotion`` (EmoLeak), ``speaker-id`` and ``gender``
+#: (Spearphone / EarSpy) and ``content-id`` (Kinetic Song Comprehension;
+#: corpora opt in via :meth:`Corpus.content_label`).
+TASKS: Tuple[str, ...] = ("emotion", "speaker-id", "gender", "content-id")
+
+#: Female voices have base F0 above this threshold (Hz); used to derive
+#: gender labels from a corpus's speaker voices.
+GENDER_F0_SPLIT_HZ = 160.0
+
+
+def resolve_task(task: str) -> str:
+    """Normalise an attack-task name (``speaker_id`` == ``speaker-id``)."""
+    key = str(task).lower().strip().replace("_", "-")
+    if key not in TASKS:
+        raise ValueError(f"unknown task {task!r}; available: {TASKS}")
+    return key
 
 
 @dataclass(frozen=True)
@@ -72,8 +96,12 @@ class Corpus:
     def __iter__(self) -> Iterator[UtteranceSpec]:
         return iter(self.specs)
 
-    def render(self, spec: UtteranceSpec) -> np.ndarray:
-        """Deterministically synthesise one utterance's waveform."""
+    def validate_spec(self, spec: UtteranceSpec) -> None:
+        """Reject a spec that references data this corpus does not hold.
+
+        The one validator shared by the per-utterance and batched realise
+        paths, so both reject bad specs with identical messages.
+        """
         if spec.speaker_id not in self.speakers:
             raise KeyError(
                 f"spec references unknown speaker {spec.speaker_id!r} "
@@ -83,6 +111,10 @@ class Corpus:
             raise ValueError(
                 f"spec emotion {spec.emotion!r} not in corpus inventory {self.emotions}"
             )
+
+    def render(self, spec: UtteranceSpec) -> np.ndarray:
+        """Deterministically synthesise one utterance's waveform."""
+        self.validate_spec(spec)
         rng = np.random.default_rng(spec.seed)
         profile = perturbed_profile(
             emotion_profile(spec.emotion),
@@ -115,16 +147,7 @@ class Corpus:
         rngs = []
         plans = []
         for spec in specs:
-            if spec.speaker_id not in self.speakers:
-                raise KeyError(
-                    f"spec references unknown speaker {spec.speaker_id!r} "
-                    f"(corpus {self.name!r})"
-                )
-            if spec.emotion not in self.emotions:
-                raise ValueError(
-                    f"spec emotion {spec.emotion!r} not in corpus inventory "
-                    f"{self.emotions}"
-                )
+            self.validate_spec(spec)
             rng = np.random.default_rng(spec.seed)
             profiles.append(
                 perturbed_profile(
@@ -155,6 +178,56 @@ class Corpus:
         for spec in self.specs:
             counts[spec.emotion] += 1
         return counts
+
+    # -- per-task label extraction ------------------------------------------
+    #
+    # The multi-task label plane: one collected corpus can be re-labelled
+    # per attack task without re-running synth→channel→detect. ``record``
+    # is anything carrying ``speaker_id``/``emotion``/``utterance_id`` —
+    # an :class:`UtteranceSpec` (per-utterance collection) or a
+    # :class:`~repro.phone.recording.PlaybackEvent` (continuous sessions).
+
+    def speaker_gender(self, speaker_id: str) -> str:
+        """Gender label for a speaker, derived from the voice's base F0."""
+        try:
+            voice = self.speakers[speaker_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown speaker {speaker_id!r} (corpus {self.name!r})"
+            ) from None
+        return "female" if voice.base_f0_hz > GENDER_F0_SPLIT_HZ else "male"
+
+    def content_label(self, record) -> str:
+        """Content-identity label for a record (song/sentence identity).
+
+        Speech corpora do not model content identity; the song corpus
+        (:mod:`repro.datasets.songs`) overrides this.
+        """
+        raise ValueError(
+            f"corpus {self.name!r} does not define content-id labels"
+        )
+
+    def task_label(self, record, task: str = "emotion") -> str:
+        """Extract one record's label for an attack task."""
+        task = resolve_task(task)
+        if task == "emotion":
+            return record.emotion
+        if task == "speaker-id":
+            return record.speaker_id
+        if task == "gender":
+            return self.speaker_gender(record.speaker_id)
+        return self.content_label(record)
+
+    def task_inventory(self, task: str = "emotion") -> Tuple[str, ...]:
+        """The label inventory (class set) of an attack task."""
+        task = resolve_task(task)
+        if task == "emotion":
+            return tuple(self.emotions)
+        if task == "speaker-id":
+            return tuple(sorted(self.speakers))
+        if task == "gender":
+            return tuple(sorted({self.speaker_gender(s) for s in self.speakers}))
+        return tuple(sorted({self.content_label(s) for s in self.specs}))
 
     def subsample(
         self, per_class: int, seed: int = 0, stratify_speakers: bool = True

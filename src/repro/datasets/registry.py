@@ -7,6 +7,7 @@ from typing import Callable, Dict, Tuple
 from repro.datasets.base import Corpus
 from repro.datasets.cremad import build_cremad
 from repro.datasets.savee import build_savee
+from repro.datasets.songs import build_songs
 from repro.datasets.tess import build_tess
 
 __all__ = ["available_corpora", "build_corpus", "register_corpus"]
@@ -15,6 +16,7 @@ _BUILDERS: Dict[str, Callable[..., Corpus]] = {
     "savee": build_savee,
     "tess": build_tess,
     "cremad": build_cremad,
+    "songs": build_songs,
 }
 
 

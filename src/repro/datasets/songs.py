@@ -1,0 +1,128 @@
+"""Simulated song-clip corpus for the content-ID attack.
+
+Kinetic Song Comprehension (PAPERS.md) identifies which song is playing
+from smartphone motions. This corpus models that workload: clips drawn
+from the built-in song catalogue (:data:`repro.speech.music.SONGS`),
+each clip a deterministic excerpt rendered by the
+:class:`~repro.speech.music.MusicSynthesizer`. The track doubles as the
+"speaker": ``spec.speaker_id`` is the song name, so content-ID labels
+flow through the same per-task extraction as speaker-ID labels, and the
+collection engine's cache keys/provenance work unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import Corpus, UtteranceSpec
+from repro.speech.music import SONGS, MusicSynthesizer, song_names
+from repro.speech.synthesizer import SpeakerVoice
+
+__all__ = ["SongCorpus", "build_songs"]
+
+
+@dataclass(frozen=True)
+class SongCorpus(Corpus):
+    """A corpus of song clips; content identity is the song name.
+
+    Every spec's ``speaker_id`` names a catalogue song and its
+    ``emotion`` is the placeholder ``"neutral"`` (music carries no acted
+    emotion label). Overriding :meth:`render` is enough for the batched
+    data plane: ``Corpus.render_batch`` renders per spec through the
+    override, keeping batched collection byte-identical.
+    """
+
+    clip_s: float = 1.6
+
+    def render(self, spec: UtteranceSpec) -> np.ndarray:
+        """Deterministically synthesise one song clip's waveform."""
+        self.validate_spec(spec)
+        if spec.speaker_id not in SONGS:
+            raise KeyError(f"spec references unknown song {spec.speaker_id!r}")
+        rng = np.random.default_rng(spec.seed)
+        synth = MusicSynthesizer(fs=self.audio_fs)
+        return synth.render(SONGS[spec.speaker_id], rng, duration_s=self.clip_s)
+
+    def content_label(self, record) -> str:
+        """The clip's song name (carried in the record's speaker id)."""
+        return record.speaker_id
+
+    def speaker_gender(self, speaker_id: str) -> str:
+        raise ValueError("song corpus speakers are tracks; no gender labels")
+
+    def subsample(
+        self, per_class: int, seed: int = 0, stratify_speakers: bool = True
+    ) -> "SongCorpus":
+        """Stratified subsample with ``per_class`` clips per *song*.
+
+        The base implementation stratifies per emotion, which collapses
+        here (every clip is "neutral"); the content-ID class is the song.
+        """
+        if per_class < 1:
+            raise ValueError("per_class must be >= 1")
+        rng = np.random.default_rng(seed)
+        chosen: List[UtteranceSpec] = []
+        for song in sorted(self.speakers):
+            pool = [s for s in self.specs if s.speaker_id == song]
+            if not pool:
+                continue
+            take = min(per_class, len(pool))
+            idx = rng.permutation(len(pool))[:take]
+            chosen.extend(pool[i] for i in sorted(idx))
+        return replace(self, specs=chosen)
+
+
+def build_songs(
+    seed: int = 3,
+    clips_per_song: int = 24,
+    songs: Optional[Sequence[str]] = None,
+    clip_s: float = 1.6,
+) -> SongCorpus:
+    """Build the simulated song-clip corpus.
+
+    Parameters
+    ----------
+    clips_per_song:
+        Excerpts per catalogue song (the content-ID class balance).
+    songs:
+        Subset of :func:`repro.speech.music.song_names` (default: all).
+    clip_s:
+        Clip duration in seconds.
+    """
+    if clips_per_song < 1:
+        raise ValueError("clips_per_song must be >= 1")
+    names: Tuple[str, ...] = tuple(songs) if songs else song_names()
+    unknown = set(names) - set(SONGS)
+    if unknown:
+        raise ValueError(
+            f"unknown songs {sorted(unknown)}; available: {song_names()}"
+        )
+    # Placeholder voices keyed by song: validate_spec and speaker-keyed
+    # bookkeeping work unchanged; the root frequency doubles as base F0.
+    speakers = {
+        name: SpeakerVoice(base_f0_hz=SONGS[name].root_hz) for name in names
+    }
+    specs = []
+    seed_stream = np.random.default_rng(seed + 1)
+    for name in names:
+        for k in range(clips_per_song):
+            specs.append(
+                UtteranceSpec(
+                    utterance_id=f"songs-{name}-{k:03d}",
+                    speaker_id=name,
+                    emotion="neutral",
+                    seed=int(seed_stream.integers(0, 2**31 - 1)),
+                )
+            )
+    return SongCorpus(
+        name="songs",
+        emotions=("neutral",),
+        speakers=speakers,
+        specs=specs,
+        expressiveness=1.0,
+        variability=0.0,
+        clip_s=clip_s,
+    )

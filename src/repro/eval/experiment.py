@@ -295,6 +295,7 @@ def collect_scenario_datasets(
     n_jobs: int = 1,
     executor: Optional[str] = None,
     cache=None,
+    task: Optional[str] = None,
 ):
     """Collect a scenario's feature+spectrogram bundle through the engine.
 
@@ -304,6 +305,11 @@ def collect_scenario_datasets(
     default when ``cache`` is None), so several classifiers — or a whole
     table — consuming the same scenario perform exactly one
     render→transmit→detect pass.
+
+    ``task`` selects the attack label (emotion / speaker-id / gender /
+    content-id); None takes the scenario's own task. Different tasks
+    over the same scenario share the physical pass through the cache's
+    re-label layer.
     """
     from repro.attack.engine import collect_datasets, default_cache
     from repro.attack.scenarios import get_scenario
@@ -311,9 +317,19 @@ def collect_scenario_datasets(
 
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    if task is None:
+        task = getattr(scenario, "task", "emotion")
     corpus = build_corpus(scenario.dataset)
     if subsample:
-        corpus = corpus.subsample(per_class=subsample, seed=seed)
+        # The speaker round-robin fills from the corpus's speaker order,
+        # which on gender-ordered rosters (CREMA-D lists all males first)
+        # gives a small subsample a single gender. The gender task takes
+        # the random per-emotion draw instead, which mixes speakers.
+        corpus = corpus.subsample(
+            per_class=subsample,
+            seed=seed,
+            stratify_speakers=(task != "gender"),
+        )
     channel = scenario.channel(seed=seed)
     return collect_datasets(
         corpus,
@@ -322,6 +338,7 @@ def collect_scenario_datasets(
         n_jobs=n_jobs,
         executor=executor,
         cache=cache if cache is not None else default_cache(),
+        task=task,
     )
 
 
@@ -350,6 +367,7 @@ def run_scenario_experiment(
     n_jobs: int = 1,
     executor: Optional[str] = None,
     cache=None,
+    task: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one (scenario, classifier) cell through the collection engine.
 
@@ -363,6 +381,7 @@ def run_scenario_experiment(
         n_jobs=n_jobs,
         executor=executor,
         cache=cache,
+        task=task,
     )
     return run_bundle_experiment(bundle, classifier, seed=seed, fast=fast)
 

@@ -49,6 +49,20 @@ TABLE_DEFINITIONS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
         ("savee-ear-oneplus7t", "savee-ear-oneplus9", "tess-ear-oneplus7t"),
         ("random_forest", "random_subspace", "lmt", "cnn"),
     ),
+    # Multi-attack comparison: one column per sibling attack task
+    # (emotion / speaker-ID / gender / song content-ID), same channel
+    # physics, per-task labels. Not a paper table — the cross-attack
+    # baseline the related work (Spearphone, EarSpy, Kinetic Song
+    # Comprehension) establishes.
+    "ATTACKS": (
+        (
+            "savee-loud-oneplus7t",
+            "savee-speaker-oneplus7t",
+            "cremad-gender-galaxys10",
+            "songs-content-oneplus7t",
+        ),
+        ("logistic", "random_forest"),
+    ),
 }
 
 
@@ -69,7 +83,11 @@ class TableSuite:
         headers = ["classifier"]
         for name in scenario_names:
             scenario = SCENARIOS[name]
-            headers.append(f"{scenario.device} (ours)")
+            if self.table == "ATTACKS":
+                # Columns are attacks, not devices, in the comparison.
+                headers.append(f"{scenario.task} (ours)")
+            else:
+                headers.append(f"{scenario.device} (ours)")
             headers.append("(paper)")
         rows: List[List] = []
         for classifier in classifiers:
@@ -83,7 +101,12 @@ class TableSuite:
                 )
                 row.append(paper if paper is not None else "-")
             rows.append(row)
-        return format_table(f"Table {self.table} (reproduced)", rows, headers)
+        title = (
+            "Multi-attack comparison (reproduced)"
+            if self.table == "ATTACKS"
+            else f"Table {self.table} (reproduced)"
+        )
+        return format_table(title, rows, headers)
 
 
 def _run_cell_task(task):
@@ -124,7 +147,8 @@ def run_table(
     Parameters
     ----------
     table:
-        ``"III"``, ``"IV"``, ``"V"`` or ``"VI"``.
+        ``"III"``, ``"IV"``, ``"V"``, ``"VI"`` or ``"ATTACKS"`` (the
+        multi-attack comparison: one column per task).
     subsample:
         Utterances per emotion class (None = full corpus; the default 20
         keeps a five-device table in the minutes range).

@@ -21,10 +21,15 @@ from repro.speech.prosody import (
 )
 from repro.speech.glottal import glottal_source
 from repro.speech.formants import VOWELS, formant_filter, vowel_formants
+from repro.speech.music import SONGS, MusicSynthesizer, SongSpec, song_names
 from repro.speech.phonemes import Syllable, UtterancePlan, plan_utterance
 from repro.speech.synthesizer import SpeakerVoice, Synthesizer
 
 __all__ = [
+    "SONGS",
+    "MusicSynthesizer",
+    "SongSpec",
+    "song_names",
     "EMOTIONS",
     "CREMAD_EMOTIONS",
     "ProsodyProfile",

@@ -1,0 +1,121 @@
+"""Tests for the deterministic region↔event matching policy.
+
+With ``tolerance_s > 0`` the expanded playback intervals of adjacent
+events can overlap, so a region centre may fall inside several
+intervals. The policy: nearest interval centre wins; an exact distance
+tie between events carrying the same label resolves to the earlier
+event; an exact tie with conflicting labels drops the region and counts
+it under the ``labeling.rows_ambiguous`` metric.
+"""
+
+import pytest
+
+from repro.attack.labeling import (
+    label_regions,
+    label_regions_for_task,
+    match_regions,
+)
+from repro.attack.regions import Region
+from repro.datasets import build_tess
+from repro.obs import metrics
+from repro.phone.recording import PlaybackEvent
+
+
+def event(emotion, start, end, speaker="s1", uid=None):
+    return PlaybackEvent(uid or f"u-{emotion}-{start}", speaker, emotion, start, end)
+
+
+def region_at(center_s, fs=1000.0, half_width_s=0.01):
+    start = int((center_s - half_width_s) * fs)
+    end = int((center_s + half_width_s) * fs)
+    return Region(start, end, fs)
+
+
+def _ambiguous_total() -> float:
+    return metrics().counter_total("labeling.rows_ambiguous")
+
+
+class TestOverlapResolution:
+    # Two events whose expanded intervals overlap in [1.05, 1.15] at
+    # tolerance 0.15: A = [0, 1], B = [1.2, 2.2].
+    EVENTS = [event("happy", 0.0, 1.0), event("sad", 1.2, 2.2)]
+
+    def test_boundary_below_midpoint_takes_earlier(self):
+        # Centre 1.06 sits in both expanded intervals; A's interval
+        # centre (0.5) is nearer than B's (1.7).
+        matched = match_regions([region_at(1.06)], self.EVENTS, tolerance_s=0.15)
+        assert len(matched) == 1
+        assert matched[0][1].emotion == "happy"
+
+    def test_boundary_above_midpoint_takes_later(self):
+        # Centre 1.14: B's interval centre is now nearer. The old
+        # first-match rule would have (wrongly) said A.
+        matched = match_regions([region_at(1.14)], self.EVENTS, tolerance_s=0.15)
+        assert len(matched) == 1
+        assert matched[0][1].emotion == "sad"
+
+    def test_outside_overlap_unaffected(self):
+        for center, expected in ((0.5, "happy"), (1.7, "sad")):
+            matched = match_regions(
+                [region_at(center)], self.EVENTS, tolerance_s=0.15
+            )
+            assert [e.emotion for _, e in matched] == [expected]
+
+
+class TestExactTies:
+    def test_equidistant_same_label_takes_earlier_event(self):
+        # Back-to-back events, same label; centre exactly between the
+        # interval centres. Deterministic: the earlier event wins.
+        a = event("happy", 0.0, 1.0, uid="a")
+        b = event("happy", 1.0, 2.0, uid="b")
+        before = _ambiguous_total()
+        matched = match_regions([region_at(1.0)], [b, a], tolerance_s=0.05)
+        assert len(matched) == 1
+        assert matched[0][1].utterance_id == "a"
+        assert _ambiguous_total() == before
+
+    def test_equidistant_conflicting_labels_dropped_and_counted(self):
+        a = event("happy", 0.0, 1.0)
+        b = event("sad", 1.0, 2.0)
+        before = _ambiguous_total()
+        assert match_regions([region_at(1.0)], [a, b], tolerance_s=0.05) == []
+        assert _ambiguous_total() == before + 1
+
+    def test_label_regions_drops_ambiguous_too(self):
+        a = event("happy", 0.0, 1.0)
+        b = event("sad", 1.0, 2.0)
+        assert label_regions([region_at(1.0)], [a, b], tolerance_s=0.05) == []
+
+    def test_tie_judged_under_task_label(self):
+        # Same *speaker* on both sides of the tie: ambiguous for the
+        # emotion task, resolvable for the speaker-ID task.
+        corpus = build_tess(words_per_emotion=1)
+        speaker = sorted(corpus.speakers)[0]
+        a = event("happy", 0.0, 1.0, speaker=speaker, uid="a")
+        b = event("sad", 1.0, 2.0, speaker=speaker, uid="b")
+        labelled = label_regions_for_task(
+            [region_at(1.0)], [a, b], corpus, task="speaker-id", tolerance_s=0.05
+        )
+        assert [label for _, label in labelled] == [speaker]
+
+
+class TestTaskLabels:
+    def test_label_regions_for_task_gender(self):
+        corpus = build_tess(words_per_emotion=1)
+        speaker = sorted(corpus.speakers)[0]
+        events = [event("happy", 0.0, 1.0, speaker=speaker)]
+        labelled = label_regions_for_task(
+            [region_at(0.5)], events, corpus, task="gender"
+        )
+        assert [label for _, label in labelled] == [
+            corpus.speaker_gender(speaker)
+        ]
+
+    def test_unknown_task_rejected(self):
+        corpus = build_tess(words_per_emotion=1)
+        with pytest.raises(ValueError, match="unknown task"):
+            label_regions_for_task([], [], corpus, task="astrology")
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            match_regions([], [], tolerance_s=-0.1)

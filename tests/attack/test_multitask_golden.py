@@ -1,0 +1,202 @@
+"""Golden parity: the multi-task label plane must not move emotion bytes.
+
+The fixtures under ``tests/attack/fixtures/`` were generated *before*
+the task dimension existed. The emotion task (the default) must stay
+byte-identical — features, spectrograms, labels, cache keys — across
+both collection protocols, and the re-label layer must serve secondary
+tasks without a single extra render or transmit.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.attack.engine import (
+    CollectionCache,
+    _default_detector,
+    collect_datasets,
+    collection_key,
+)
+from repro.datasets import build_savee, build_tess
+from repro.obs import metrics
+from repro.phone.channel import VibrationChannel
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: The exact cache key the SAVEE fixture was collected under; pinned so a
+#: key-schema change that would silently cold every existing emotion
+#: cache fails loudly here.
+SAVEE_GOLDEN_KEY = "savee-oneplus7t-table_top-420hz-s0-a774c7aec7cb1e93"
+
+
+def _savee_setup():
+    corpus = build_savee().subsample(per_class=3, seed=0)
+    channel = VibrationChannel("oneplus7t")
+    return corpus, channel
+
+
+def _handheld_setup():
+    corpus = build_tess(words_per_emotion=2, seed=123)
+    channel = VibrationChannel(
+        "oneplus7t", mode="ear_speaker", placement="handheld"
+    )
+    return corpus, channel
+
+
+def _assert_matches_fixture(result, fixture):
+    assert result.features.X.tobytes() == fixture["X"].tobytes()
+    assert result.features.y.tolist() == fixture["y_features"].tolist()
+    assert result.spectrograms.images.tobytes() == fixture["images"].tobytes()
+    assert result.spectrograms.y.tolist() == fixture["y_images"].tolist()
+    assert result.features.n_played == int(fixture["n_played"])
+
+
+class TestEmotionParity:
+    def test_savee_tabletop_byte_identical(self):
+        fixture = np.load(os.path.join(FIXTURES, "golden_multitask_emotion_savee.npz"))
+        corpus, channel = _savee_setup()
+        result = collect_datasets(corpus, channel, seed=0)
+        _assert_matches_fixture(result, fixture)
+
+    def test_savee_explicit_emotion_task_identical(self):
+        fixture = np.load(os.path.join(FIXTURES, "golden_multitask_emotion_savee.npz"))
+        corpus, channel = _savee_setup()
+        result = collect_datasets(corpus, channel, seed=0, task="emotion")
+        _assert_matches_fixture(result, fixture)
+
+    def test_handheld_continuous_byte_identical(self):
+        fixture = np.load(
+            os.path.join(FIXTURES, "golden_multitask_emotion_handheld.npz")
+        )
+        corpus, channel = _handheld_setup()
+        result = collect_datasets(corpus, channel, seed=0)
+        _assert_matches_fixture(result, fixture)
+
+
+def _key(corpus, channel, **kwargs):
+    detector = _default_detector(channel)
+    return collection_key(
+        corpus, channel, corpus.specs, detector, False, 0, **kwargs
+    )
+
+
+class TestCacheKeys:
+    def test_emotion_key_unchanged_from_fixture(self):
+        fixture = np.load(os.path.join(FIXTURES, "golden_multitask_emotion_savee.npz"))
+        corpus, channel = _savee_setup()
+        key = _key(corpus, channel)
+        assert key == str(fixture["key"])
+        assert key == SAVEE_GOLDEN_KEY
+
+    def test_emotion_task_key_is_the_base_key(self):
+        corpus, channel = _savee_setup()
+        base = _key(corpus, channel)
+        assert _key(corpus, channel, task="emotion") == base
+
+    def test_secondary_task_keys_distinct_and_readable(self):
+        corpus, channel = _savee_setup()
+        base = _key(corpus, channel)
+        keys = {
+            task: _key(corpus, channel, task=task)
+            for task in ("speaker-id", "gender", "content-id")
+        }
+        for task, key in keys.items():
+            assert key != base
+            assert f"-{task}-" in key
+        assert len(set(keys.values())) == len(keys)
+
+
+class TestRelabelLayer:
+    def _counters(self):
+        m = metrics()
+        return {
+            name: m.counter_total(name)
+            for name in ("renders", "transmits", "cache.relabel_hits")
+        }
+
+    def test_secondary_task_served_without_new_physics(self):
+        corpus, channel = _savee_setup()
+        cache = CollectionCache()
+        emotion = collect_datasets(corpus, channel, seed=0, cache=cache)
+
+        before = self._counters()
+        speaker = collect_datasets(
+            corpus, channel, seed=0, cache=cache, task="speaker-id"
+        )
+        after = self._counters()
+
+        assert after["renders"] == before["renders"]
+        assert after["transmits"] == before["transmits"]
+        assert after["cache.relabel_hits"] == before["cache.relabel_hits"] + 1
+
+        # Same physics, different labels: feature rows are identical,
+        # labels come from the speaker roster.
+        assert speaker.features.X.tobytes() == emotion.features.X.tobytes()
+        assert set(speaker.features.y) <= set(corpus.speakers)
+        assert set(speaker.features.y) != set(emotion.features.y)
+
+    def test_relabel_result_matches_fresh_collection(self):
+        corpus, channel = _savee_setup()
+        cache = CollectionCache()
+        collect_datasets(corpus, channel, seed=0, cache=cache)
+        relabelled = collect_datasets(
+            corpus, channel, seed=0, cache=cache, task="gender"
+        )
+        fresh = collect_datasets(corpus, channel, seed=0, task="gender")
+        assert relabelled.features.X.tobytes() == fresh.features.X.tobytes()
+        assert relabelled.features.y.tolist() == fresh.features.y.tolist()
+        assert (
+            relabelled.spectrograms.images.tobytes()
+            == fresh.spectrograms.images.tobytes()
+        )
+        assert relabelled.spectrograms.y.tolist() == fresh.spectrograms.y.tolist()
+
+    def test_relabel_works_for_continuous_protocol(self):
+        corpus, channel = _handheld_setup()
+        cache = CollectionCache()
+        collect_datasets(corpus, channel, seed=0, cache=cache)
+        before = self._counters()
+        speaker = collect_datasets(
+            corpus, channel, seed=0, cache=cache, task="speaker-id"
+        )
+        after = self._counters()
+        assert after["renders"] == before["renders"]
+        assert after["transmits"] == before["transmits"]
+        assert set(speaker.features.y) <= set(corpus.speakers)
+
+    def test_task_result_registered_under_task_key(self):
+        corpus, channel = _savee_setup()
+        cache = CollectionCache()
+        collect_datasets(corpus, channel, seed=0, cache=cache)
+        first = collect_datasets(
+            corpus, channel, seed=0, cache=cache, task="speaker-id"
+        )
+        hits_before = cache.hits
+        second = collect_datasets(
+            corpus, channel, seed=0, cache=cache, task="speaker-id"
+        )
+        assert second is first
+        assert cache.hits == hits_before + 1
+
+
+class TestPropertyPerTaskLabels:
+    """Property tests: per-task labels drawn from the task inventory."""
+
+    @pytest.mark.parametrize("task", ["emotion", "speaker-id", "gender"])
+    def test_labels_subset_of_task_inventory(self, task):
+        corpus, channel = _savee_setup()
+        result = collect_datasets(corpus, channel, seed=0, task=task)
+        inventory = set(corpus.task_inventory(task))
+        assert set(result.features.y) <= inventory
+        assert set(result.spectrograms.y) <= inventory
+
+    def test_speaker_labels_align_with_specs(self):
+        corpus, channel = _savee_setup()
+        emotion = collect_datasets(corpus, channel, seed=0)
+        speaker = collect_datasets(corpus, channel, seed=0, task="speaker-id")
+        # Per-utterance rows keep spec order, so each (emotion, speaker)
+        # row pair must correspond to a spec with both attributes.
+        pairs = set(zip(emotion.features.y.tolist(), speaker.features.y.tolist()))
+        legal = {(s.emotion, s.speaker_id) for s in corpus.specs}
+        assert pairs <= legal

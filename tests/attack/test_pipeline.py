@@ -113,8 +113,9 @@ class TestEmoLeakAttack:
 
 class TestScenarios:
     def test_catalogue_size(self):
-        # 2 (Table III) + 1 (IV) + 5 (V) + 3 (VI) = 11 canonical cells.
-        assert len(SCENARIOS) == 11
+        # 2 (Table III) + 1 (IV) + 5 (V) + 3 (VI) = 11 canonical cells,
+        # plus the 3 sibling-attack heads (speaker/gender/content).
+        assert len(SCENARIOS) == 14
 
     def test_loudspeaker_paired_with_tabletop(self):
         for scenario in SCENARIOS.values():

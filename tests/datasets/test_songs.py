@@ -1,0 +1,92 @@
+"""Tests for the song-clip corpus feeding the content-ID attack."""
+
+import pytest
+
+from repro.datasets import build_songs
+from repro.datasets.base import UtteranceSpec
+from repro.speech.music import SONGS, song_names
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_songs(clips_per_song=4)
+
+
+class TestBuild:
+    def test_full_catalogue_by_default(self, corpus):
+        assert set(corpus.speakers) == set(song_names())
+        assert len(corpus.specs) == 4 * len(SONGS)
+
+    def test_song_subset(self):
+        sub = build_songs(clips_per_song=2, songs=["pop-100", "dnb-150"])
+        assert set(corpus_songs(sub)) == {"pop-100", "dnb-150"}
+        assert len(sub.specs) == 4
+
+    def test_unknown_song_rejected(self):
+        with pytest.raises(ValueError, match="unknown songs"):
+            build_songs(songs=["pop-100", "freebird"])
+
+    def test_bad_clip_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_songs(clips_per_song=0)
+
+    def test_build_is_deterministic(self):
+        a = build_songs(clips_per_song=3)
+        b = build_songs(clips_per_song=3)
+        assert [s.seed for s in a.specs] == [s.seed for s in b.specs]
+
+
+class TestRender:
+    def test_render_deterministic(self, corpus):
+        spec = corpus.specs[0]
+        assert corpus.render(spec).tobytes() == corpus.render(spec).tobytes()
+
+    def test_render_batch_matches_per_spec(self, corpus):
+        specs = corpus.specs[:5]
+        batch = corpus.render_batch(specs)
+        for wave, spec in zip(batch, specs):
+            assert wave.tobytes() == corpus.render(spec).tobytes()
+
+    def test_unknown_song_spec_rejected(self, corpus):
+        spec = UtteranceSpec(
+            utterance_id="bogus", speaker_id="freebird",
+            emotion="neutral", seed=0,
+        )
+        with pytest.raises(KeyError):
+            corpus.render(spec)
+
+    def test_clip_duration(self, corpus):
+        wave = corpus.render(corpus.specs[0])
+        assert wave.shape == (int(round(corpus.clip_s * corpus.audio_fs)),)
+
+
+class TestTaskPlane:
+    def test_content_label_is_song_name(self, corpus):
+        for spec in corpus.specs[: len(SONGS)]:
+            assert corpus.task_label(spec, "content-id") == spec.speaker_id
+
+    def test_content_inventory_is_catalogue(self, corpus):
+        assert corpus.task_inventory("content-id") == song_names()
+
+    def test_no_gender_labels(self, corpus):
+        with pytest.raises(ValueError, match="no gender"):
+            corpus.speaker_gender("pop-100")
+
+    def test_subsample_is_per_song(self, corpus):
+        sub = corpus.subsample(per_class=2, seed=0)
+        counts = {}
+        for spec in sub.specs:
+            counts[spec.speaker_id] = counts.get(spec.speaker_id, 0) + 1
+        assert set(counts) == set(song_names())
+        assert set(counts.values()) == {2}
+
+    def test_subsample_deterministic(self, corpus):
+        a = corpus.subsample(per_class=2, seed=9)
+        b = corpus.subsample(per_class=2, seed=9)
+        assert [s.utterance_id for s in a.specs] == [
+            s.utterance_id for s in b.specs
+        ]
+
+
+def corpus_songs(corpus):
+    return {spec.speaker_id for spec in corpus.specs}

@@ -1,0 +1,165 @@
+"""Tests for the multi-task label plane and the shared spec validator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TASKS, build_savee, build_tess, resolve_task
+from repro.datasets.base import GENDER_F0_SPLIT_HZ, UtteranceSpec
+
+
+@pytest.fixture(scope="module")
+def tess():
+    return build_tess(words_per_emotion=2)
+
+
+@pytest.fixture(scope="module")
+def savee():
+    return build_savee()
+
+
+class TestResolveTask:
+    def test_canonical_names_pass_through(self):
+        for task in TASKS:
+            assert resolve_task(task) == task
+
+    def test_normalises_case_whitespace_underscores(self):
+        assert resolve_task(" Speaker_ID ") == "speaker-id"
+        assert resolve_task("CONTENT_ID") == "content-id"
+
+    def test_unknown_task_lists_available(self):
+        with pytest.raises(ValueError, match="available"):
+            resolve_task("age")
+
+
+class TestSharedValidator:
+    """Per-utterance and batched realisation reject bad specs identically."""
+
+    def _bad_speaker(self, corpus):
+        good = corpus.specs[0]
+        return UtteranceSpec(
+            utterance_id="bogus",
+            speaker_id="nobody",
+            emotion=good.emotion,
+            seed=0,
+        )
+
+    def _bad_emotion(self, corpus):
+        good = corpus.specs[0]
+        return UtteranceSpec(
+            utterance_id="bogus",
+            speaker_id=good.speaker_id,
+            emotion="smug",
+            seed=0,
+        )
+
+    def test_unknown_speaker_messages_identical(self, tess):
+        spec = self._bad_speaker(tess)
+        with pytest.raises(KeyError) as serial_err:
+            tess.render(spec)
+        with pytest.raises(KeyError) as batch_err:
+            tess.render_batch([spec])
+        assert str(serial_err.value) == str(batch_err.value)
+        assert "unknown speaker 'nobody'" in str(serial_err.value)
+
+    def test_bad_emotion_messages_identical(self, tess):
+        spec = self._bad_emotion(tess)
+        with pytest.raises(ValueError) as serial_err:
+            tess.render(spec)
+        with pytest.raises(ValueError) as batch_err:
+            tess.render_batch([spec])
+        assert str(serial_err.value) == str(batch_err.value)
+        assert "'smug'" in str(serial_err.value)
+
+    def test_batch_rejects_before_rendering_any(self, tess):
+        # The bad spec is last; validation must still fail the whole
+        # batch up front rather than after rendering the good ones.
+        specs = [tess.specs[0], self._bad_speaker(tess)]
+        with pytest.raises(KeyError):
+            tess.render_batch(specs)
+
+
+class TestTaskLabels:
+    def test_emotion_label_is_spec_emotion(self, tess):
+        spec = tess.specs[0]
+        assert tess.task_label(spec, "emotion") == spec.emotion
+
+    def test_speaker_label_is_spec_speaker(self, tess):
+        spec = tess.specs[0]
+        assert tess.task_label(spec, "speaker-id") == spec.speaker_id
+
+    def test_gender_follows_f0_split(self, tess, savee):
+        for corpus in (tess, savee):
+            for sid, voice in corpus.speakers.items():
+                expected = (
+                    "female" if voice.base_f0_hz > GENDER_F0_SPLIT_HZ else "male"
+                )
+                assert corpus.speaker_gender(sid) == expected
+
+    def test_savee_speakers_all_male(self, savee):
+        # SAVEE's roster is four male actors; the derived labels agree.
+        assert savee.task_inventory("gender") == ("male",)
+
+    def test_unknown_speaker_gender_raises(self, tess):
+        with pytest.raises(KeyError, match="unknown speaker"):
+            tess.speaker_gender("nobody")
+
+    def test_speech_corpus_has_no_content_labels(self, tess):
+        with pytest.raises(ValueError, match="content-id"):
+            tess.task_label(tess.specs[0], "content-id")
+
+    def test_task_inventories(self, tess):
+        assert tess.task_inventory("emotion") == tuple(tess.emotions)
+        assert tess.task_inventory("speaker-id") == tuple(sorted(tess.speakers))
+        assert set(tess.task_inventory("gender")) <= {"male", "female"}
+
+    def test_every_spec_labels_within_inventory(self, savee):
+        for task in ("emotion", "speaker-id", "gender"):
+            inventory = set(savee.task_inventory(task))
+            for spec in savee.specs[:40]:
+                assert savee.task_label(spec, task) in inventory
+
+
+class TestSubsampleStratification:
+    def test_round_robin_default_is_unchanged(self, savee):
+        # The default path must key/fixture-match the pre-task-plane
+        # behaviour exactly.
+        a = savee.subsample(per_class=3, seed=0)
+        b = savee.subsample(per_class=3, seed=0, stratify_speakers=True)
+        assert [s.utterance_id for s in a.specs] == [
+            s.utterance_id for s in b.specs
+        ]
+
+    def test_unstratified_is_deterministic_and_balanced(self, savee):
+        a = savee.subsample(per_class=3, seed=7, stratify_speakers=False)
+        b = savee.subsample(per_class=3, seed=7, stratify_speakers=False)
+        assert [s.utterance_id for s in a.specs] == [
+            s.utterance_id for s in b.specs
+        ]
+        counts = {}
+        for spec in a.specs:
+            counts[spec.emotion] = counts.get(spec.emotion, 0) + 1
+        assert set(counts.values()) == {3}
+
+    def test_unstratified_mixes_genders_on_mixed_roster(self):
+        # CREMA-D's roster lists all male speakers first; the random
+        # permutation must not inherit that ordering bias.
+        from repro.datasets import build_cremad
+
+        corpus = build_cremad()
+        sub = corpus.subsample(per_class=12, seed=0, stratify_speakers=False)
+        genders = {corpus.speaker_gender(s.speaker_id) for s in sub.specs}
+        assert genders == {"male", "female"}
+
+
+class TestGenderSplitConstant:
+    def test_split_is_between_typical_male_and_female_f0(self):
+        assert 100.0 < GENDER_F0_SPLIT_HZ < 200.0
+
+    def test_spearphone_alias_points_at_the_same_constant(self):
+        from repro.attack.spearphone import _GENDER_F0_SPLIT
+
+        assert _GENDER_F0_SPLIT == GENDER_F0_SPLIT_HZ
+
+    def test_voices_straddle_the_split(self, tess):
+        f0s = np.array([v.base_f0_hz for v in tess.speakers.values()])
+        assert f0s.min() < GENDER_F0_SPLIT_HZ or f0s.max() > GENDER_F0_SPLIT_HZ

@@ -9,7 +9,8 @@ from repro.parallel import ExecutorPool
 
 class TestTableDefinitions:
     def test_all_paper_tables_defined(self):
-        assert set(TABLE_DEFINITIONS) == {"III", "IV", "V", "VI"}
+        # The paper's four tables plus the sibling-attack comparison.
+        assert set(TABLE_DEFINITIONS) == {"III", "IV", "V", "VI", "ATTACKS"}
 
     def test_row_sets_match_paper(self):
         _, rows_iii = TABLE_DEFINITIONS["III"]

@@ -1,8 +1,9 @@
 """Smoke test: every canonical scenario runs end to end.
 
-Table-driven pass over all 11 scenario cells of Section V with small
-subsamples — guards the scenario registry, both collection modes, and
-both speaker/placement pairings against regressions in any substrate.
+Table-driven pass over every scenario cell (the paper tables plus the
+sibling-attack heads) with small subsamples — guards the scenario
+registry, both collection modes, both speaker/placement pairings and
+the per-task label plane against regressions in any substrate.
 """
 
 import pytest
@@ -16,15 +17,17 @@ from repro.eval.experiment import run_feature_experiment
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_scenario_smoke(name):
     scenario = SCENARIOS[name]
-    corpus = build_corpus(scenario.dataset).subsample(per_class=6, seed=1)
+    corpus = build_corpus(scenario.dataset).subsample(
+        per_class=6, seed=1, stratify_speakers=(scenario.task != "gender")
+    )
     channel = scenario.channel(seed=2)
-    attack = EmoLeakAttack(channel, seed=2)
+    attack = EmoLeakAttack(channel, seed=2, task=scenario.task)
     features = attack.collect_features(corpus)
 
-    # Collection produced usable, labelled data.
+    # Collection produced usable data labelled from the task inventory.
     assert features.X.shape[1] == 24
     assert features.X.shape[0] >= 0.4 * len(corpus)
-    assert set(features.y) <= set(corpus.emotions)
+    assert set(features.y) <= set(corpus.task_inventory(scenario.task))
 
     # A classifier trains and predicts over the full class set.
     result = run_feature_experiment(features, "random_forest", seed=0, fast=True)

@@ -1,0 +1,95 @@
+"""Tests for the periodic-source music model behind the content-ID attack."""
+
+import numpy as np
+import pytest
+
+from repro.speech.music import SONGS, MusicSynthesizer, SongSpec, song_names
+
+
+class TestSongSpec:
+    def test_catalogue_names_are_keys(self):
+        assert all(name == song.name for name, song in SONGS.items())
+        assert song_names() == tuple(sorted(SONGS))
+
+    def test_catalogue_fingerprints_distinct(self):
+        tempos = [song.tempo_bpm for song in SONGS.values()]
+        assert len(set(tempos)) == len(tempos)
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"tempo_bpm": 0.0}, "tempo_bpm"),
+            ({"root_hz": -1.0}, "root_hz"),
+            ({"brightness": 1.0}, "brightness"),
+            ({"pattern": (1.0, 0.0)}, "pattern"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        base = dict(name="x", tempo_bpm=120.0, root_hz=110.0)
+        base.update(kwargs)
+        with pytest.raises(ValueError, match=match):
+            SongSpec(**base)
+
+
+class TestMusicSynthesizer:
+    def test_rejects_low_sampling_rate(self):
+        with pytest.raises(ValueError):
+            MusicSynthesizer(fs=500.0)
+
+    def test_render_shape_and_range(self):
+        synth = MusicSynthesizer(fs=8000.0)
+        wave = synth.render(
+            SONGS["pop-100"], np.random.default_rng(0), duration_s=1.6
+        )
+        assert wave.shape == (int(round(1.6 * 8000.0)),)
+        assert np.all(np.abs(wave) <= 1.0)
+        assert np.sqrt(np.mean(wave**2)) > 0.01
+
+    def test_render_deterministic_given_seed(self):
+        synth = MusicSynthesizer(fs=8000.0)
+        a = synth.render(SONGS["dnb-150"], np.random.default_rng(42))
+        b = synth.render(SONGS["dnb-150"], np.random.default_rng(42))
+        assert a.tobytes() == b.tobytes()
+
+    def test_clips_of_one_song_vary(self):
+        synth = MusicSynthesizer(fs=8000.0)
+        a = synth.render(SONGS["rock-126"], np.random.default_rng(1))
+        b = synth.render(SONGS["rock-126"], np.random.default_rng(2))
+        assert a.tobytes() != b.tobytes()
+
+    def test_rejects_nonpositive_duration(self):
+        synth = MusicSynthesizer(fs=8000.0)
+        with pytest.raises(ValueError):
+            synth.render(SONGS["pop-100"], np.random.default_rng(0), duration_s=0.0)
+
+    def test_render_batch_matches_per_clip(self):
+        synth = MusicSynthesizer(fs=8000.0)
+        names = ["ballad-62", "dance-128", "punk-168"]
+        songs = [SONGS[n] for n in names]
+        batch = synth.render_batch(
+            songs, [np.random.default_rng(seed) for seed in (5, 6, 7)]
+        )
+        for wave, song, seed in zip(batch, songs, (5, 6, 7)):
+            reference = synth.render(song, np.random.default_rng(seed))
+            assert wave.tobytes() == reference.tobytes()
+
+    def test_tempo_fingerprint_survives_in_envelope(self):
+        # The beat-locked envelope should put the strongest low-frequency
+        # energy periodicity at (or near) the song's beat rate.
+        fs = 8000.0
+        synth = MusicSynthesizer(fs=fs)
+        song = SONGS["dance-128"]
+        wave = synth.render(
+            song, np.random.default_rng(0), duration_s=4.0, start_beat=0.0
+        )
+        envelope = np.abs(wave)
+        envelope -= envelope.mean()
+        spectrum = np.abs(np.fft.rfft(envelope))
+        freqs = np.fft.rfftfreq(len(envelope), d=1.0 / fs)
+        band = (freqs > 0.5) & (freqs < 6.0)
+        peak_hz = freqs[band][np.argmax(spectrum[band])]
+        beat_hz = song.tempo_bpm / 60.0
+        # The peak may land on the beat rate or its subdivision harmonic.
+        assert min(
+            abs(peak_hz - k * beat_hz) for k in (1, 2)
+        ) < 0.25
