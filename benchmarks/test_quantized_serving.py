@@ -1,0 +1,236 @@
+"""Quantised-serving benchmark: float32 vs int8 vs distilled-int8.
+
+Packs three variants of the same feature-CNN pipeline — the float32
+teacher, its post-training int8 quantisation, and an int8-quantised
+distilled student — registers them side by side, and fires the same
+request burst at each through the micro-batching server. The rollout
+premise of the quantised path is the acceptance gate: **the
+distilled-int8 variant must serve at >= 2x the float32 throughput
+while losing at most one accuracy point**, and the plain int8 variant
+must also stay within one point (its win is memory/bandwidth, not
+FLOPs, so it carries no throughput gate).
+
+A second test drives a canary rollout of the quantised variant under
+load: the deterministic counter split must land exactly on the
+configured fraction, and rolling back mid-burst must not drop a single
+accepted request.
+
+All numbers land in ``BENCH_9.json`` (override with
+``EMOLEAK_QUANT_BENCH_OUT``) so CI uploads the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import FeatureCNNClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.nn import distill_feature_cnn
+from repro.serve import (
+    InferenceServer,
+    ModelBundle,
+    ModelRegistry,
+    quantize_bundle,
+    save_bundle,
+    serve_burst,
+)
+
+from benchmarks._common import print_header
+
+N_CLASSES = 3
+N_FEATURES = 24
+N_REQUESTS = 256
+TEACHER_EPOCHS = 10
+STUDENT_WIDTH = 0.35
+CANARY_FRACTION = 0.25
+
+#: Filled by the tests, serialised to BENCH_9.json at session end.
+RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_artifact():
+    """Write the quantised-serving trajectory once every test reported."""
+    yield
+    path = os.environ.get("EMOLEAK_QUANT_BENCH_OUT", "BENCH_9.json")
+    payload = {
+        "schema": "emoleak/quantized-serving-bench/v1",
+        "numpy": np.__version__,
+        "n_requests": N_REQUESTS,
+        "student_width_scale": STUDENT_WIDTH,
+        "results": RESULTS,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\n[emoleak] wrote quantised serving trajectory to {path}")
+
+
+def _blobs(n_per_class=40, seed=0, noise_seed=None):
+    """Gaussian blobs; ``noise_seed`` draws held-out samples around the
+    SAME class centers (the train/eval split shares the distribution)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(N_CLASSES, N_FEATURES))
+    noise = np.random.default_rng(seed if noise_seed is None else noise_seed)
+    X = np.vstack(
+        [centers[i] + 0.5 * noise.normal(size=(n_per_class, N_FEATURES))
+         for i in range(N_CLASSES)]
+    )
+    y = np.repeat([f"emo{i}" for i in range(N_CLASSES)], n_per_class)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def variants(tmp_path_factory):
+    """Registry with bench@1 (float32), @1-int8, @1-distilled-int8."""
+    X, y = _blobs()
+    clf = LogisticRegression().fit(X, y)
+    teacher = FeatureCNNClassifier(
+        epochs=TEACHER_EPOCHS, width_scale=1.0, seed=0
+    ).fit(X, y)
+    float_bundle = ModelBundle.create(
+        "bench", "1", classifier=clf, cnn=teacher,
+        provenance={"source": "benchmarks/test_quantized_serving.py"},
+    )
+    student = distill_feature_cnn(
+        teacher, X, y, width_scale=STUDENT_WIDTH, epochs=TEACHER_EPOCHS,
+    )
+    student_bundle = ModelBundle.create(
+        "bench", "1-distilled", classifier=clf, cnn=student,
+        provenance={"distill_width": STUDENT_WIDTH},
+    )
+
+    root = tmp_path_factory.mktemp("bundles")
+    registry = ModelRegistry(max_loaded=8)
+    float_path = root / "bench-1"
+    save_bundle(float_bundle, float_path)
+    registry.register(float_path)
+    int8_path = root / "bench-1-int8.zip"
+    save_bundle(quantize_bundle(float_bundle, version="1-int8"), int8_path)
+    registry.register(int8_path)
+    dist_path = root / "bench-1-distilled-int8.zip"
+    save_bundle(
+        quantize_bundle(
+            student_bundle, version="1-distilled-int8",
+            variant="distilled-int8",
+        ),
+        dist_path,
+    )
+    registry.register(dist_path)
+    registry.set_default("bench", "1")
+    for ref in ("bench@1", "bench@1-int8", "bench@1-distilled-int8"):
+        registry.get(ref)  # warm the LRU so no burst pays the load
+    return registry
+
+
+def _request_rows():
+    return list(
+        np.random.default_rng(9).normal(0, 2.0, size=(N_REQUESTS, N_FEATURES))
+    )
+
+
+def _timed_burst(registry, ref: str):
+    rows = _request_rows()
+    with InferenceServer(
+        registry, model=ref, max_batch=32, max_linger_s=0.002,
+        max_queue=2 * N_REQUESTS, default_timeout_s=120.0,
+    ) as server:
+        t0 = time.perf_counter()
+        results = serve_burst(server, rows, timeout_s=120.0)
+        elapsed = time.perf_counter() - t0
+    assert all(r.ok for r in results), f"burst against {ref} had failures"
+    assert all(r.used == "cnn" for r in results), f"{ref} fell back off-CNN"
+    return elapsed, results
+
+
+def _accuracy(registry, ref: str) -> float:
+    X_eval, y_eval = _blobs(n_per_class=60, seed=0, noise_seed=42)
+    bundle = registry.get(ref)
+    return float(np.mean(bundle.predict(X_eval) == y_eval))
+
+
+class TestQuantizedThroughput:
+    def test_distilled_int8_clears_2x_with_1pp_accuracy(self, variants):
+        """The acceptance gate for the quantised rollout path."""
+        _timed_burst(variants, "bench@1")  # warm caches/workspaces
+
+        measured = {}
+        for ref in ("bench@1", "bench@1-int8", "bench@1-distilled-int8"):
+            seconds, _results = _timed_burst(variants, ref)
+            measured[ref] = {
+                "seconds": seconds,
+                "req_per_s": N_REQUESTS / seconds,
+                "accuracy": _accuracy(variants, ref),
+            }
+
+        float_stats = measured["bench@1"]
+        print_header("Quantised serving - throughput and accuracy by variant")
+        for ref, stats in measured.items():
+            speedup = stats["req_per_s"] / float_stats["req_per_s"]
+            print(
+                f"  {ref:28s} {stats['seconds']:7.3f} s  "
+                f"{stats['req_per_s']:8.1f} req/s  {speedup:5.2f}x  "
+                f"acc {stats['accuracy']:.4f}"
+            )
+            stats["speedup_vs_float32"] = speedup
+            stats["accuracy_drop"] = float_stats["accuracy"] - stats["accuracy"]
+        RESULTS["variant_burst"] = measured
+
+        for ref in ("bench@1-int8", "bench@1-distilled-int8"):
+            drop = measured[ref]["accuracy_drop"]
+            assert drop <= 0.01, (
+                f"{ref} lost {drop * 100:.2f} accuracy points (gate: 1pp)"
+            )
+        speedup = measured["bench@1-distilled-int8"]["speedup_vs_float32"]
+        assert speedup >= 2.0, (
+            f"distilled-int8 served at only {speedup:.2f}x the float32 "
+            f"throughput (gate: 2x)"
+        )
+
+
+class TestCanaryUnderLoad:
+    def test_fraction_exact_and_rollback_drops_nothing(self, variants):
+        """Canary split is exact under a full burst; rollback loses none."""
+        rows = _request_rows()
+        with InferenceServer(
+            variants, model="bench", max_batch=32, max_linger_s=0.002,
+            max_queue=2 * N_REQUESTS, default_timeout_s=120.0,
+        ) as server:
+            server.set_canary(
+                "bench", "1-distilled-int8", fraction=CANARY_FRACTION
+            )
+            results = serve_burst(server, rows, timeout_s=120.0)
+            status = server.canary_status("bench")
+            restored = server.rollback_canary("bench")
+            post = serve_burst(server, rows[:32], timeout_s=120.0)
+            accepted = server.requests_accepted
+            answered = server.requests_answered
+
+        routed = sum(r.model == "bench@1-distilled-int8" for r in results)
+        expected = int(N_REQUESTS * CANARY_FRACTION)
+        print_header("Quantised serving - canary rollout under load")
+        print(
+            f"  fraction {CANARY_FRACTION}: routed {routed}/{N_REQUESTS} "
+            f"(expected exactly {expected}); rollback -> default "
+            f"{restored!r}; {answered}/{accepted} answered"
+        )
+        RESULTS["canary_rollout"] = {
+            "fraction": CANARY_FRACTION,
+            "n_requests": N_REQUESTS,
+            "routed": routed,
+            "expected_routed": expected,
+            "rollback_default": restored,
+            "accepted": accepted,
+            "answered": answered,
+        }
+
+        assert all(r.ok for r in results) and all(r.ok for r in post)
+        assert routed == expected == status["routed"]
+        assert restored == "1"
+        assert all(r.model == "bench" for r in post)  # no candidate traffic
+        assert accepted == answered == N_REQUESTS + 32

@@ -9,7 +9,11 @@ SGD-momentum and Adam optimisers, and a
 that records per-epoch training/validation loss and accuracy (the
 history behind the paper's Fig. 7 curves). :mod:`repro.nn.policy`
 selects the compute dtype (float64 default / float32) and the conv
-kernel for the whole package.
+kernel for the whole package. :mod:`repro.nn.quant` adds the
+inference-only int8 path (post-training per-channel weight
+quantisation, BatchNorm-folded fused forward) and
+:mod:`repro.nn.distill` trains narrower students against teacher soft
+logits for the distilled-int8 serving variant.
 """
 
 from repro.nn.policy import (
@@ -38,6 +42,16 @@ from repro.nn.layers import (
 from repro.nn.optim import SGD, Adam
 from repro.nn.model import Sequential, History
 from repro.nn.callbacks import Callback, EarlyStopping, StepDecay
+from repro.nn.quant import (
+    quantize_weights,
+    dequantize_weights,
+    fuse_inference,
+    quantize_model,
+    quantize_adapter,
+    QuantizedSequential,
+    QuantizedCNNClassifier,
+)
+from repro.nn.distill import distill_feature_cnn, fit_soft_targets
 
 __all__ = [
     "PrecisionPolicy",
@@ -69,4 +83,13 @@ __all__ = [
     "Callback",
     "EarlyStopping",
     "StepDecay",
+    "quantize_weights",
+    "dequantize_weights",
+    "fuse_inference",
+    "quantize_model",
+    "quantize_adapter",
+    "QuantizedSequential",
+    "QuantizedCNNClassifier",
+    "distill_feature_cnn",
+    "fit_soft_targets",
 ]

@@ -1,0 +1,197 @@
+"""Logits distillation: train a small student CNN against a teacher.
+
+The serving throughput of the attack pipeline is bounded by the feature
+CNN's GEMM cost, which scales roughly with ``width_scale²``. A student
+at width 0.35–0.5 keeps most of the teacher's accuracy at a fraction of
+the FLOPs; quantising the student afterwards (:mod:`repro.nn.quant`)
+gives the ``distilled-int8`` bundle variant.
+
+Training minimises the classic Hinton soft-target objective: the
+cross-entropy between the teacher's temperature-softened distribution
+``P = softmax(z_teacher / T)`` and the student's ``q = softmax(z / T)``,
+scaled by ``T²`` so soft-gradient magnitudes stay comparable across
+temperatures, optionally mixed with the hard-label loss. The gradient
+with respect to the student logits is ``T·(q − P)/n``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.activations import softmax
+from repro.nn.model import History, Sequential
+from repro.nn.optim import Adam
+
+__all__ = ["soft_targets", "fit_soft_targets", "distill_feature_cnn"]
+
+
+def soft_targets(logits: np.ndarray, temperature: float) -> np.ndarray:
+    """The teacher's temperature-softened class distribution."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    return softmax(np.asarray(logits, dtype=np.float64) / temperature)
+
+
+def _soft_loss_grad(
+    logits: np.ndarray, P: np.ndarray, temperature: float
+) -> Tuple[float, np.ndarray]:
+    """Mean ``T²·CE(P, softmax(logits/T))`` and its gradient wrt logits."""
+    T = temperature
+    q = softmax(logits / T)
+    n = logits.shape[0]
+    loss = float(-np.sum(P * np.log(np.clip(q, 1e-12, None))) * T * T / n)
+    grad = (q - P) * (T / n)
+    return loss, grad
+
+
+def fit_soft_targets(
+    model: Sequential,
+    X: np.ndarray,
+    P: np.ndarray,
+    y_codes: Optional[np.ndarray] = None,
+    epochs: int = 20,
+    batch_size: int = 32,
+    optimizer=None,
+    temperature: float = 2.0,
+    hard_weight: float = 0.1,
+    shuffle_seed: int = 0,
+) -> History:
+    """Train ``model`` against soft targets ``P`` (teacher probabilities).
+
+    ``P`` must be the teacher's *temperature-T* distribution for the same
+    rows (see :func:`soft_targets`). When ``y_codes`` is given, the loss
+    mixes in ``hard_weight`` of the ordinary hard-label cross-entropy;
+    ``history.accuracy`` then tracks hard-label accuracy, otherwise
+    agreement with the teacher's argmax.
+    """
+    X = np.asarray(X)
+    P = np.asarray(P, dtype=np.float64)
+    if X.shape[0] != P.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but P has {P.shape[0]}")
+    if P.ndim != 2 or P.shape[1] != model.n_classes:
+        raise ValueError(
+            f"soft targets must be (n, {model.n_classes}), got {P.shape}"
+        )
+    if y_codes is None:
+        hard_weight = 0.0
+        targets = np.argmax(P, axis=1)
+    else:
+        y_codes = np.asarray(y_codes, dtype=int)
+        targets = y_codes
+    if not model._built:
+        model.build(X.shape[1:])
+    X = np.asarray(X, dtype=model._dtype)
+    optimizer = optimizer or Adam()
+    rng = np.random.default_rng(shuffle_seed)
+    history = History()
+    n = X.shape[0]
+    for _epoch in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        epoch_correct = 0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            logits = model._forward(X[idx], training=True)
+            loss, grad = _soft_loss_grad(logits, P[idx], temperature)
+            if hard_weight > 0.0:
+                hard_loss, proba = model.loss_fn.forward_codes(
+                    logits, targets[idx]
+                )
+                loss = (1.0 - hard_weight) * loss + hard_weight * hard_loss
+                grad = (1.0 - hard_weight) * grad + hard_weight * (
+                    model.loss_fn.backward()
+                )
+            epoch_loss += loss * idx.size
+            epoch_correct += int(
+                np.sum(np.argmax(logits, axis=1) == targets[idx])
+            )
+            model._backward(grad)
+            params, grads = model._params_grads()
+            optimizer.step(params, grads)
+        history.loss.append(epoch_loss / n)
+        history.accuracy.append(epoch_correct / n)
+    return history
+
+
+def distill_feature_cnn(
+    teacher,
+    X: np.ndarray,
+    y: np.ndarray,
+    width_scale: float = 0.4,
+    temperature: float = 2.0,
+    hard_weight: float = 0.1,
+    epochs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    lr: Optional[float] = None,
+    seed: Optional[int] = None,
+):
+    """Distill a fitted feature-CNN teacher into a narrower student.
+
+    Returns a fitted :class:`~repro.eval.experiment.FeatureCNNClassifier`
+    that shares the teacher's scaler and label inventory, so it packs,
+    serves and quantises exactly like the teacher. ``X``/``y`` are the
+    raw (unscaled) training features and labels — normally the teacher's
+    own training set.
+    """
+    from repro.attack.models import build_feature_cnn
+    from repro.eval.experiment import FeatureCNNClassifier
+
+    if not isinstance(teacher, FeatureCNNClassifier):
+        raise TypeError(
+            f"expected a fitted FeatureCNNClassifier, got {type(teacher).__name__}"
+        )
+    teacher._check_fitted()
+    if not 0.0 < width_scale <= 1.0:
+        raise ValueError("width_scale must be in (0, 1]")
+    epochs = teacher.epochs if epochs is None else int(epochs)
+    batch_size = teacher.batch_size if batch_size is None else int(batch_size)
+    lr = teacher.lr if lr is None else float(lr)
+    seed = teacher.seed if seed is None else int(seed)
+
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    index = {label: i for i, label in enumerate(teacher.classes_)}
+    try:
+        codes = np.array([index[label] for label in y], dtype=int)
+    except KeyError as exc:
+        raise ValueError(
+            f"label {exc.args[0]!r} not in the teacher's class inventory"
+        ) from exc
+
+    Xs = teacher._scaler.transform(X)[..., None]
+    teacher_logits = teacher._model._forward_batched(
+        np.asarray(Xs, dtype=teacher._model._dtype)
+    )
+    P = soft_targets(teacher_logits, temperature)
+
+    student_model = build_feature_cnn(
+        teacher.classes_.size, width_scale=width_scale, seed=seed
+    )
+    history = fit_soft_targets(
+        student_model,
+        Xs,
+        P,
+        y_codes=codes,
+        epochs=epochs,
+        batch_size=batch_size,
+        optimizer=Adam(lr=lr),
+        temperature=temperature,
+        hard_weight=hard_weight,
+        shuffle_seed=seed,
+    )
+
+    student = FeatureCNNClassifier(
+        epochs=epochs,
+        batch_size=batch_size,
+        width_scale=width_scale,
+        validation_fraction=teacher.validation_fraction,
+        lr=lr,
+        seed=seed,
+    )
+    student.classes_ = teacher.classes_.copy()
+    student._scaler = teacher._scaler
+    student._model = student_model
+    student.history_ = history
+    return student

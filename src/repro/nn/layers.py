@@ -141,6 +141,15 @@ class Dense(Layer):
         return (self.units,)
 
     def forward(self, x, training):
+        if get_policy().conv_kernel == "quantized":
+            if training:
+                raise RuntimeError(
+                    "the quantized kernel is inference-only; train under "
+                    "'gemm' or 'reference' and quantize afterwards"
+                )
+            from repro.nn.quant import dense_forward_quantized
+
+            return dense_forward_quantized(self.W, self.b, x)
         self._x = x
         return x @ self.W + self.b
 
@@ -267,11 +276,22 @@ class _ConvBase(Layer):
         self._fwd_kernel = kernel  # backward must match the forward's cache
         if kernel == "reference":
             return self._forward_reference(x, training)
+        if kernel == "quantized":
+            if training:
+                raise RuntimeError(
+                    "the quantized kernel is inference-only; train under "
+                    "'gemm' or 'reference' and quantize afterwards"
+                )
+            from repro.nn.quant import conv_forward_quantized
+
+            return conv_forward_quantized(self, x)
         return self._forward_gemm(x, training)
 
     def backward(self, grad):
         if self._fwd_kernel == "reference":
             return self._backward_reference(grad)
+        if self._fwd_kernel == "quantized":
+            raise RuntimeError("the quantized kernel has no backward pass")
         return self._backward_gemm(grad)
 
 

@@ -7,9 +7,12 @@ Two knobs steer every layer built after the policy is set:
   numerics; ``float32`` roughly halves memory traffic and doubles BLAS
   throughput at the cost of bitwise determinism across BLAS builds);
 - ``conv_kernel`` — the convolution implementation: ``"gemm"``
-  (im2col + one matrix multiply per direction, the default) or
+  (im2col + one matrix multiply per direction, the default),
   ``"reference"`` (the original kernel-offset summation, kept as the
-  numerical reference the GEMM path is parity-tested against).
+  numerical reference the GEMM path is parity-tested against), or
+  ``"quantized"`` (inference-only int8 weight/activation matmul with
+  float32 accumulate — see :mod:`repro.nn.quant`; training under this
+  kernel raises).
 
 The policy is process-wide and read at ``build``/``forward`` time;
 :func:`policy_scope` scopes a change to a ``with`` block (used by the
@@ -39,8 +42,10 @@ __all__ = [
 #: Allowed compute dtypes, by CLI name.
 COMPUTE_DTYPES = {"float32": np.dtype(np.float32), "float64": np.dtype(np.float64)}
 
-#: Allowed convolution kernel implementations.
-CONV_KERNELS = ("gemm", "reference")
+#: Allowed convolution kernel implementations. "quantized" is the
+#: inference-only int8 path (repro.nn.quant); it quantises weights per
+#: output channel on the fly and refuses to train.
+CONV_KERNELS = ("gemm", "reference", "quantized")
 
 
 def _coerce_dtype(value: Union[str, np.dtype, type]) -> np.dtype:

@@ -7,7 +7,12 @@ hash-verified ``name@version`` artifact; :mod:`repro.serve.registry`
 loads, warm-caches and hot-swaps those artifacts; and
 :mod:`repro.serve.server` answers feature-vector and raw-window
 prediction requests through micro-batches with bounded queues,
-deadlines and CNN-to-classifier degrade. :mod:`repro.serve.stream`
+deadlines and CNN-to-classifier degrade. Bundles come in quantised
+variants (``int8``, ``distilled-int8`` via :mod:`repro.nn.quant` /
+:mod:`repro.nn.distill`) with manifest provenance, ship as delta
+archives against a registered parent, and roll out gradually through
+the server's canary/shadow routing (promote/rollback over the
+registry's hot-swap default). :mod:`repro.serve.stream`
 connects the :mod:`repro.attack.realtime` front end so a raw
 accelerometer stream is served end-to-end.
 
@@ -27,13 +32,17 @@ from repro.serve.admission import (
 )
 from repro.serve.bundle import (
     BUNDLE_FORMAT_VERSION,
+    BUNDLE_VARIANTS,
     BundleError,
     BundleFormatError,
     BundleIntegrityError,
     BundleManifest,
     ModelBundle,
     load_bundle,
+    manifest_sha256,
+    quantize_bundle,
     save_bundle,
+    save_delta_bundle,
     verify_bundle,
 )
 from repro.serve.frontend import (
@@ -80,9 +89,13 @@ __all__ = [
     "ServerOverloaded",
     "ServerStopped",
     "StreamServingClient",
+    "BUNDLE_VARIANTS",
     "load_bundle",
+    "manifest_sha256",
     "parse_ref",
+    "quantize_bundle",
     "save_bundle",
+    "save_delta_bundle",
     "serve_burst",
     "verify_bundle",
 ]

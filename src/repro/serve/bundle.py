@@ -24,6 +24,19 @@ parsing a single byte of model data — a tampered or truncated bundle is
 rejected with :class:`BundleIntegrityError` and never instantiates a
 model. Unknown format versions and classifier kinds are rejected just
 as loudly (:class:`BundleFormatError`).
+
+Bundles come in *variants* (``float32`` — the default float pipeline,
+``int8`` — the same CNN post-training-quantised via
+:mod:`repro.nn.quant`, ``distilled-int8`` — a distilled student CNN,
+quantised). Non-float variants carry their quantisation metadata
+(per-layer scale summaries) and a ``parent`` provenance pointer — the
+ref and manifest SHA-256 of the bundle they were derived from — in the
+manifest. :func:`quantize_bundle` derives an int8 variant from a loaded
+float bundle; :func:`save_delta_bundle` writes a *delta* archive that
+ships only the members that changed against a parent bundle (the
+manifest still lists the full member set with hashes, so
+:func:`verify_bundle` proves integrity of the merged bundle — parent
+bytes included — against the child manifest before anything is parsed).
 """
 
 from __future__ import annotations
@@ -35,7 +48,7 @@ import time
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -51,6 +64,7 @@ from repro.nn.policy import get_policy, policy_scope
 
 __all__ = [
     "BUNDLE_FORMAT_VERSION",
+    "BUNDLE_VARIANTS",
     "BundleError",
     "BundleFormatError",
     "BundleIntegrityError",
@@ -59,10 +73,22 @@ __all__ = [
     "save_bundle",
     "load_bundle",
     "verify_bundle",
+    "manifest_sha256",
+    "quantize_bundle",
+    "read_manifest",
+    "save_delta_bundle",
 ]
 
 #: Current on-disk bundle layout version. Readers refuse anything else.
 BUNDLE_FORMAT_VERSION = 1
+
+#: Known bundle variants. ``float32`` is the historical default and is
+#: left implicit in manifests written before (and after) this field
+#: existed, so float bundles stay byte-identical.
+BUNDLE_VARIANTS = ("float32", "int8", "distilled-int8")
+
+#: Longest delta-bundle parent chain a reader will follow.
+DELTA_CHAIN_LIMIT = 8
 
 MANIFEST_MEMBER = "manifest.json"
 CLASSIFIER_MEMBER = "classifier.json"
@@ -102,14 +128,34 @@ class BundleManifest:
     nn_policy: Dict[str, str] = field(default_factory=dict)
     created_unix: float = 0.0
     members: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Bundle variant; "float32" (the implicit default) is not emitted,
+    #: so pre-variant manifests round-trip byte-identically.
+    variant: str = "float32"
+    #: Quantisation metadata (scheme, qmax, per-layer scale summary).
+    quantization: Dict[str, object] = field(default_factory=dict)
+    #: Provenance pointer to the bundle this one was derived from:
+    #: ``{"ref": ..., "manifest_sha256": ...}``.
+    parent: Dict[str, object] = field(default_factory=dict)
+    #: Present only on delta archives: the parent whose member bytes
+    #: complete this bundle, pinned by its manifest hash.
+    delta_base: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ref(self) -> str:
         """The bundle's registry address, ``name@version``."""
         return f"{self.name}@{self.version}"
 
+    def lineage(self) -> List[Dict[str, object]]:
+        """The provenance chain recorded in this manifest, nearest first."""
+        out: List[Dict[str, object]] = []
+        if self.parent:
+            out.append(dict(self.parent))
+        if self.delta_base and self.delta_base != self.parent:
+            out.append(dict(self.delta_base))
+        return out
+
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "format_version": self.format_version,
             "name": self.name,
             "version": self.version,
@@ -120,6 +166,17 @@ class BundleManifest:
             "created_unix": self.created_unix,
             "members": {k: dict(v) for k, v in self.members.items()},
         }
+        # Variant fields are emitted only when non-default so float32
+        # manifests (and their golden fixtures) stay byte-identical.
+        if self.variant != "float32":
+            payload["variant"] = self.variant
+        if self.quantization:
+            payload["quantization"] = dict(self.quantization)
+        if self.parent:
+            payload["parent"] = dict(self.parent)
+        if self.delta_base:
+            payload["delta_base"] = dict(self.delta_base)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict, source: str) -> "BundleManifest":
@@ -149,6 +206,10 @@ class BundleManifest:
                     str(k): dict(v)
                     for k, v in dict(payload.get("members", {})).items()
                 },
+                variant=str(payload.get("variant", "float32")),
+                quantization=dict(payload.get("quantization", {})),
+                parent=dict(payload.get("parent", {})),
+                delta_base=dict(payload.get("delta_base", {})),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise BundleFormatError(f"{source}: malformed manifest: {exc}") from exc
@@ -157,7 +218,12 @@ class BundleManifest:
 # -- CNN adapter (de)serialisation ------------------------------------------
 
 #: kind tag -> (adapter class path resolved lazily, builder name)
-_CNN_KINDS = ("feature_cnn", "spectrogram_cnn")
+_CNN_KINDS = (
+    "feature_cnn",
+    "spectrogram_cnn",
+    "quantized_feature_cnn",
+    "quantized_spectrogram_cnn",
+)
 
 
 def _cnn_adapter_classes():
@@ -170,20 +236,67 @@ def _cnn_adapter_classes():
 
 
 def _cnn_kind_of(adapter) -> str:
+    from repro.nn.quant import QuantizedCNNClassifier
+
+    if isinstance(adapter, QuantizedCNNClassifier):
+        return f"quantized_{adapter.base_kind}"
     classes = _cnn_adapter_classes()
     for kind, cls in classes.items():
         if isinstance(adapter, cls):
             return kind
     raise TypeError(
         f"cannot package {type(adapter).__name__} as a bundle CNN; "
-        f"supported: {sorted(c.__name__ for c in classes.values())}"
+        f"supported: {sorted(c.__name__ for c in classes.values())} "
+        "and QuantizedCNNClassifier"
+    )
+
+
+def _quantized_cnn_to_members(adapter) -> Tuple[dict, bytes]:
+    from repro.nn.quant import quantized_model_to_members
+
+    model_config, weights = quantized_model_to_members(adapter.qmodel)
+    config = {
+        "kind": f"quantized_{adapter.base_kind}",
+        "classes": np.asarray(adapter.classes_).tolist(),
+        "model": model_config,
+    }
+    if adapter.base_kind == "feature_cnn":
+        config["scaler"] = scaler_to_dict(adapter._scaler)
+    return config, weights
+
+
+def _quantized_cnn_from_members(config: dict, weights: bytes, source: str):
+    from repro.nn.quant import (
+        QuantizedCNNClassifier,
+        quantized_model_from_members,
+    )
+
+    base_kind = str(config["kind"]).removeprefix("quantized_")
+    try:
+        qmodel = quantized_model_from_members(
+            dict(config["model"]), weights, source=source
+        )
+    except (KeyError, ValueError) as exc:
+        raise BundleFormatError(
+            f"{source}: bad quantised CNN members: {exc}"
+        ) from exc
+    scaler = (
+        scaler_from_dict(config["scaler"]) if base_kind == "feature_cnn" else None
+    )
+    return QuantizedCNNClassifier(
+        qmodel,
+        classes=np.asarray(config["classes"]),
+        base_kind=base_kind,
+        scaler=scaler,
     )
 
 
 def _cnn_to_members(adapter) -> Tuple[dict, bytes]:
     """Serialise a fitted CNN adapter to (config dict, weights-npz bytes)."""
-    adapter._check_fitted()
     kind = _cnn_kind_of(adapter)
+    if kind.startswith("quantized_"):
+        return _quantized_cnn_to_members(adapter)
+    adapter._check_fitted()
     model = adapter._model
     policy = get_policy()
     config = {
@@ -207,6 +320,8 @@ def _cnn_to_members(adapter) -> Tuple[dict, bytes]:
 def _cnn_from_members(config: dict, weights: bytes, source: str):
     """Rebuild a CNN adapter from its bundle members."""
     kind = config.get("kind")
+    if kind in ("quantized_feature_cnn", "quantized_spectrogram_cnn"):
+        return _quantized_cnn_from_members(config, weights, source)
     classes = _cnn_adapter_classes()
     if kind not in classes:
         raise BundleFormatError(
@@ -383,6 +498,22 @@ def _is_zip_path(path: Path) -> bool:
     return path.suffix.lower() == ".zip"
 
 
+def _manifest_bytes(manifest: BundleManifest) -> bytes:
+    """The canonical on-disk encoding of a manifest."""
+    return json.dumps(manifest.to_dict(), indent=2).encode()
+
+
+def manifest_sha256(manifest: BundleManifest) -> str:
+    """SHA-256 of the manifest's canonical bytes (the provenance pin).
+
+    Equals the hash of the ``manifest.json`` written by
+    :func:`save_bundle` for the same (stamped) manifest, so a parent
+    pointer recorded at derivation time can be checked against the
+    parent artifact on disk at load time.
+    """
+    return _sha256(_manifest_bytes(manifest))
+
+
 def save_bundle(bundle: ModelBundle, path: _PathLike) -> BundleManifest:
     """Write a bundle to ``path`` (a directory, or a ``.zip`` archive).
 
@@ -398,7 +529,10 @@ def save_bundle(bundle: ModelBundle, path: _PathLike) -> BundleManifest:
         name: {"sha256": _sha256(data), "bytes": len(data)}
         for name, data in sorted(members.items())
     }
-    manifest_bytes = json.dumps(bundle.manifest.to_dict(), indent=2).encode()
+    # A full save is self-contained: never carry a delta pin over from a
+    # bundle that was loaded through a delta chain.
+    bundle.manifest.delta_base = {}
+    manifest_bytes = _manifest_bytes(bundle.manifest)
     if _is_zip_path(path):
         path.parent.mkdir(parents=True, exist_ok=True)
         with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as zf:
@@ -411,6 +545,139 @@ def save_bundle(bundle: ModelBundle, path: _PathLike) -> BundleManifest:
         for name, data in members.items():
             (path / name).write_bytes(data)
     return bundle.manifest
+
+
+def save_delta_bundle(
+    bundle: ModelBundle, path: _PathLike, parent: BundleManifest
+) -> BundleManifest:
+    """Write a *delta* archive shipping only members changed vs ``parent``.
+
+    The child manifest still declares the **full** member set with
+    hashes; the archive body contains just the members whose bytes
+    differ from (or do not exist in) the parent, plus a ``delta_base``
+    pointer pinning the parent by ref and manifest SHA-256. A reader
+    needs the parent artifact (via ``parent_resolver``) to materialise
+    the bundle, and every byte — parent-sourced or shipped — is verified
+    against the child manifest before parsing.
+    """
+    path = Path(path)
+    if not parent.members:
+        raise BundleError(
+            f"parent manifest {parent.ref} has no stamped member hashes; "
+            "save or load the parent bundle first"
+        )
+    members = _bundle_members(bundle)
+    if not members:
+        raise BundleError("refusing to save an empty bundle (no predictors)")
+    bundle.manifest.members = {
+        name: {"sha256": _sha256(data), "bytes": len(data)}
+        for name, data in sorted(members.items())
+    }
+    bundle.manifest.delta_base = {
+        "ref": parent.ref,
+        "manifest_sha256": manifest_sha256(parent),
+    }
+    changed = {
+        name: data
+        for name, data in members.items()
+        if str(parent.members.get(name, {}).get("sha256"))
+        != bundle.manifest.members[name]["sha256"]
+    }
+    manifest_bytes = _manifest_bytes(bundle.manifest)
+    if _is_zip_path(path):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as zf:
+            zf.writestr(MANIFEST_MEMBER, manifest_bytes)
+            for name, data in sorted(changed.items()):
+                zf.writestr(name, data)
+    else:
+        path.mkdir(parents=True, exist_ok=True)
+        (path / MANIFEST_MEMBER).write_bytes(manifest_bytes)
+        for name, data in changed.items():
+            (path / name).write_bytes(data)
+    return bundle.manifest
+
+
+def quantize_bundle(
+    bundle: ModelBundle,
+    version: str,
+    variant: str = "int8",
+    name: Optional[str] = None,
+) -> ModelBundle:
+    """Derive an ``int8``/``distilled-int8`` variant from a float bundle.
+
+    The CNN is fused (BatchNorm folded) and weight-quantised via
+    :mod:`repro.nn.quant`; the fallback classifier and scaler are
+    carried over unchanged. The new manifest records the variant, the
+    per-layer quantisation summary, and a ``parent`` provenance pointer
+    to ``bundle`` (pinned by manifest hash when the source manifest has
+    stamped members).
+    """
+    from repro.nn.quant import QMAX, quantize_adapter
+
+    if variant not in ("int8", "distilled-int8"):
+        raise BundleError(
+            f"unknown quantised variant {variant!r}; "
+            f"expected one of {BUNDLE_VARIANTS[1:]}"
+        )
+    if bundle.cnn is None:
+        raise BundleError(
+            f"bundle {bundle.manifest.ref} packs no CNN to quantise"
+        )
+    quantized = quantize_adapter(bundle.cnn)
+    derived = ModelBundle.create(
+        name=name if name is not None else bundle.manifest.name,
+        version=version,
+        classifier=bundle.classifier,
+        cnn=quantized,
+        scaler=bundle.scaler,
+        provenance=dict(bundle.manifest.provenance),
+        feature_schema=list(bundle.manifest.feature_schema),
+    )
+    derived.manifest.variant = variant
+    derived.manifest.quantization = {
+        "scheme": "symmetric-per-output-channel",
+        "qmax": QMAX,
+        "weight_dtype": "int8",
+        "scale_dtype": "float32",
+        "layers": quantized.quantization_summary(),
+    }
+    parent_pointer: Dict[str, object] = {"ref": bundle.manifest.ref}
+    if bundle.manifest.members:
+        parent_pointer["manifest_sha256"] = manifest_sha256(bundle.manifest)
+    derived.manifest.parent = parent_pointer
+    return derived
+
+
+def read_manifest(path: _PathLike) -> BundleManifest:
+    """The manifest of a bundle artifact, WITHOUT integrity verification.
+
+    For introspection only (e.g. learning a delta parent's ref before
+    resolution); never parse model members based on this alone.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no bundle at {path}")
+    if _is_zip_path(path) or path.is_file():
+        try:
+            with zipfile.ZipFile(path) as zf:
+                manifest_bytes = zf.read(MANIFEST_MEMBER)
+        except (zipfile.BadZipFile, KeyError) as exc:
+            raise BundleIntegrityError(
+                f"{path}: cannot read {MANIFEST_MEMBER}: {exc}"
+            ) from exc
+    else:
+        member = path / MANIFEST_MEMBER
+        if not member.is_file():
+            raise BundleIntegrityError(f"{path}: bundle has no {MANIFEST_MEMBER}")
+        manifest_bytes = member.read_bytes()
+    try:
+        payload = json.loads(manifest_bytes.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BundleIntegrityError(
+            f"{path}: {MANIFEST_MEMBER} is not valid JSON: {exc}"
+        ) from exc
+    return BundleManifest.from_dict(payload, source=str(path))
 
 
 def _read_members(path: Path) -> Dict[str, bytes]:
@@ -432,15 +699,12 @@ def _read_members(path: Path) -> Dict[str, bytes]:
     }
 
 
-def verify_bundle(path: _PathLike) -> Tuple[BundleManifest, Dict[str, bytes]]:
-    """Read a bundle and prove member integrity; parse no model data.
-
-    Returns ``(manifest, member_bytes)`` once *every* hash checks out.
-    Raises :class:`BundleFormatError` for unknown format versions and
-    :class:`BundleIntegrityError` for missing, extra, truncated or
-    tampered members — before any model byte is interpreted.
-    """
-    path = Path(path)
+def _verify(
+    path: Path,
+    parent_resolver: Optional[Callable[[str], _PathLike]],
+    depth: int,
+) -> Tuple[BundleManifest, Dict[str, bytes], bytes]:
+    """Core verification; returns the raw manifest bytes as well."""
     members = _read_members(path)
     manifest_bytes = members.pop(MANIFEST_MEMBER, None)
     if manifest_bytes is None:
@@ -452,6 +716,50 @@ def verify_bundle(path: _PathLike) -> Tuple[BundleManifest, Dict[str, bytes]]:
             f"{path}: {MANIFEST_MEMBER} is not valid JSON: {exc}"
         ) from exc
     manifest = BundleManifest.from_dict(manifest_payload, source=str(path))
+    if manifest.delta_base:
+        if depth >= DELTA_CHAIN_LIMIT:
+            raise BundleFormatError(
+                f"{path}: delta-bundle parent chain exceeds "
+                f"{DELTA_CHAIN_LIMIT} links"
+            )
+        ref = str(manifest.delta_base.get("ref", ""))
+        expected_parent_sha = str(manifest.delta_base.get("manifest_sha256", ""))
+        if not ref or not expected_parent_sha:
+            raise BundleFormatError(
+                f"{path}: delta_base must carry both 'ref' and "
+                "'manifest_sha256'"
+            )
+        if parent_resolver is None:
+            raise BundleIntegrityError(
+                f"{path}: delta bundle needs parent {ref} but no "
+                "parent_resolver was given (register the parent first, or "
+                "pass parent_resolver=)"
+            )
+        try:
+            parent_path = Path(parent_resolver(ref))
+        except Exception as exc:
+            raise BundleIntegrityError(
+                f"{path}: cannot resolve delta parent {ref}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        _, parent_members, parent_manifest_bytes = _verify(
+            parent_path, parent_resolver, depth + 1
+        )
+        parent_sha = _sha256(parent_manifest_bytes)
+        if parent_sha != expected_parent_sha:
+            raise BundleIntegrityError(
+                f"{path}: delta parent {ref} manifest hash mismatch "
+                f"(sha256 {parent_sha[:12]}… != pinned "
+                f"{expected_parent_sha[:12]}…); the parent artifact is not "
+                "the one this delta was built against"
+            )
+        # Complete the member set from the (verified) parent — only the
+        # members the child manifest declares, so a delta can also drop
+        # members. The hash check below still runs against the CHILD
+        # manifest: parent bytes get no trust carried over.
+        for name in manifest.members:
+            if name not in members and name in parent_members:
+                members[name] = parent_members[name]
     declared = set(manifest.members)
     actual = set(members)
     if actual - declared:
@@ -472,18 +780,44 @@ def verify_bundle(path: _PathLike) -> Tuple[BundleManifest, Dict[str, bytes]]:
                 f"(sha256 {actual_hash[:12]}… != manifest {expected[:12]}…); "
                 "refusing to load a tampered bundle"
             )
+    return manifest, members, manifest_bytes
+
+
+def verify_bundle(
+    path: _PathLike,
+    parent_resolver: Optional[Callable[[str], _PathLike]] = None,
+) -> Tuple[BundleManifest, Dict[str, bytes]]:
+    """Read a bundle and prove member integrity; parse no model data.
+
+    Returns ``(manifest, member_bytes)`` once *every* hash checks out.
+    Raises :class:`BundleFormatError` for unknown format versions and
+    :class:`BundleIntegrityError` for missing, extra, truncated or
+    tampered members — before any model byte is interpreted.
+
+    For *delta* bundles, ``parent_resolver(ref)`` must return the
+    artifact path of the parent bundle; the parent (itself possibly a
+    delta) is verified recursively, its manifest hash is checked against
+    the child's ``delta_base`` pin, and the merged member set is then
+    verified member-by-member against the child manifest — parent bytes
+    get no trust carried over.
+    """
+    manifest, members, _ = _verify(Path(path), parent_resolver, depth=0)
     return manifest, members
 
 
-def load_bundle(path: _PathLike) -> ModelBundle:
+def load_bundle(
+    path: _PathLike,
+    parent_resolver: Optional[Callable[[str], _PathLike]] = None,
+) -> ModelBundle:
     """Load and integrity-check a bundle written by :func:`save_bundle`.
 
     Hashes are verified for every member before any model is
     instantiated; unknown classifier kinds or CNN kinds are rejected
-    with an error naming the bundle.
+    with an error naming the bundle. ``parent_resolver`` is required to
+    materialise delta bundles (see :func:`verify_bundle`).
     """
     path = Path(path)
-    manifest, members = verify_bundle(path)
+    manifest, members = verify_bundle(path, parent_resolver=parent_resolver)
     classifier = None
     scaler = None
     cnn = None

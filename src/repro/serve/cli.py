@@ -5,7 +5,13 @@
     python -m repro.cli bundle pack --scenario tess-loud-oneplus7t \
         --classifier logistic --cnn --out models/tess.zip --subsample 10
     python -m repro.cli bundle inspect models/tess.zip
+    python -m repro.cli bundle quantize models/tess.zip \
+        --out models/tess-int8.zip --version 1-int8
+    python -m repro.cli bundle delta models/tess-int8.zip \
+        --parent models/tess.zip --out models/tess-int8.delta.zip
     python -m repro.cli serve --bundle models/tess.zip --burst 64
+    python -m repro.cli serve --bundle models/tess.zip \
+        --bundle models/tess-int8.zip --canary tess@1-int8:0.25 --burst 64
     python -m repro.cli serve --bundle models/tess.zip \
         --stream-scenario tess-loud-oneplus7t
     python -m repro.cli serve --bundle models/tess.zip \
@@ -13,10 +19,16 @@
     python -m repro.cli client --connect 127.0.0.1:7860 --tenant phones
 
 ``bundle pack`` trains the chosen pipeline on a scenario through the
-collection engine and writes a versioned, hash-stamped artifact;
-``bundle inspect`` verifies and prints a manifest; ``serve`` loads a
-bundle into a registry and either answers a synthetic feature burst or
-streams a freshly recorded session end-to-end through the
+collection engine and writes a versioned, hash-stamped artifact
+(``--distill-width`` additionally distills the CNN into a narrower
+student and packs that instead); ``bundle inspect`` verifies and prints
+a manifest — variant kind, quantisation metadata and provenance lineage
+included (``--parent`` supplies parent artifacts for delta bundles);
+``bundle quantize`` derives an int8 variant from a packed bundle;
+``bundle delta`` re-writes a bundle as a delta archive against a
+parent; ``serve`` loads a bundle into a registry and either answers a
+synthetic feature burst or streams a freshly recorded session
+end-to-end through the
 :class:`~repro.serve.stream.StreamServingClient`. With ``--listen`` it
 instead exposes the server over TCP behind the multi-tenant
 :class:`~repro.serve.frontend.ServingFrontend`; ``client`` talks to
@@ -67,10 +79,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="shrink the CNN for a quick pack")
     pack.add_argument("--n-jobs", type=int, default=1, metavar="N",
                       help="collection engine workers")
+    pack.add_argument("--distill-width", type=float, default=None,
+                      metavar="W",
+                      help="with --cnn: distill the trained CNN into a "
+                           "width-W student and pack the student instead")
 
     inspect = sub.add_parser("inspect",
                              help="verify a bundle and print its manifest")
     inspect.add_argument("path", help="bundle directory or .zip")
+    inspect.add_argument("--parent", action="append", default=None,
+                         metavar="PATH",
+                         help="parent bundle artifact for delta "
+                              "verification (repeatable)")
+
+    quantize = sub.add_parser(
+        "quantize", help="derive an int8 variant from a packed bundle")
+    quantize.add_argument("path", help="source bundle directory or .zip")
+    quantize.add_argument("--out", required=True,
+                          help="output path for the quantised bundle")
+    quantize.add_argument("--version", default=None,
+                          help="version for the variant (default: "
+                               "<source-version>-int8)")
+    quantize.add_argument("--variant", default="int8",
+                          choices=("int8", "distilled-int8"),
+                          help="variant label to record (default: int8)")
+    quantize.add_argument("--delta", action="store_true",
+                          help="write a delta archive against the source "
+                               "bundle instead of a full artifact")
+
+    delta = sub.add_parser(
+        "delta", help="re-write a bundle as a delta archive vs a parent")
+    delta.add_argument("path", help="full bundle to convert")
+    delta.add_argument("--parent", required=True,
+                       help="parent bundle artifact the delta ships against")
+    delta.add_argument("--out", required=True, help="delta archive path")
 
     serve = sub.add_parser("serve", help="serve a bundle (demo loop)")
     serve.add_argument("--bundle", required=True, action="append",
@@ -93,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None, metavar="S",
                        help="with --listen: stop after S seconds "
                             "(default: run until interrupted)")
+    serve.add_argument("--canary", default=None,
+                       metavar="NAME@VERSION:FRACTION",
+                       help="route FRACTION of the default model's bare-name "
+                            "traffic to a candidate version")
     serve.add_argument("--max-batch", type=int, default=32)
     serve.add_argument("--linger-ms", type=float, default=2.0)
     serve.add_argument("--seed", type=int, default=7)
@@ -148,6 +194,17 @@ def _cmd_pack(args) -> int:
         cnn.fit(X, y)
         print(f"trained   : feature CNN "
               f"(train accuracy {cnn.score(X, y):.2%})")
+        if args.distill_width is not None:
+            from repro.nn.distill import distill_feature_cnn
+
+            student = distill_feature_cnn(
+                cnn, X, y, width_scale=args.distill_width
+            )
+            print(f"distilled : width {args.distill_width:g} student "
+                  f"(train accuracy {student.score(X, y):.2%})")
+            cnn = student
+    elif args.distill_width is not None:
+        raise SystemExit("--distill-width requires --cnn")
     bundle = ModelBundle.create(
         name=args.name or args.scenario,
         version=args.version,
@@ -160,6 +217,11 @@ def _cmd_pack(args) -> int:
             "classifier": args.classifier,
             "cnn": bool(args.cnn),
             "n_rows": int(X.shape[0]),
+            **(
+                {"distill_width": float(args.distill_width)}
+                if args.distill_width is not None
+                else {}
+            ),
         },
     )
     manifest = save_bundle(bundle, args.out)
@@ -170,15 +232,56 @@ def _cmd_pack(args) -> int:
     return 0
 
 
+def _parent_resolver_from_paths(paths):
+    """ref -> path resolver over explicitly supplied parent artifacts."""
+    from repro.serve.bundle import read_manifest
+
+    table = {}
+    for path in paths or ():
+        table[read_manifest(path).ref] = path
+
+    def resolve(ref: str):
+        if ref not in table:
+            raise KeyError(
+                f"parent {ref} not among --parent artifacts "
+                f"({sorted(table) or 'none given'})"
+            )
+        return table[ref]
+
+    return resolve
+
+
+def _print_lineage(manifest) -> None:
+    """One line per provenance link, nearest ancestor first."""
+    links = manifest.lineage()
+    if not links:
+        return
+    print("lineage   :")
+    for link in links:
+        role = (
+            "delta base"
+            if manifest.delta_base and link == dict(manifest.delta_base)
+            else "parent"
+        )
+        pin = str(link.get("manifest_sha256", ""))
+        pin_text = f"  manifest sha256 {pin[:16]}…" if pin else ""
+        print(f"  {role:<10} {link.get('ref')}{pin_text}")
+
+
 def _cmd_inspect(args) -> int:
     from repro.serve.bundle import BundleError, verify_bundle
 
+    resolver = (
+        _parent_resolver_from_paths(args.parent) if args.parent else None
+    )
     try:
-        manifest, members = verify_bundle(args.path)
+        manifest, members = verify_bundle(args.path, parent_resolver=resolver)
     except BundleError as exc:
         print(f"REJECTED: {exc}", file=sys.stderr)
         return 1
     print(f"bundle    : {manifest.ref} (format v{manifest.format_version})")
+    print(f"variant   : {manifest.variant}"
+          + (" (delta archive)" if manifest.delta_base else ""))
     print(f"labels    : {', '.join(str(x) for x in manifest.labels)}")
     print(f"features  : {len(manifest.feature_schema)} "
           f"({', '.join(manifest.feature_schema[:4])}, …)")
@@ -186,10 +289,94 @@ def _cmd_inspect(args) -> int:
         print(f"nn policy : {manifest.nn_policy}")
     if manifest.provenance:
         print(f"provenance: {manifest.provenance}")
+    if manifest.quantization:
+        quant = manifest.quantization
+        print(f"quantised : {quant.get('scheme')} "
+              f"(weights {quant.get('weight_dtype')}, "
+              f"scales {quant.get('scale_dtype')}, qmax {quant.get('qmax')})")
+        for layer in quant.get("layers", []):
+            print(f"  layer {layer.get('layer'):>2} "
+                  f"{str(layer.get('type')):<18} "
+                  f"{str(layer.get('weight_shape')):<18} "
+                  f"{layer.get('channels'):>4} ch  scales "
+                  f"[{layer.get('scale_min'):.3g}, "
+                  f"{layer.get('scale_max'):.3g}] "
+                  f"mean {layer.get('scale_mean'):.3g}")
+    _print_lineage(manifest)
     print("members   :")
     for member, meta in sorted(manifest.members.items()):
         print(f"  {member:<18} {meta['bytes']:>9} B  sha256 "
               f"{str(meta['sha256'])[:16]}…  [verified]")
+    return 0
+
+
+def _cmd_quantize(args) -> int:
+    from repro.serve.bundle import (
+        BundleError,
+        load_bundle,
+        quantize_bundle,
+        save_bundle,
+        save_delta_bundle,
+        verify_bundle,
+    )
+
+    try:
+        source_manifest, _ = verify_bundle(args.path)
+        source = load_bundle(args.path)
+    except BundleError as exc:
+        print(f"REJECTED: {exc}", file=sys.stderr)
+        return 1
+    version = args.version or f"{source.manifest.version}-{args.variant}"
+    try:
+        derived = quantize_bundle(source, version=version, variant=args.variant)
+    except BundleError as exc:
+        print(f"CANNOT QUANTISE: {exc}", file=sys.stderr)
+        return 1
+    if args.delta:
+        manifest = save_delta_bundle(derived, args.out, source_manifest)
+        shipped = {
+            name
+            for name in manifest.members
+            if str(source_manifest.members.get(name, {}).get("sha256"))
+            != manifest.members[name]["sha256"]
+        }
+        print(f"quantised : {manifest.ref} [{manifest.variant}] -> {args.out} "
+              f"(delta vs {source_manifest.ref}: ships "
+              f"{len(shipped)}/{len(manifest.members)} members)")
+    else:
+        manifest = save_bundle(derived, args.out)
+        print(f"quantised : {manifest.ref} [{manifest.variant}] -> {args.out}")
+    for layer in manifest.quantization.get("layers", []):
+        print(f"  layer {layer.get('layer'):>2} "
+              f"{str(layer.get('type')):<18} {layer.get('channels'):>4} ch")
+    return 0
+
+
+def _cmd_delta(args) -> int:
+    from repro.serve.bundle import BundleError, load_bundle, verify_bundle
+
+    try:
+        parent_manifest, _ = verify_bundle(args.parent)
+        bundle = load_bundle(args.path)
+    except BundleError as exc:
+        print(f"REJECTED: {exc}", file=sys.stderr)
+        return 1
+    from repro.serve.bundle import save_delta_bundle
+
+    try:
+        manifest = save_delta_bundle(bundle, args.out, parent_manifest)
+    except BundleError as exc:
+        print(f"CANNOT DELTA: {exc}", file=sys.stderr)
+        return 1
+    shipped = sum(
+        1
+        for name in manifest.members
+        if str(parent_manifest.members.get(name, {}).get("sha256"))
+        != manifest.members[name]["sha256"]
+    )
+    print(f"delta     : {manifest.ref} -> {args.out} "
+          f"(vs {parent_manifest.ref}: ships {shipped}/"
+          f"{len(manifest.members)} members)")
     return 0
 
 
@@ -198,6 +385,21 @@ def _print_serve_metrics() -> None:
 
     print("\n--- serving metrics ---")
     print(metrics().render_table())
+
+
+def _parse_canary(spec: str) -> tuple:
+    """Parse ``NAME@VERSION:FRACTION`` into its parts."""
+    ref, sep, fraction_text = spec.rpartition(":")
+    if not sep or "@" not in ref:
+        raise SystemExit(f"expected NAME@VERSION:FRACTION, got {spec!r}")
+    name, _, version = ref.partition("@")
+    try:
+        fraction = float(fraction_text)
+    except ValueError:
+        raise SystemExit(
+            f"canary fraction must be a number, got {fraction_text!r}"
+        ) from None
+    return name, version, fraction
 
 
 def _parse_hostport(spec: str) -> tuple:
@@ -262,15 +464,28 @@ def _cmd_serve(args) -> int:
     default_ref: Optional[str] = None
     for path in args.bundle:
         name, version = registry.register(path)
-        default_ref = f"{name}@{version}"
-        print(f"registered: {default_ref} from {path}")
+        print(f"registered: {name}@{version} from {path}")
+        # The FIRST bundle serves bare-name traffic; later ones are
+        # rollout candidates (register() flips the default to the
+        # newest registration, so pin it back below).
+        if default_ref is None:
+            default_ref = f"{name}@{version}"
     server = InferenceServer(
         registry,
         model=default_ref,
         max_batch=args.max_batch,
         max_linger_s=args.linger_ms / 1e3,
     )
+    if default_ref is not None:
+        name, _, version = default_ref.partition("@")
+        registry.set_default(name, version)
+        # Bare-name submissions are what canary routing splits.
+        server.default_model = name
     with server:
+        if args.canary:
+            name, version, fraction = _parse_canary(args.canary)
+            server.set_canary(name, version, fraction)
+            print(f"canary    : {fraction:.0%} of {name} -> {name}@{version}")
         if args.listen:
             _serve_listen(args, server)
         elif args.stream_scenario:
@@ -383,6 +598,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_pack(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "quantize":
+        return _cmd_quantize(args)
+    if args.command == "delta":
+        return _cmd_delta(args)
     if args.command == "client":
         return _cmd_client(args)
     return _cmd_serve(args)

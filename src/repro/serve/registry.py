@@ -10,6 +10,11 @@ requests against the old version finish against the old bundle object.
 Cache traffic is observable: ``registry.loads`` / ``registry.hits`` /
 ``registry.evictions`` counters land in the ambient
 :mod:`repro.obs` metrics registry, labelled per bundle.
+
+The registry doubles as the *parent resolver* for delta bundles: a
+registered delta artifact is materialised against its (already
+registered) parent, with every member hash re-verified against the
+child manifest on each cold load.
 """
 
 from __future__ import annotations
@@ -76,13 +81,15 @@ class ModelRegistry:
         ``name``/``version`` default to the values in the artifact's own
         manifest (verified on the spot, so a tampered artifact is
         rejected at registration, not at first request). The newest
-        registration of a name becomes its default version.
+        registration of a name becomes its default version. A *delta*
+        artifact resolves its parent chain through this registry, so
+        parents must be registered before their deltas.
         """
         from repro.serve.bundle import verify_bundle
 
         path = Path(path)
         if name is None or version is None:
-            manifest, _ = verify_bundle(path)
+            manifest, _ = verify_bundle(path, parent_resolver=self._parent_path)
             name = name if name is not None else manifest.name
             version = version if version is not None else manifest.version
         name, version = str(name), str(version)
@@ -122,6 +129,23 @@ class ModelRegistry:
         with self._lock:
             return [f"{n}@{v}" for n, v in self._loaded]
 
+    def _parent_path(self, ref: str) -> Path:
+        """Artifact path for a fully-qualified ref (delta parent lookup)."""
+        name, version = parse_ref(ref)
+        if version is None:
+            raise KeyError(
+                f"delta parent ref {ref!r} must be fully qualified "
+                "(name@version)"
+            )
+        with self._lock:
+            path = self._paths.get((name, version))
+        if path is None:
+            raise KeyError(
+                f"delta parent {ref} is not registered; register the parent "
+                "bundle before its delta"
+            )
+        return path
+
     # -- resolution ---------------------------------------------------------
     def resolve(self, ref: str) -> Tuple[str, str]:
         """Canonical ``(name, version)`` for a ref, applying the default."""
@@ -159,7 +183,7 @@ class ModelRegistry:
             "registry.load", bundle=f"{name}@{version}",
             metric_labels={"bundle": f"{name}@{version}"},
         ):
-            bundle = load_bundle(path)
+            bundle = load_bundle(path, parent_resolver=self._parent_path)
         with self._lock:
             if key not in self._paths:  # unregistered while loading
                 raise KeyError(f"bundle {name}@{version} was unregistered")

@@ -23,7 +23,19 @@ Guarantees:
 - **observability** — ``serve.batch`` spans around every batch,
   ``serve.request`` timer records per answered request, and counters
   for submissions, batches, fallbacks, timeouts and rejections in the
-  ambient :mod:`repro.obs` registry.
+  ambient :mod:`repro.obs` registry; every answer also lands in the
+  per-resolved-version ``serve.version.responses`` counter;
+- **canary / shadow rollout** — :meth:`InferenceServer.set_canary`
+  routes a configured fraction of the *bare-name* traffic for a model
+  to a candidate version (requests that pin ``name@version`` are never
+  rerouted); in shadow mode the candidate predicts alongside the
+  default and only agreement counters (``serve.shadow.*``) are
+  emitted, no client sees a candidate answer.
+  :meth:`~InferenceServer.promote_canary` flips the registry default to
+  the candidate; :meth:`~InferenceServer.rollback_canary` withdraws the
+  candidate, leaving the prior default untouched — in-flight routed
+  requests still resolve against the candidate bundle, so no accepted
+  request is dropped by either transition.
 
 Batching changes scheduling, never answers: a burst served batched
 yields the same predictions as serial single-request inference (see
@@ -155,6 +167,27 @@ class ServeFuture:
 
 
 @dataclass
+class _Canary:
+    """Rollout state for one model name."""
+
+    version: str
+    fraction: float
+    shadow: bool
+    submitted: int = 0  # bare-name submissions seen since set_canary
+    routed: int = 0  # of those, sent to the candidate (shadow: 0)
+
+    def take(self) -> bool:
+        """Deterministic counter split: route ⌊c·f⌋ of the first c."""
+        self.submitted += 1
+        routed = int(self.submitted * self.fraction) > int(
+            (self.submitted - 1) * self.fraction
+        )
+        if routed:
+            self.routed += 1
+        return routed
+
+
+@dataclass
 class _Request:
     request_id: int
     kind: str  # "features" | "window"
@@ -233,6 +266,10 @@ class InferenceServer:
         self.requests_accepted = 0
         self.requests_answered = 0
         self.batches_run = 0
+        #: name -> live canary rollout, guarded by its own small lock so
+        #: routing never contends with the accept/queue critical section.
+        self._canary_lock = threading.Lock()
+        self._canaries: Dict[str, _Canary] = {}
         #: EWMA of recent batch wall time; prices ServerOverloaded's
         #: retry_after_s hint (None until the first batch completes).
         self._batch_latency_s: Optional[float] = None
@@ -301,6 +338,7 @@ class InferenceServer:
             raise ServeError(
                 "no model named on the request and the server has no default"
             )
+        ref = self._canary_ref(str(ref))
         timeout = self.default_timeout_s if timeout_s is None else float(timeout_s)
         now = time.perf_counter()
         request = _Request(
@@ -360,6 +398,101 @@ class InferenceServer:
         if fs <= 0:
             raise ValueError("fs must be positive")
         return self._submit("window", samples, float(fs), model, timeout_s)
+
+    # -- canary rollout -----------------------------------------------------
+    def _canary_ref(self, ref: str) -> str:
+        """Apply canary routing to a submission's model ref.
+
+        Only bare names are rerouted — a request pinning
+        ``name@version`` always gets exactly that version. The split is
+        a deterministic counter (exactly ⌊c·f⌋ of the first ``c``
+        bare-name submissions go to the candidate), so the configured
+        fraction is met without randomness.
+        """
+        if "@" in ref:
+            return ref
+        with self._canary_lock:
+            canary = self._canaries.get(ref)
+            if canary is None or canary.shadow:
+                return ref
+            if not canary.take():
+                return ref
+            routed_ref = f"{ref}@{canary.version}"
+        metrics().count("serve.canary.routed", model=routed_ref)
+        return routed_ref
+
+    def set_canary(
+        self, name: str, version: str, fraction: float, shadow: bool = False
+    ) -> None:
+        """Start a canary rollout: send ``fraction`` of the bare-name
+        traffic for ``name`` to candidate ``version``.
+
+        With ``shadow=True`` no client traffic is rerouted; instead the
+        candidate predicts alongside the default on the same rows and
+        ``serve.shadow.agree`` / ``serve.shadow.disagree`` counters
+        record argmax agreement (``fraction`` is ignored).
+        """
+        if not shadow and not 0.0 < fraction <= 1.0:
+            raise ValueError("canary fraction must be in (0, 1]")
+        self.registry.resolve(f"{name}@{version}")  # must exist now
+        with self._canary_lock:
+            self._canaries[str(name)] = _Canary(
+                version=str(version),
+                fraction=float(fraction) if not shadow else 0.0,
+                shadow=bool(shadow),
+            )
+
+    def canary_status(self, name: str) -> Optional[dict]:
+        """Live rollout state for ``name`` (None when no canary is set)."""
+        with self._canary_lock:
+            canary = self._canaries.get(name)
+            if canary is None:
+                return None
+            return {
+                "version": canary.version,
+                "fraction": canary.fraction,
+                "shadow": canary.shadow,
+                "submitted": canary.submitted,
+                "routed": canary.routed,
+            }
+
+    def clear_canary(self, name: str) -> None:
+        """Withdraw the canary for ``name`` (no-op when none is set)."""
+        with self._canary_lock:
+            self._canaries.pop(name, None)
+
+    def promote_canary(self, name: str) -> str:
+        """Make the canary version the registry default; ends the rollout.
+
+        Returns the promoted version. In-flight requests against the old
+        default finish against the old bundle object (registry hot-swap
+        semantics).
+        """
+        with self._canary_lock:
+            canary = self._canaries.get(name)
+            if canary is None:
+                raise ServeError(f"no canary rollout is live for {name!r}")
+            version = canary.version
+        self.registry.set_default(name, version)
+        self.clear_canary(name)
+        metrics().count("serve.canary.promoted", model=f"{name}@{version}")
+        return version
+
+    def rollback_canary(self, name: str) -> Optional[str]:
+        """Withdraw the canary, keeping the prior default in place.
+
+        Returns the default version traffic falls back to. Requests
+        already routed to the candidate still resolve against it — an
+        accepted request is never dropped by a rollback.
+        """
+        with self._canary_lock:
+            canary = self._canaries.pop(name, None)
+        if canary is None:
+            raise ServeError(f"no canary rollout is live for {name!r}")
+        metrics().count(
+            "serve.canary.rolled_back", model=f"{name}@{canary.version}"
+        )
+        return self.registry.default_version(name)
 
     def predict(
         self,
@@ -486,6 +619,7 @@ class InferenceServer:
             metric_labels={"model": model_ref},
         ):
             outcomes = self._predict_group(bundle, X, model_ref)
+        self._shadow_compare(model_ref, bundle, X, outcomes)
         labels = bundle.labels
         for request, outcome in zip(prepared, outcomes):
             proba, used, error = outcome
@@ -585,7 +719,55 @@ class InferenceServer:
             outcomes.append(answer)
         return outcomes
 
+    def _shadow_compare(self, model_ref: str, bundle, X, outcomes) -> None:
+        """Shadow-mode canary: predict with the candidate, count agreement.
+
+        Runs inline on the group's rows (shadowing deliberately pays the
+        candidate's inference cost without exposing its answers).
+        Candidate faults only increment ``serve.shadow.errors`` — the
+        default path's answers are already committed.
+        """
+        with self._canary_lock:
+            canary = self._canaries.get(model_ref)
+            if canary is None or not canary.shadow:
+                return
+            candidate_ref = f"{model_ref}@{canary.version}"
+        try:
+            candidate = self.registry.get(candidate_ref)
+            with trace(
+                "serve.shadow", model=candidate_ref, n=X.shape[0],
+                metric_labels={"model": candidate_ref},
+            ):
+                cand_proba = candidate.predict_proba(X)
+        except Exception:  # noqa: BLE001 - shadow must never hurt serving
+            metrics().count("serve.shadow.errors", model=candidate_ref)
+            return
+        cand_labels = candidate.labels
+        for j, (proba, _used, error) in enumerate(outcomes):
+            if error is not None or proba is None:
+                continue
+            primary = str(bundle.labels[int(np.argmax(proba))])
+            shadow = str(cand_labels[int(np.argmax(cand_proba[j]))])
+            outcome = "agree" if primary == shadow else "disagree"
+            metrics().count(f"serve.shadow.{outcome}", model=candidate_ref)
+
     # -- resolution ---------------------------------------------------------
+    def _version_label(self, ref: str) -> str:
+        """Fully-qualified ``name@version`` for per-version counters.
+
+        Canary-routed and pinned requests already carry the version;
+        bare names resolve through the registry's *current* default (a
+        hot swap mid-flight attributes the answer to the new default).
+        Unresolvable refs are counted under the raw ref.
+        """
+        if "@" in ref:
+            return ref
+        try:
+            name, version = self.registry.resolve(ref)
+        except Exception:  # noqa: BLE001 - unknown model, counted as-is
+            return ref
+        return f"{name}@{version}"
+
     def _answer(self, request: _Request, result: ServeResult) -> None:
         latency = time.perf_counter() - request.enqueued
         result = ServeResult(
@@ -609,6 +791,11 @@ class InferenceServer:
             status=result.status,
         )
         metrics().count("serve.responses", status=result.status)
+        metrics().count(
+            "serve.version.responses",
+            model=self._version_label(result.model),
+            status=result.status,
+        )
 
 
 def serve_burst(

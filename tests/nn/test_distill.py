@@ -1,0 +1,103 @@
+"""Tests for logits distillation (repro.nn.distill)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import FeatureCNNClassifier
+from repro.nn.distill import distill_feature_cnn, fit_soft_targets, soft_targets
+
+
+def _blobs(seed=0, k=3, n_per=30, d=24):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=2.5, size=(k, d))
+    X = np.concatenate(
+        [centers[i] + rng.normal(scale=0.5, size=(n_per, d)) for i in range(k)]
+    )
+    y = np.repeat([f"emo{i}" for i in range(k)], n_per)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def teacher():
+    X, y = _blobs()
+    cnn = FeatureCNNClassifier(epochs=6, width_scale=0.5, seed=0)
+    return cnn.fit(X, y), X, y
+
+
+class TestSoftTargets:
+    def test_rows_are_distributions(self):
+        logits = np.random.default_rng(0).normal(size=(8, 4))
+        P = soft_targets(logits, temperature=2.0)
+        np.testing.assert_allclose(P.sum(axis=1), 1.0, rtol=1e-12)
+        assert np.all(P > 0)
+
+    def test_higher_temperature_softens(self):
+        logits = np.array([[4.0, 0.0, -4.0]])
+        sharp = soft_targets(logits, temperature=1.0)
+        soft = soft_targets(logits, temperature=8.0)
+        assert soft.max() < sharp.max()
+
+    def test_temperature_must_be_positive(self):
+        with pytest.raises(ValueError, match="temperature"):
+            soft_targets(np.zeros((1, 2)), temperature=0.0)
+
+
+class TestFitSoftTargets:
+    def test_shape_mismatch_rejected(self, teacher):
+        t, X, _ = teacher
+        from repro.attack.models import build_feature_cnn
+
+        student = build_feature_cnn(3, width_scale=0.25, seed=1)
+        Xs = t._scaler.transform(X)[..., None]
+        with pytest.raises(ValueError, match="soft targets"):
+            fit_soft_targets(student, Xs, np.ones((X.shape[0], 5)) / 5.0,
+                             epochs=1)
+
+    def test_loss_decreases(self, teacher):
+        t, X, _ = teacher
+        from repro.attack.models import build_feature_cnn
+
+        Xs = t._scaler.transform(X)[..., None]
+        logits = t._model._forward_batched(np.asarray(Xs, dtype=t._model._dtype))
+        P = soft_targets(logits, temperature=2.0)
+        student = build_feature_cnn(3, width_scale=0.25, seed=1)
+        history = fit_soft_targets(student, Xs, P, epochs=5, shuffle_seed=1)
+        assert history.loss[-1] < history.loss[0]
+
+
+class TestDistillFeatureCNN:
+    def test_student_is_packable_and_accurate(self, teacher):
+        t, X, y = teacher
+        student = distill_feature_cnn(t, X, y, width_scale=0.4, epochs=6)
+        assert isinstance(student, FeatureCNNClassifier)
+        np.testing.assert_array_equal(student.classes_, t.classes_)
+        assert student._scaler is t._scaler
+        # blob data is easy: the student must stay close to the teacher
+        assert student.score(X, y) >= t.score(X, y) - 0.1
+
+    def test_student_is_narrower(self, teacher):
+        t, X, y = teacher
+        student = distill_feature_cnn(t, X, y, width_scale=0.25, epochs=1)
+        t_params = sum(p.size for p in t._model._params_grads()[0])
+        s_params = sum(p.size for p in student._model._params_grads()[0])
+        assert s_params < 0.3 * t_params
+
+    def test_unknown_labels_rejected(self, teacher):
+        t, X, y = teacher
+        bad = np.array(["nope"] * len(y))
+        with pytest.raises(ValueError, match="not in the teacher"):
+            distill_feature_cnn(t, X, bad, epochs=1)
+
+    def test_unfitted_teacher_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            distill_feature_cnn(
+                FeatureCNNClassifier(), np.zeros((4, 24)),
+                np.array(["a", "a", "b", "b"]),
+            )
+
+    def test_invalid_width_rejected(self, teacher):
+        t, X, y = teacher
+        with pytest.raises(ValueError, match="width_scale"):
+            distill_feature_cnn(t, X, y, width_scale=1.5)

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for the int8 quantisation path.
+
+Two families of invariants:
+
+- the weight codec: codes stay in the symmetric int8 range, the
+  round-trip error is bounded by half a quantisation step per output
+  channel, serialising the codes loses nothing, and rescaling a
+  channel by a power of two moves the scale without touching a single
+  code; and
+- delta bundles: for any derived bundle, applying a delta archive on
+  top of its parent reconstructs the full archive byte-for-byte.
+"""
+
+import io
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.logistic import LogisticRegression
+from repro.nn.quant import (
+    QMAX,
+    dequantize_weights,
+    quantize_activations,
+    quantize_weights,
+)
+from repro.serve.bundle import (
+    ModelBundle,
+    quantize_bundle,
+    save_bundle,
+    save_delta_bundle,
+    verify_bundle,
+)
+
+# -- weight codec -----------------------------------------------------------
+
+_SHAPES = st.sampled_from(
+    [(4, 3), (7, 1), (2, 5, 6), (3, 3, 2, 4), (1, 8)]
+)
+_SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+_LOGSCALES = st.integers(min_value=-6, max_value=6)
+
+
+def _weights(seed, shape, logscale):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(scale=float(2.0**logscale), size=shape)
+    # exercise degenerate channels too: zero out the first one sometimes
+    if seed % 3 == 0:
+        w[..., 0] = 0.0
+    return w
+
+
+class TestWeightCodec:
+    @given(_SEEDS, _SHAPES, _LOGSCALES)
+    @settings(max_examples=60, deadline=None)
+    def test_codes_in_range_scales_positive(self, seed, shape, logscale):
+        q, scales = quantize_weights(_weights(seed, shape, logscale))
+        assert q.dtype == np.int8
+        assert np.all(np.abs(q.astype(np.int32)) <= QMAX)
+        assert scales.dtype == np.float32
+        assert np.all(scales > 0)
+
+    @given(_SEEDS, _SHAPES, _LOGSCALES)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_within_half_step(self, seed, shape, logscale):
+        w = _weights(seed, shape, logscale)
+        q, scales = quantize_weights(w)
+        back = dequantize_weights(q, scales)
+        step = scales.astype(np.float64)  # one code = one scale unit
+        err = np.abs(back - w)
+        # half-step bound per output channel (+ float32 scale rounding)
+        assert np.all(err <= step * (0.5 + 1e-5) + 1e-12)
+
+    @given(_SEEDS, _SHAPES, _LOGSCALES)
+    @settings(max_examples=40, deadline=None)
+    def test_serialise_load_dequantise_is_exact(self, seed, shape, logscale):
+        """quantise → npz → load → dequantise loses nothing."""
+        q, scales = quantize_weights(_weights(seed, shape, logscale))
+        buffer = io.BytesIO()
+        np.savez(buffer, q=q, scales=scales)
+        buffer.seek(0)
+        loaded = np.load(buffer)
+        np.testing.assert_array_equal(loaded["q"], q)
+        np.testing.assert_array_equal(loaded["scales"], scales)
+        np.testing.assert_array_equal(
+            dequantize_weights(loaded["q"], loaded["scales"]),
+            dequantize_weights(q, scales),
+        )
+
+    @given(_SEEDS, _SHAPES, st.integers(min_value=-4, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_power_of_two_rescale_preserves_codes(self, seed, shape, k):
+        """w → 2^k·w multiplies the scales by 2^k and keeps every code."""
+        w = _weights(seed, shape, 0)
+        q1, s1 = quantize_weights(w)
+        q2, s2 = quantize_weights(w * float(2.0**k))
+        np.testing.assert_array_equal(q1, q2)
+        nonzero = np.any(w.reshape(-1, w.shape[-1]) != 0.0, axis=0)
+        np.testing.assert_allclose(
+            s2[nonzero], s1[nonzero] * np.float32(2.0**k), rtol=1e-6
+        )
+
+    @given(_SEEDS, st.integers(min_value=2, max_value=9))
+    @settings(max_examples=40, deadline=None)
+    def test_activation_rows_quantise_independently(self, seed, n):
+        x = np.random.default_rng(seed).normal(size=(n, 6))
+        xq, scale = quantize_activations(x)
+        assert scale.shape == (n,)
+        keep = max(1, n // 2)
+        xq_sub, scale_sub = quantize_activations(x[:keep])
+        np.testing.assert_array_equal(xq[:keep], xq_sub)
+        np.testing.assert_array_equal(scale[:keep], scale_sub)
+
+
+# -- delta bundles ----------------------------------------------------------
+
+
+def _tiny_bundle(seed, name="blobs", version="1", extra_provenance=None):
+    """A fast classifier-only bundle whose bytes depend on ``seed``."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(24, 6))
+    y = np.repeat(["a", "b", "c"], 8)
+    clf = LogisticRegression().fit(X, y)
+    provenance = {"seed": int(seed)}
+    if extra_provenance:
+        provenance.update(extra_provenance)
+    return ModelBundle.create(
+        name, version, classifier=clf, provenance=provenance
+    )
+
+
+class TestDeltaBundleProperties:
+    @given(
+        _SEEDS,
+        _SEEDS,
+        st.booleans(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_delta_apply_equals_full_byte_for_byte(
+        self, parent_seed, child_seed, tweak_provenance
+    ):
+        """verify(parent + delta) == verify(full) for any derived bundle.
+
+        ``child_seed == parent_seed`` (hypothesis will find it) makes the
+        classifier bytes identical, so the delta degenerates to a
+        manifest-only archive — the equality must still hold.
+        """
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            parent = _tiny_bundle(parent_seed)
+            parent_path = tmp / "parent.zip"
+            parent_manifest = save_bundle(parent, parent_path)
+
+            extra = {"tweak": True} if tweak_provenance else None
+            child = _tiny_bundle(
+                child_seed, version="2", extra_provenance=extra
+            )
+            delta_path = tmp / "child.delta.zip"
+            save_delta_bundle(child, delta_path, parent_manifest)
+            full_path = tmp / "child.full.zip"
+            save_bundle(child, full_path)
+
+            _, delta_members = verify_bundle(
+                delta_path, parent_resolver=lambda ref: parent_path
+            )
+            _, full_members = verify_bundle(full_path)
+            assert delta_members == full_members
+
+    @given(_SEEDS)
+    @settings(max_examples=6, deadline=None)
+    def test_quantized_delta_round_trips_through_parent(self, seed):
+        """int8 variant shipped as a delta answers like the full archive."""
+        from tests.serve.test_golden_bundle import _build_bundle, _probe_rows
+
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            parent = _build_bundle()
+            parent_path = tmp / "parent.zip"
+            parent_manifest = save_bundle(parent, parent_path)
+            qb = quantize_bundle(parent, version="1-int8")
+            qb.manifest.provenance["seed"] = int(seed)
+            delta_path = tmp / "int8.delta.zip"
+            save_delta_bundle(qb, delta_path, parent_manifest)
+            from repro.serve.bundle import load_bundle
+
+            loaded = load_bundle(
+                delta_path, parent_resolver=lambda ref: parent_path
+            )
+            probes = _probe_rows()
+            np.testing.assert_array_equal(
+                loaded.predict_proba_with("cnn", probes),
+                qb.predict_proba_with("cnn", probes),
+            )

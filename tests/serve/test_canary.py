@@ -1,0 +1,168 @@
+"""Canary/shadow rollout: fraction routing, promote, rollback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics, reset_observability
+from repro.serve.bundle import load_bundle, quantize_bundle, save_bundle
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import InferenceServer, ServeError, serve_burst
+from tests.serve.conftest import make_blobs
+
+
+@pytest.fixture()
+def two_version_registry(tmp_path, packed_bundle):
+    """blobs@1 (float32, default) and blobs@2-int8 (quantised candidate)."""
+    float_bundle = load_bundle(packed_bundle)
+    qb = quantize_bundle(float_bundle, version="2-int8")
+    q_path = tmp_path / "blobs-2-int8.zip"
+    save_bundle(qb, q_path)
+    registry = ModelRegistry()
+    registry.register(packed_bundle)
+    registry.register(q_path)
+    registry.set_default("blobs", "1")
+    return registry
+
+
+def _burst(server, n, seed=0):
+    X, _ = make_blobs(n_per_class=max(2, n // 3 + 1), seed=seed)
+    rows = [X[i % X.shape[0]] for i in range(n)]
+    return serve_burst(server, rows)
+
+
+class TestCanaryRouting:
+    def test_fraction_split_is_exact(self, two_version_registry):
+        reset_observability()
+        with InferenceServer(
+            two_version_registry, model="blobs", max_batch=16
+        ) as server:
+            server.set_canary("blobs", "2-int8", fraction=0.25)
+            results = _burst(server, 200)
+        assert all(r.ok for r in results)
+        routed = [r for r in results if r.model == "blobs@2-int8"]
+        assert len(routed) == 50  # counter split: exactly floor(c * f)
+        per_version = metrics().counter_group(
+            "serve.version.responses", "model"
+        )
+        assert per_version["blobs@2-int8"] == 50
+        assert per_version["blobs@1"] == 150
+
+    def test_pinned_refs_are_never_rerouted(self, two_version_registry):
+        reset_observability()
+        with InferenceServer(
+            two_version_registry, model="blobs", max_batch=8
+        ) as server:
+            server.set_canary("blobs", "2-int8", fraction=1.0)
+            X, _ = make_blobs(n_per_class=2)
+            pinned = server.submit_features(X[0], model="blobs@1").result(10.0)
+            bare = server.submit_features(X[0]).result(10.0)
+        assert pinned.model == "blobs@1"
+        assert bare.model == "blobs@2-int8"
+
+    def test_canary_predictions_stay_correct(self, two_version_registry,
+                                             packed_bundle):
+        reset_observability()
+        bundle = load_bundle(packed_bundle)
+        X, _ = make_blobs(n_per_class=10, seed=3)
+        expected = bundle.predict(X)
+        with InferenceServer(
+            two_version_registry, model="blobs", max_batch=16
+        ) as server:
+            server.set_canary("blobs", "2-int8", fraction=0.5)
+            results = serve_burst(server, list(X))
+        labels = np.array([r.label for r in results])
+        assert np.mean(labels == expected) >= 0.95
+
+    def test_unknown_candidate_rejected_up_front(self, two_version_registry):
+        with InferenceServer(two_version_registry, model="blobs") as server:
+            with pytest.raises(KeyError, match="unknown bundle"):
+                server.set_canary("blobs", "99", fraction=0.5)
+
+    def test_invalid_fraction_rejected(self, two_version_registry):
+        with InferenceServer(two_version_registry, model="blobs") as server:
+            with pytest.raises(ValueError, match="fraction"):
+                server.set_canary("blobs", "2-int8", fraction=0.0)
+            with pytest.raises(ValueError, match="fraction"):
+                server.set_canary("blobs", "2-int8", fraction=1.5)
+
+
+class TestShadowMode:
+    def test_shadow_counts_agreement_without_routing(self,
+                                                     two_version_registry):
+        reset_observability()
+        with InferenceServer(
+            two_version_registry, model="blobs", max_batch=16
+        ) as server:
+            server.set_canary("blobs", "2-int8", fraction=0.0, shadow=True)
+            results = _burst(server, 60)
+        # every client answer came from the default version
+        assert all(r.model == "blobs" for r in results)
+        agree = metrics().counter_value(
+            "serve.shadow.agree", model="blobs@2-int8"
+        )
+        disagree = metrics().counter_value(
+            "serve.shadow.disagree", model="blobs@2-int8"
+        )
+        assert agree + disagree == 60
+        assert agree >= 0.9 * 60  # int8 vs float argmax agreement
+
+    def test_shadow_status_reports_no_routing(self, two_version_registry):
+        with InferenceServer(
+            two_version_registry, model="blobs", max_batch=8
+        ) as server:
+            server.set_canary("blobs", "2-int8", fraction=0.3, shadow=True)
+            _burst(server, 20)
+            status = server.canary_status("blobs")
+        assert status["shadow"] is True
+        assert status["routed"] == 0
+
+
+class TestPromoteRollback:
+    def test_promote_flips_default_and_clears_canary(self,
+                                                     two_version_registry):
+        reset_observability()
+        with InferenceServer(
+            two_version_registry, model="blobs", max_batch=8
+        ) as server:
+            server.set_canary("blobs", "2-int8", fraction=0.2)
+            promoted = server.promote_canary("blobs")
+            assert promoted == "2-int8"
+            assert server.canary_status("blobs") is None
+            assert two_version_registry.default_version("blobs") == "2-int8"
+            # bare-name traffic now lands on the promoted version
+            results = _burst(server, 10)
+        per_version = metrics().counter_group(
+            "serve.version.responses", "model"
+        )
+        assert per_version.get("blobs@2-int8", 0) == 10
+        assert all(r.ok for r in results)
+
+    def test_rollback_keeps_prior_default_and_drops_nothing(
+        self, two_version_registry
+    ):
+        reset_observability()
+        with InferenceServer(
+            two_version_registry, model="blobs", max_batch=8
+        ) as server:
+            server.set_canary("blobs", "2-int8", fraction=0.5)
+            before = _burst(server, 40)
+            restored = server.rollback_canary("blobs")
+            assert restored == "1"
+            assert server.canary_status("blobs") is None
+            after = _burst(server, 40, seed=1)
+        assert all(r.ok for r in before)
+        assert all(r.ok for r in after)
+        # post-rollback traffic goes entirely to the prior default
+        assert all(r.model == "blobs" for r in after)
+        assert (
+            server.requests_answered == server.requests_accepted == 80
+        )
+
+    def test_promote_without_canary_raises(self, two_version_registry):
+        with InferenceServer(two_version_registry, model="blobs") as server:
+            with pytest.raises(ServeError, match="no canary"):
+                server.promote_canary("blobs")
+            with pytest.raises(ServeError, match="no canary"):
+                server.rollback_canary("blobs")

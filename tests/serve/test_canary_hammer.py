@@ -1,0 +1,154 @@
+"""Concurrency hammer: canary routing under LRU eviction and hot swaps.
+
+Satellite of the quantised-serving PR: a live canary must survive
+simultaneous warm-cache eviction churn (``max_loaded=1`` forces the two
+versions to evict each other on every alternation) and ``set_default``
+hot swaps, with every accepted request answered exactly once and no
+answer produced from a stale or unregistered bundle ref.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import metrics, reset_observability
+from repro.parallel import ExecutorPool
+from repro.serve.bundle import load_bundle, quantize_bundle, save_bundle
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import InferenceServer
+from tests.serve.conftest import make_blobs
+
+N_THREADS = 4
+N_PER_THREAD = 40
+FRACTION = 0.25
+
+
+@pytest.fixture()
+def churn_registry(tmp_path, packed_bundle):
+    """Two versions of ``blobs`` behind a single-slot warm cache."""
+    float_bundle = load_bundle(packed_bundle)
+    qb = quantize_bundle(float_bundle, version="2-int8")
+    q_path = tmp_path / "blobs-2-int8.zip"
+    save_bundle(qb, q_path)
+    registry = ModelRegistry(max_loaded=1)
+    registry.register(packed_bundle)
+    registry.register(q_path)
+    registry.set_default("blobs", "1")
+    return registry
+
+
+def test_hammer_exactly_once_under_eviction_and_hot_swap(churn_registry):
+    reset_observability()
+    X, _ = make_blobs(n_per_class=4)
+    total = N_THREADS * N_PER_THREAD
+    results = []
+    results_lock = threading.Lock()
+    start = threading.Barrier(N_THREADS + 1)
+    swaps_done = threading.Event()
+
+    def client(seed):
+        start.wait()
+        futures = [
+            server.submit_features(
+                X[(seed + i) % X.shape[0]], timeout_s=60.0
+            )
+            for i in range(N_PER_THREAD)
+        ]
+        answers = [f.result(timeout=60.0) for f in futures]
+        with results_lock:
+            results.extend(answers)
+
+    def swapper():
+        start.wait()
+        # Hot-swap the default back and forth while traffic is live;
+        # interleave direct loads so the one-slot LRU keeps evicting.
+        for i in range(30):
+            churn_registry.set_default("blobs", "2-int8" if i % 2 else "1")
+            churn_registry.get("blobs@2-int8" if i % 2 else "blobs@1")
+        churn_registry.set_default("blobs", "1")
+        swaps_done.set()
+
+    with InferenceServer(
+        churn_registry,
+        model="blobs",
+        max_batch=8,
+        max_queue=2 * total,
+        pool=ExecutorPool(n_jobs=2, executor="thread"),
+    ) as server:
+        server.set_canary("blobs", "2-int8", fraction=FRACTION)
+        threads = [
+            threading.Thread(target=client, args=(i * 7,))
+            for i in range(N_THREADS)
+        ]
+        mutator = threading.Thread(target=swapper)
+        for t in threads:
+            t.start()
+        mutator.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        mutator.join(timeout=120.0)
+        assert swaps_done.is_set()
+        status = server.canary_status("blobs")
+
+    # exactly once: every accepted request produced exactly one answer
+    assert len(results) == total
+    assert server.requests_accepted == total
+    assert server.requests_answered == total
+    assert len({r.request_id for r in results}) == total
+    assert all(r.ok for r in results), [r.error for r in results if not r.ok][:3]
+
+    # no stale refs: every answer names a currently registered ref
+    valid = {"blobs", "blobs@1", "blobs@2-int8"}
+    assert {r.model for r in results} <= valid
+
+    # the deterministic split held exactly despite the churn
+    assert status["routed"] == int(status["submitted"] * FRACTION)
+    routed = sum(r.model == "blobs@2-int8" for r in results)
+    assert routed == status["routed"]
+
+    # per-version counters account for every answer
+    per_version = metrics().counter_group("serve.version.responses", "model")
+    assert sum(per_version.values()) == total
+    # the candidate served at least its canary share (bare-name answers
+    # may also resolve to it while the default is swapped over)
+    assert per_version.get("blobs@2-int8", 0) >= routed
+
+    # eviction churn really happened (one warm slot, two live versions)
+    assert churn_registry.evictions > 0
+    assert len(churn_registry.loaded_refs()) == 1
+
+
+def test_rollback_during_hammer_drops_nothing(churn_registry):
+    reset_observability()
+    X, _ = make_blobs(n_per_class=4)
+    rolled_back = threading.Event()
+
+    def flipper():
+        # roll the canary back and re-arm it while traffic is in flight
+        for _ in range(10):
+            server.set_canary("blobs", "2-int8", fraction=0.5)
+            server.rollback_canary("blobs")
+        rolled_back.set()
+
+    with InferenceServer(
+        churn_registry, model="blobs", max_batch=8, max_queue=512
+    ) as server:
+        server.set_canary("blobs", "2-int8", fraction=0.5)
+        mutator = threading.Thread(target=flipper)
+        mutator.start()
+        futures = [
+            server.submit_features(X[i % X.shape[0]], timeout_s=60.0)
+            for i in range(120)
+        ]
+        answers = [f.result(timeout=60.0) for f in futures]
+        mutator.join(timeout=60.0)
+        assert rolled_back.is_set()
+        assert server.canary_status("blobs") is None
+        assert churn_registry.default_version("blobs") == "1"
+
+    # an accepted request is never dropped by a rollback
+    assert len(answers) == 120
+    assert all(r.ok for r in answers)
+    assert server.requests_accepted == server.requests_answered == 120

@@ -1,0 +1,109 @@
+"""Golden-parity guard for the quantised bundle variant.
+
+A committed JSON fixture pins the int8 variant of the deterministic
+golden pipeline: its probe predictions, its probe probabilities, and
+its training-set accuracy relative to the float32 parent. Any drift in
+the weight codec (scales, rounding), the quantised forward kernels or
+the variant pack/load path fails here first — the float32 golden
+fixture (test_golden_bundle.py) stays byte-identical on its own.
+
+Regenerate (after an *intentional* numerics change) with::
+
+    PYTHONPATH=src python tests/serve/test_golden_quantized.py --regenerate
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.bundle import load_bundle, quantize_bundle, save_bundle
+from tests.serve.test_golden_bundle import _build_bundle, _probe_rows, _train_data
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_quantized_predictions.json"
+
+
+def _build_quantized():
+    return quantize_bundle(_build_bundle(), version="1-int8")
+
+
+def _payload(qbundle, float_bundle):
+    probes = _probe_rows()
+    X, y = _train_data()
+    return {
+        "variant": qbundle.manifest.variant,
+        "labels": [str(label) for label in qbundle.labels],
+        "predicted": [str(label) for label in qbundle.predict(probes)],
+        "cnn_proba": qbundle.predict_proba_with("cnn", probes).tolist(),
+        "train_accuracy": float(np.mean(qbundle.predict(X) == y)),
+        "float_train_accuracy": float(np.mean(float_bundle.predict(X) == y)),
+    }
+
+
+class TestGoldenQuantizedParity:
+    def test_fixture_exists(self):
+        assert FIXTURE.exists(), (
+            f"golden fixture missing at {FIXTURE}; regenerate with "
+            f"`PYTHONPATH=src python {__file__} --regenerate`"
+        )
+
+    def test_packed_variant_matches_in_memory_bitwise(self, tmp_path):
+        """load(save(quantized)) answers byte-identically to the original."""
+        qbundle = _build_quantized()
+        path = tmp_path / "golden-int8.zip"
+        save_bundle(qbundle, path)
+        loaded = load_bundle(path)
+        probes = _probe_rows()
+        assert np.array_equal(
+            qbundle.predict_proba_with("cnn", probes),
+            loaded.predict_proba_with("cnn", probes),
+        )
+        assert list(qbundle.predict(probes)) == list(loaded.predict(probes))
+
+    def test_loaded_variant_reproduces_fixture(self, tmp_path):
+        golden = json.loads(FIXTURE.read_text())
+        qbundle = _build_quantized()
+        path = tmp_path / "golden-int8.zip"
+        save_bundle(qbundle, path)
+        got = _payload(load_bundle(path), _build_bundle())
+        assert got["variant"] == golden["variant"] == "int8"
+        assert got["labels"] == golden["labels"]
+        assert got["predicted"] == golden["predicted"]
+        np.testing.assert_allclose(
+            got["cnn_proba"], golden["cnn_proba"], rtol=1e-6,
+            err_msg="quantised CNN predictions drifted",
+        )
+        assert got["train_accuracy"] == golden["train_accuracy"]
+
+    def test_quantised_accuracy_within_one_point_of_float(self):
+        """The pinned int8 accuracy sits within 1pp of the float parent."""
+        golden = json.loads(FIXTURE.read_text())
+        assert (
+            golden["train_accuracy"] >= golden["float_train_accuracy"] - 0.01
+        )
+
+
+def _regenerate() -> None:
+    import tempfile
+
+    qbundle = _build_quantized()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "golden-int8.zip"
+        save_bundle(qbundle, path)
+        payload = _payload(load_bundle(path), _build_bundle())
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"wrote {FIXTURE}: predicted={payload['predicted']} "
+        f"acc={payload['train_accuracy']:.4f} "
+        f"(float {payload['float_train_accuracy']:.4f})"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

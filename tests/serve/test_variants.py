@@ -1,0 +1,185 @@
+"""Bundle variants: quantised bundles, provenance, delta archives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.bundle import (
+    BundleError,
+    BundleIntegrityError,
+    load_bundle,
+    manifest_sha256,
+    quantize_bundle,
+    read_manifest,
+    save_bundle,
+    save_delta_bundle,
+    verify_bundle,
+)
+from repro.serve.registry import ModelRegistry
+from tests.serve.conftest import make_blobs
+
+
+@pytest.fixture()
+def float_bundle(packed_bundle):
+    return load_bundle(packed_bundle)
+
+
+class TestQuantizeBundle:
+    def test_manifest_records_variant_and_parent(self, float_bundle,
+                                                 packed_bundle):
+        qb = quantize_bundle(float_bundle, version="1-int8")
+        manifest = qb.manifest
+        assert manifest.variant == "int8"
+        assert manifest.version == "1-int8"
+        assert manifest.parent["ref"] == "blobs@1"
+        assert manifest.parent["manifest_sha256"] == manifest_sha256(
+            float_bundle.manifest
+        )
+        quant = manifest.quantization
+        assert quant["scheme"] == "symmetric-per-output-channel"
+        assert quant["qmax"] == 127
+        assert len(quant["layers"]) > 0
+
+    def test_round_trip_and_prediction_parity(self, float_bundle, tmp_path):
+        X, _ = make_blobs()
+        qb = quantize_bundle(float_bundle, version="1-int8")
+        path = tmp_path / "int8.zip"
+        save_bundle(qb, path)
+        loaded = load_bundle(path)
+        assert loaded.manifest.variant == "int8"
+        agree = np.mean(loaded.predict(X) == float_bundle.predict(X))
+        assert agree >= 0.95
+        # fallback classifier rides along unchanged
+        assert loaded.classifier is not None
+
+    def test_quantised_bundle_serialisation_is_stable(self, float_bundle,
+                                                      tmp_path):
+        X, _ = make_blobs()
+        qb = quantize_bundle(float_bundle, version="1-int8")
+        reference = qb.predict(X)
+        path = tmp_path / "int8.zip"
+        save_bundle(qb, path)
+        loaded = load_bundle(path)
+        np.testing.assert_array_equal(loaded.predict(X), reference)
+
+    def test_distilled_variant_label(self, float_bundle):
+        qb = quantize_bundle(float_bundle, version="2", variant="distilled-int8")
+        assert qb.manifest.variant == "distilled-int8"
+
+    def test_unknown_variant_rejected(self, float_bundle):
+        with pytest.raises(BundleError, match="variant"):
+            quantize_bundle(float_bundle, version="2", variant="float16")
+
+    def test_cnn_less_bundle_rejected(self, packed_classifier_bundle):
+        bundle = load_bundle(packed_classifier_bundle)
+        with pytest.raises(BundleError, match="no CNN"):
+            quantize_bundle(bundle, version="2")
+
+    def test_float_manifest_has_no_variant_keys(self, packed_bundle):
+        # float32 stays the implicit default: golden manifests unchanged
+        manifest = read_manifest(packed_bundle)
+        payload = manifest.to_dict()
+        for key in ("variant", "quantization", "parent", "delta_base"):
+            assert key not in payload
+
+
+class TestDeltaBundles:
+    def _pair(self, float_bundle, tmp_path):
+        """(parent path+manifest, derived bundle) helper."""
+        parent_path = tmp_path / "parent.zip"
+        parent_manifest = save_bundle(float_bundle, parent_path)
+        qb = quantize_bundle(float_bundle, version="1-int8")
+        return parent_path, parent_manifest, qb
+
+    def test_delta_ships_only_changed_members(self, float_bundle, tmp_path):
+        parent_path, parent_manifest, qb = self._pair(float_bundle, tmp_path)
+        delta_path = tmp_path / "child.delta.zip"
+        manifest = save_delta_bundle(qb, delta_path, parent_manifest)
+        import zipfile
+
+        with zipfile.ZipFile(delta_path) as zf:
+            shipped = set(zf.namelist())
+        # classifier + scaler members are unchanged: parent supplies them
+        assert "classifier.json" not in shipped
+        assert "cnn.json" in shipped and "cnn_weights.npz" in shipped
+        # but the manifest still covers the full member set
+        assert set(manifest.members) >= {"classifier.json", "cnn.json"}
+
+    def test_delta_apply_equals_full_bundle_bytes(self, float_bundle,
+                                                  tmp_path):
+        parent_path, parent_manifest, qb = self._pair(float_bundle, tmp_path)
+        delta_path = tmp_path / "child.delta.zip"
+        save_delta_bundle(qb, delta_path, parent_manifest)
+        full_path = tmp_path / "child.full.zip"
+        save_bundle(qb, full_path)
+        _, delta_members = verify_bundle(
+            delta_path, parent_resolver=lambda ref: parent_path
+        )
+        _, full_members = verify_bundle(full_path)
+        assert delta_members == full_members  # byte-for-byte
+
+    def test_delta_without_resolver_rejected(self, float_bundle, tmp_path):
+        _, parent_manifest, qb = self._pair(float_bundle, tmp_path)
+        delta_path = tmp_path / "child.delta.zip"
+        save_delta_bundle(qb, delta_path, parent_manifest)
+        with pytest.raises(BundleIntegrityError, match="parent_resolver"):
+            verify_bundle(delta_path)
+
+    def test_wrong_parent_pin_rejected(self, float_bundle, tmp_path):
+        parent_path, parent_manifest, qb = self._pair(float_bundle, tmp_path)
+        delta_path = tmp_path / "child.delta.zip"
+        save_delta_bundle(qb, delta_path, parent_manifest)
+        # re-save the parent with different provenance: its manifest (and
+        # hash pin) changes even though the members are identical
+        float_bundle.manifest.provenance["tampered"] = True
+        other_parent = tmp_path / "parent2.zip"
+        save_bundle(float_bundle, other_parent)
+        with pytest.raises(BundleIntegrityError, match="manifest hash"):
+            verify_bundle(delta_path, parent_resolver=lambda ref: other_parent)
+
+    def test_tampered_parent_member_rejected(self, float_bundle, tmp_path):
+        # a corrupted parent fails ITS OWN verification during resolution
+        parent_dir = tmp_path / "parent-dir"
+        parent_manifest = save_bundle(float_bundle, parent_dir)
+        qb = quantize_bundle(float_bundle, version="1-int8")
+        delta_path = tmp_path / "child.delta.zip"
+        save_delta_bundle(qb, delta_path, parent_manifest)
+        member = parent_dir / "classifier.json"
+        member.write_bytes(member.read_bytes() + b" ")
+        with pytest.raises(BundleIntegrityError, match="integrity"):
+            verify_bundle(delta_path, parent_resolver=lambda ref: parent_dir)
+
+    def test_delta_loads_through_registry(self, float_bundle, tmp_path):
+        X, _ = make_blobs()
+        parent_path, parent_manifest, qb = self._pair(float_bundle, tmp_path)
+        delta_path = tmp_path / "child.delta.zip"
+        save_delta_bundle(qb, delta_path, parent_manifest)
+        registry = ModelRegistry()
+        registry.register(parent_path)
+        name, version = registry.register(delta_path)
+        assert (name, version) == ("blobs", "1-int8")
+        loaded = registry.get("blobs@1-int8")
+        assert loaded.manifest.variant == "int8"
+        assert loaded.predict(X).shape == (X.shape[0],)
+
+    def test_registry_rejects_orphan_delta(self, float_bundle, tmp_path):
+        _, parent_manifest, qb = self._pair(float_bundle, tmp_path)
+        delta_path = tmp_path / "child.delta.zip"
+        save_delta_bundle(qb, delta_path, parent_manifest)
+        registry = ModelRegistry()
+        with pytest.raises(BundleIntegrityError, match="not registered"):
+            registry.register(delta_path)
+
+    def test_full_resave_of_delta_loaded_bundle_is_self_contained(
+        self, float_bundle, tmp_path
+    ):
+        parent_path, parent_manifest, qb = self._pair(float_bundle, tmp_path)
+        delta_path = tmp_path / "child.delta.zip"
+        save_delta_bundle(qb, delta_path, parent_manifest)
+        loaded = load_bundle(delta_path, parent_resolver=lambda ref: parent_path)
+        resaved = tmp_path / "resaved.zip"
+        save_bundle(loaded, resaved)
+        # loads without any parent: the delta pin must not carry over
+        again = load_bundle(resaved)
+        assert not again.manifest.delta_base
