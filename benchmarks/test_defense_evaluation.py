@@ -9,7 +9,20 @@ Expected shape: the deployed 200 Hz cap leaves the attack viable; a
 software low-pass at legitimate-motion bandwidth or strong mechanical
 damping drives it to (near) chance — the paper's conclusion that
 hardware/bandwidth isolation, not rate capping, is the decisive defense.
+
+``test_privacy_gate_grid`` extends the sweep to the full defense×attack
+grid (:mod:`repro.eval.defense_grid`): composable stacks against both
+the *static* attacker (trained undefended) and the *adaptive* attacker
+(retrained on defended collections), packed into a gate bundle and
+queried back through the serving front-end. The grid trajectory is
+written to ``BENCH_10.json`` (override with ``EMOLEAK_GATE_BENCH_OUT``;
+``EMOLEAK_GATE_SUBSAMPLE`` shrinks the corpus for CI).
 """
+
+import json
+import os
+
+import pytest
 
 from repro.attack.defense import (
     LowPassObfuscationDefense,
@@ -59,3 +72,133 @@ def test_defense_evaluation(benchmark):
     # Bandwidth/hardware isolation is decisive.
     assert outcomes["lowpass_20hz"][0] < baseline - 0.25
     assert outcomes["damping_40db"][0] < baseline - 0.25
+
+
+# -- defense×attack privacy-gate grid ---------------------------------------
+
+GATE_SUBSAMPLE = int(os.environ.get("EMOLEAK_GATE_SUBSAMPLE", "8"))
+
+#: Filled by test_privacy_gate_grid, serialised to BENCH_10.json.
+GATE_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_gate_bench_artifact():
+    """Write the privacy-gate grid trajectory once the module finishes."""
+    yield
+    if not GATE_RESULTS:
+        return
+    path = os.environ.get("EMOLEAK_GATE_BENCH_OUT", "BENCH_10.json")
+    payload = {
+        "schema": "emoleak/privacy-gate-bench/v1",
+        "subsample": GATE_SUBSAMPLE,
+        **GATE_RESULTS,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\n[emoleak] wrote privacy-gate trajectory to {path}")
+
+
+def test_privacy_gate_grid(benchmark, tmp_path):
+    from repro.attack.privacy_gate import (
+        LOWPASS_OFF,
+        DefenseAxes,
+        DefenseConfig,
+        GateScorer,
+    )
+    from repro.eval.defense_grid import run_defense_grid
+    from repro.serve.bundle import load_gate_bundle, save_gate_bundle
+    from repro.serve.frontend import FrontendClient, ServingFrontend
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import InferenceServer
+
+    axes = DefenseAxes(
+        rate_caps_hz=(200.0, 50.0),
+        lowpass_hz=(LOWPASS_OFF, 20.0),
+        noise_rms=(0.0, 0.1),
+        quant_lsb=(0.0,),
+    )
+    holder = {}
+
+    def run():
+        holder["report"] = run_defense_grid(
+            axes=axes,
+            modes=("static", "adaptive"),
+            classifiers=("logistic", "random_forest"),
+            subsample=GATE_SUBSAMPLE,
+            seed=0,
+            n_jobs=2,
+        )
+        return holder["report"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report = holder["report"]
+
+    print_header("Privacy gate - defense x attack grid (TESS, OnePlus 7T)")
+    for config in axes.configs():
+        parts = []
+        for mode in report.modes:
+            summary = report.summary(config, "emotion", mode)
+            margin = summary["margin"] if summary else float("nan")
+            parts.append(f"{mode} margin {margin:+.3f}")
+        print(f"  {config.name:<28} {'  '.join(parts)}")
+    frontier = report.safe_frontier()
+    print(f"  safe frontier: {[c.name for c in frontier] or 'EMPTY'}")
+
+    assert not report.degraded_cells()
+    # The deployed 200 Hz cap leaves the ADAPTIVE attacker well above
+    # chance: rate capping alone is not a defense.
+    deployed = report.summary(
+        DefenseConfig(rate_cap_hz=200.0), "emotion", "adaptive"
+    )
+    assert deployed["margin"] >= 0.15
+    # ... while at least one software-only stack in the grid pins even
+    # the retrained attacker to within 5 pp of chance.
+    assert frontier, "no swept config is safe against the adaptive attacker"
+    safest = report.summary(frontier[0], "emotion", "adaptive")
+    assert safest["margin"] <= 0.05
+
+    # Pack the grid and answer leakage queries through the serving stack.
+    bundle_path = tmp_path / "gate.zip"
+    save_gate_bundle(report, bundle_path)
+    _manifest, loaded = load_gate_bundle(bundle_path)
+    server = InferenceServer(ModelRegistry(), gate=GateScorer(loaded))
+    with server:
+        with ServingFrontend(server, host="127.0.0.1", port=0) as frontend:
+            with FrontendClient(frontend.host, frontend.port) as client:
+                swept = client.gate_score(
+                    rate_cap_hz=200.0, lowpass_hz=LOWPASS_OFF,
+                    noise_rms=0.0, quant_lsb=0.0,
+                )
+                interp = client.gate_score(
+                    rate_cap_hz=125.0, lowpass_hz=LOWPASS_OFF,
+                    noise_rms=0.0, quant_lsb=0.0,
+                )
+                refused = client.gate_score(
+                    rate_cap_hz=10.0, lowpass_hz=LOWPASS_OFF,
+                    noise_rms=0.0, quant_lsb=0.0,
+                )
+    assert swept["status"] == "ok" and swept["exact"]
+    assert abs(swept["margin"] - deployed["margin"]) < 1e-9
+    assert interp["status"] == "ok" and not interp["exact"]
+    low = report.summary(DefenseConfig(rate_cap_hz=50.0), "emotion", "adaptive")
+    bounds = sorted((low["margin"], deployed["margin"]))
+    assert bounds[0] - 1e-9 <= interp["margin"] <= bounds[1] + 1e-9
+    assert refused["status"] == "refused"
+
+    GATE_RESULTS.update(
+        {
+            "axes": {
+                "rate_caps_hz": list(axes.rate_caps_hz),
+                "lowpass_hz": list(axes.lowpass_hz),
+                "noise_rms": list(axes.noise_rms),
+                "quant_lsb": list(axes.quant_lsb),
+            },
+            "grid": report.to_payload(),
+            "safe_frontier": [c.name for c in frontier],
+            "deployed_cap_margin": deployed["margin"],
+            "safest_margin": safest["margin"],
+            "interpolated_query": interp,
+        }
+    )

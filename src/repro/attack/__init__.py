@@ -53,7 +53,17 @@ from repro.attack.defense import (
     SensorDampingDefense,
     LowPassObfuscationDefense,
     NoiseInjectionDefense,
+    QuantizationDefense,
+    ComposedDefense,
     evaluate_defense,
+)
+from repro.attack.privacy_gate import (
+    DefenseAxes,
+    DefenseConfig,
+    GateScorer,
+    LeakageCell,
+    LeakageReport,
+    leakage_score,
 )
 
 __all__ = [
@@ -93,7 +103,15 @@ __all__ = [
     "SensorDampingDefense",
     "LowPassObfuscationDefense",
     "NoiseInjectionDefense",
+    "QuantizationDefense",
+    "ComposedDefense",
     "evaluate_defense",
+    "DefenseAxes",
+    "DefenseConfig",
+    "GateScorer",
+    "LeakageCell",
+    "LeakageReport",
+    "leakage_score",
     "StreamingDetector",
     "StreamingAttack",
     "StreamedRegion",

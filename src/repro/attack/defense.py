@@ -14,8 +14,9 @@ want for each candidate mitigation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+import hashlib
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +30,8 @@ __all__ = [
     "SensorDampingDefense",
     "LowPassObfuscationDefense",
     "NoiseInjectionDefense",
+    "QuantizationDefense",
+    "ComposedDefense",
     "evaluate_defense",
 ]
 
@@ -45,6 +48,33 @@ class Defense:
     def postprocess(self, trace: np.ndarray, fs: float) -> np.ndarray:
         """Optional OS-level transform of the sensor stream."""
         return trace
+
+    def stream_stride(self, fs: float) -> int:
+        """Decimation stride this defense forces on a stream at ``fs``.
+
+        Non-trivial only for rate caps applied at the OS boundary (a
+        stream arriving faster than the cap is sample-dropped). When the
+        defense instead reconfigured the sensor via :meth:`apply`, the
+        incoming rate already satisfies the cap and the stride is 1.
+        """
+        return 1
+
+    def stream_fs(self, fs: float) -> float:
+        """Effective stream rate after this defense's postprocess."""
+        return fs / self.stream_stride(fs)
+
+    def fingerprint(self) -> tuple:
+        """Stable identity of this defense for cache keys.
+
+        Covers the class and every constructor parameter — including RNG
+        seeds — so two defended collections share a cache entry only when
+        their defended numerics are actually identical.
+        """
+        if is_dataclass(self):
+            params = tuple((f.name, getattr(self, f.name)) for f in fields(self))
+        else:
+            params = ()
+        return (type(self).__name__, params)
 
 
 @dataclass
@@ -73,6 +103,12 @@ class RateLimitDefense(Defense):
             environment=channel.environment,
             seed=channel.seed,
         )
+
+    def stream_stride(self, fs: float) -> int:
+        # OS-boundary enforcement: a stream arriving above the cap is
+        # decimated by an integer stride (sample dropping, no resample).
+        # After apply() has reconfigured the sensor this is a no-op.
+        return max(1, int(np.ceil(fs / self.max_rate_hz)))
 
 
 @dataclass
@@ -143,7 +179,6 @@ class NoiseInjectionDefense(Defense):
         if self.noise_rms < 0:
             raise ValueError("noise_rms must be non-negative")
         self.name = f"noise_{self.noise_rms:g}"
-        self._rng = np.random.default_rng(self.seed)
 
     def apply(self, channel: VibrationChannel) -> VibrationChannel:
         return channel
@@ -151,7 +186,92 @@ class NoiseInjectionDefense(Defense):
     def postprocess(self, trace: np.ndarray, fs: float) -> np.ndarray:
         if self.noise_rms == 0:
             return trace
-        return trace + self._rng.normal(0.0, self.noise_rms, trace.size)
+        # The noise stream is derived from (seed, trace content), not a
+        # consumed instance RNG: the same trace always gets the same
+        # mask regardless of call order, worker thread, or pipeline
+        # (batched vs per-utterance), while different seeds still
+        # produce genuinely different defended streams.
+        payload = np.ascontiguousarray(np.asarray(trace, dtype=np.float64))
+        digest = hashlib.sha256(payload.tobytes()).digest()
+        words = np.frombuffer(digest[:16], dtype=np.uint32)
+        rng = np.random.default_rng(
+            [0x4E4F4953, self.seed & 0xFFFFFFFF, *words.tolist()]
+        )
+        return trace + rng.normal(0.0, self.noise_rms, trace.size)
+
+
+@dataclass
+class QuantizationDefense(Defense):
+    """OS-side coarse re-quantisation of background-app sensor streams.
+
+    The hardware already quantises at the accelerometer's native LSB
+    (~0.0012 m/s²); this defense rounds the delivered stream to a much
+    coarser step, burying speech-band micro-vibrations below the
+    quantisation floor while step-scale motion survives.
+    """
+
+    lsb: float = 0.005
+
+    def __post_init__(self):
+        if self.lsb < 0:
+            raise ValueError("lsb must be non-negative")
+        self.name = f"quant_{self.lsb:g}"
+
+    def apply(self, channel: VibrationChannel) -> VibrationChannel:
+        return channel
+
+    def postprocess(self, trace: np.ndarray, fs: float) -> np.ndarray:
+        if self.lsb == 0:
+            return trace
+        return np.round(trace / self.lsb) * self.lsb
+
+
+@dataclass
+class ComposedDefense(Defense):
+    """An ordered stack of defenses applied as one unit.
+
+    ``apply`` folds every stage's channel transform left to right;
+    ``postprocess`` runs every stage's stream transform in the same
+    order, threading the effective sample rate through rate-cap stages
+    (a cap decimates the stream, so a low-pass placed *after* it sees
+    the reduced rate — order is physically significant: anti-aliased
+    filter-then-decimate differs from aliasing decimate-then-filter).
+
+    An empty stack is the identity defense.
+    """
+
+    parts: Tuple[Defense, ...] = ()
+
+    def __post_init__(self):
+        self.parts = tuple(self.parts)
+        self.name = "+".join(p.name for p in self.parts) or "none"
+
+    def apply(self, channel: VibrationChannel) -> VibrationChannel:
+        for part in self.parts:
+            channel = part.apply(channel)
+        return channel
+
+    def postprocess(self, trace: np.ndarray, fs: float) -> np.ndarray:
+        for part in self.parts:
+            stride = part.stream_stride(fs)
+            if stride > 1:
+                trace = np.ascontiguousarray(trace[::stride])
+                fs = fs / stride
+            trace = part.postprocess(trace, fs)
+        return trace
+
+    def stream_stride(self, fs: float) -> int:
+        # Composed stages may decimate at different points; expose the
+        # aggregate rate change through stream_fs instead.
+        return 1
+
+    def stream_fs(self, fs: float) -> float:
+        for part in self.parts:
+            fs = part.stream_fs(fs)
+        return fs
+
+    def fingerprint(self) -> tuple:
+        return (type(self).__name__, tuple(p.fingerprint() for p in self.parts))
 
 
 def evaluate_defense(

@@ -373,6 +373,11 @@ class _PassConfig:
     seed: int
     size: int
     feature_highpass_hz: Optional[float]
+    # OS-level defense postprocess applied to every sensor trace before
+    # detection. The channel stored above is already the *defended*
+    # channel (defense.apply ran in collect_datasets), so rate-cap
+    # stages are no-ops here and the stream rate equals accel_fs.
+    defense: Optional[object] = None
 
 
 def _item_rng(seed: int, index: int) -> np.random.Generator:
@@ -420,6 +425,9 @@ def _transmit_and_detect(config: _PassConfig, index: int, spec: UtteranceSpec):
         signal = channel.transmit(audio, corpus.audio_fs, rng)
     stats.transmits += 1
     stats.transmit_s += span.duration_s
+
+    if config.defense is not None:
+        signal = config.defense.postprocess(signal, channel.accel_fs)
 
     with trace("detect") as span:
         regions = detector.detect(signal, channel.accel_fs)
@@ -581,6 +589,11 @@ def _run_batch_chunk_fast(config: _PassConfig, items: Sequence[Tuple[int, Uttera
     stats.transmit_s += span.duration_s
 
     fs = config.channel.accel_fs
+    if config.defense is not None:
+        # Per-row postprocess keeps the batched path byte-identical to
+        # the per-utterance reference (the defense sees exactly the same
+        # unpadded trace either way).
+        signals = [config.defense.postprocess(signal, fs) for signal in signals]
     detect_batch = getattr(detector, "detect_batch", None)
     with trace("detect", n=n) as span:
         if detect_batch is not None:
@@ -863,8 +876,15 @@ def _collect_continuous(
     stats.transmits += 1 + 2 * len(specs)
     stats.transmit_s += span.duration_s
 
+    session_trace = session.trace
+    if config.defense is not None:
+        # The whole recorded session passes through the OS boundary once;
+        # the defended channel's rate already satisfies any cap, so the
+        # stream rate is unchanged (see _PassConfig.defense).
+        session_trace = config.defense.postprocess(session_trace, session.fs)
+
     with trace("detect", metric_labels={}) as span:
-        regions = config.detector.detect(session.trace, session.fs)
+        regions = config.detector.detect(session_trace, session.fs)
     stats.detect_s += span.duration_s
     stats.regions_detected += len(regions)
 
@@ -876,9 +896,9 @@ def _collect_continuous(
         for region, event in match_regions(regions, session.events):
             stats.regions_used += 1
             features = _feature_row(
-                session.trace, region, session.fs, config.feature_highpass_hz
+                session_trace, region, session.fs, config.feature_highpass_hz
             )
-            image = _image_product(session.trace, region, config.size)
+            image = _image_product(session_trace, region, config.size)
             products.append((-1, event, features, image))
     stats.product_s += span.duration_s
     return products, stats
@@ -900,6 +920,7 @@ def collection_key(
     feature_highpass_hz: Optional[float] = None,
     batch_dtype: Optional[str] = None,
     task: str = "emotion",
+    defense=None,
 ) -> str:
     """Stable key for one collection pass.
 
@@ -919,8 +940,15 @@ def collection_key(
     stay valid. Non-emotion tasks key separately, fingerprinting
     ``(task, LABELING_VERSION)`` so a labeling-policy bump invalidates
     only re-labelled entries.
+
+    A defended pass fingerprints the whole defense stack — class and
+    every constructor parameter, *including noise seeds* — so defended
+    runs that differ only in an injected-noise seed never share an
+    entry. ``defense=None`` keys exactly as before this parameter
+    existed.
     """
     import hashlib
+    import re
 
     task_name = resolve_task(task)
     parts = [
@@ -950,6 +978,10 @@ def collection_key(
     if task_name != "emotion":
         parts.append((task_name, LABELING_VERSION))
         infix = f"{task_name}-"
+    if defense is not None:
+        parts.append(("defense", defense.fingerprint()))
+        label = re.sub(r"[^A-Za-z0-9_.+-]", "_", getattr(defense, "name", "defended"))
+        infix = f"{label[:48]}-{infix}"
     digest = hashlib.sha256(repr(tuple(parts)).encode()).hexdigest()[:16]
     rate = f"{channel.accel_fs:g}"
     return (
@@ -1137,6 +1169,7 @@ def collect_datasets(
     pipeline: Optional[str] = None,
     batch_chunk: Optional[int] = None,
     task: str = "emotion",
+    defense=None,
 ) -> CollectionResult:
     """Collect the feature *and* spectrogram datasets in one shared pass.
 
@@ -1169,7 +1202,17 @@ def collect_datasets(
         task-independent: with a ``cache``, a second task over the same
         corpus re-labels the cached product rows instead of re-running
         render→transmit→detect.
+    defense:
+        Optional :class:`repro.attack.defense.Defense` (or stack). Its
+        ``apply`` reconfigures the channel before collection and its
+        ``postprocess`` transforms every sensor trace before detection —
+        the attacker only ever sees the defended stream. The defense
+        fingerprint (parameters and seeds included) is folded into the
+        cache key; relabel-from-cache still works across tasks *within*
+        one defended configuration.
     """
+    if defense is not None:
+        channel = defense.apply(channel)
     detector = detector or _default_detector(channel)
     if continuous is None:
         continuous = channel.placement is Placement.HANDHELD
@@ -1190,10 +1233,12 @@ def collect_datasets(
         base_key = collection_key(
             corpus, channel, specs, detector, continuous, seed, size,
             feature_highpass_hz, batch_dtype=str(active_dtype),
+            defense=defense,
         )
         key = base_key if task_name == "emotion" else collection_key(
             corpus, channel, specs, detector, continuous, seed, size,
             feature_highpass_hz, batch_dtype=str(active_dtype), task=task_name,
+            defense=defense,
         )
         hit = cache.lookup(key)
         if hit is not None:
@@ -1229,6 +1274,7 @@ def collect_datasets(
         seed=int(seed),
         size=int(size),
         feature_highpass_hz=feature_highpass_hz,
+        defense=defense,
     )
     with trace(
         "collect",

@@ -1,0 +1,458 @@
+"""Privacy-gate data model: defense grids, leakage reports, gate scoring.
+
+The defense×attack grid (run by :func:`repro.eval.defense_grid.run_defense_grid`)
+sweeps the full cross product of four OS-level defense axes — sampling-rate
+cap × low-pass cutoff × injected-noise RMS × quantisation LSB — against the
+attack's task heads in two attacker modes:
+
+``static``
+    classifier trained on *undefended* collections, evaluated on defended
+    ones — the attacker a platform ships a mitigation against today;
+``adaptive``
+    classifier retrained on defended collections — the attacker that
+    adapts to the deployed mitigation. A config is only *safe* if the
+    adaptive attacker is also reduced to chance.
+
+Every grid cell carries accuracy, margin over chance, and a **leakage
+score** — the attacker's normalized advantage::
+
+    leakage = max(0, (accuracy - chance) / (1 - chance))
+
+so 0 means the config leaks nothing (attacker at or below chance) and 1
+means the attack is unimpaired. The :class:`LeakageReport` aggregates the
+grid, derives the safe-config frontier, serializes into a versioned gate
+bundle (:func:`repro.serve.bundle.save_gate_bundle`), and powers the
+:class:`GateScorer` serving endpoint, which answers "how much does this
+sensor config leak?" for swept *and* interpolated configs — and refuses
+to extrapolate beyond the swept ranges.
+
+Axis conventions: every axis is numeric and monotone in defense strength.
+"No cap" / "no filter" are expressed as values high enough to be physical
+no-ops (:data:`RATE_CAP_OFF`, :data:`LOWPASS_OFF`); "no noise" / "no
+re-quantisation" are ``0.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.attack.defense import (
+    ComposedDefense,
+    LowPassObfuscationDefense,
+    NoiseInjectionDefense,
+    QuantizationDefense,
+    RateLimitDefense,
+)
+
+__all__ = [
+    "GATE_SCHEMA",
+    "RATE_CAP_OFF",
+    "LOWPASS_OFF",
+    "DefenseConfig",
+    "DefenseAxes",
+    "LeakageCell",
+    "LeakageReport",
+    "GateError",
+    "GateRangeError",
+    "GateDegradedError",
+    "GateScorer",
+    "leakage_score",
+]
+
+GATE_SCHEMA = "emoleak/privacy-gate/v1"
+
+#: Rate cap high enough to be a no-op on every simulated device
+#: (the fastest accelerometer profile samples below 500 Hz).
+RATE_CAP_OFF = 1000.0
+#: Low-pass cutoff far above any simulated Nyquist — the filter no-ops.
+LOWPASS_OFF = 1000.0
+
+
+def leakage_score(accuracy: float, chance: float) -> float:
+    """Normalized attacker advantage in [0, 1]."""
+    if chance >= 1.0:
+        return 0.0
+    return max(0.0, (float(accuracy) - float(chance)) / (1.0 - float(chance)))
+
+
+@dataclass(frozen=True)
+class DefenseConfig:
+    """One point on the 4-axis defense grid."""
+
+    rate_cap_hz: float = RATE_CAP_OFF
+    lowpass_hz: float = LOWPASS_OFF
+    noise_rms: float = 0.0
+    quant_lsb: float = 0.0
+
+    @property
+    def key(self) -> Tuple[float, float, float, float]:
+        return (
+            float(self.rate_cap_hz),
+            float(self.lowpass_hz),
+            float(self.noise_rms),
+            float(self.quant_lsb),
+        )
+
+    @property
+    def name(self) -> str:
+        return (
+            f"cap{self.rate_cap_hz:g}-lpf{self.lowpass_hz:g}"
+            f"-noise{self.noise_rms:g}-lsb{self.quant_lsb:g}"
+        )
+
+    def build(self, noise_seed: int = 0) -> ComposedDefense:
+        """The composable defense stack realising this config.
+
+        All four stages are always present (no-op values included) so
+        every grid cell fingerprints with the same stack structure.
+        """
+        return ComposedDefense((
+            RateLimitDefense(max_rate_hz=float(self.rate_cap_hz)),
+            LowPassObfuscationDefense(cutoff_hz=float(self.lowpass_hz)),
+            NoiseInjectionDefense(noise_rms=float(self.noise_rms), seed=noise_seed),
+            QuantizationDefense(lsb=float(self.quant_lsb)),
+        ))
+
+    def to_dict(self) -> dict:
+        return {
+            "rate_cap_hz": float(self.rate_cap_hz),
+            "lowpass_hz": float(self.lowpass_hz),
+            "noise_rms": float(self.noise_rms),
+            "quant_lsb": float(self.quant_lsb),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DefenseConfig":
+        return cls(
+            rate_cap_hz=float(payload["rate_cap_hz"]),
+            lowpass_hz=float(payload["lowpass_hz"]),
+            noise_rms=float(payload["noise_rms"]),
+            quant_lsb=float(payload["quant_lsb"]),
+        )
+
+
+_AXIS_FIELDS = ("rate_caps_hz", "lowpass_hz", "noise_rms", "quant_lsb")
+
+
+@dataclass(frozen=True)
+class DefenseAxes:
+    """The swept values per axis; the grid is their full cross product."""
+
+    rate_caps_hz: Tuple[float, ...] = (RATE_CAP_OFF, 200.0)
+    lowpass_hz: Tuple[float, ...] = (LOWPASS_OFF, 20.0)
+    noise_rms: Tuple[float, ...] = (0.0,)
+    quant_lsb: Tuple[float, ...] = (0.0,)
+
+    def __post_init__(self):
+        for name in _AXIS_FIELDS:
+            values = tuple(sorted({float(v) for v in getattr(self, name)}))
+            if not values:
+                raise ValueError(f"axis {name} must sweep at least one value")
+            object.__setattr__(self, name, values)
+
+    def configs(self) -> List[DefenseConfig]:
+        return [
+            DefenseConfig(cap, lpf, noise, lsb)
+            for cap, lpf, noise, lsb in product(
+                self.rate_caps_hz, self.lowpass_hz, self.noise_rms, self.quant_lsb
+            )
+        ]
+
+    def to_dict(self) -> dict:
+        return {name: list(getattr(self, name)) for name in _AXIS_FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DefenseAxes":
+        return cls(**{name: tuple(payload[name]) for name in _AXIS_FIELDS})
+
+
+@dataclass
+class LeakageCell:
+    """One (config, task, mode, classifier) cell of the grid.
+
+    ``status`` is one of:
+
+    - ``"ok"`` — the experiment ran; accuracy/margin/leakage are real.
+    - ``"denied"`` — the defense suppressed so much signal that no
+      experiment could run (too few usable samples). Total denial is the
+      defender's best case and scores chance-level: leakage 0.
+    - ``"degraded"`` — the cell *failed* (collection or training raised);
+      ``error`` carries the message and the scores are untrustworthy.
+      Degraded cells never count toward the safe frontier.
+    """
+
+    config: DefenseConfig
+    task: str
+    mode: str
+    classifier: str
+    status: str = "ok"
+    accuracy: float = 0.0
+    chance: float = 0.0
+    n_classes: int = 0
+    n_test: int = 0
+    extraction_rate: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def margin(self) -> float:
+        return float(self.accuracy) - float(self.chance)
+
+    @property
+    def leakage(self) -> float:
+        return leakage_score(self.accuracy, self.chance)
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "task": self.task,
+            "mode": self.mode,
+            "classifier": self.classifier,
+            "status": self.status,
+            "accuracy": float(self.accuracy),
+            "chance": float(self.chance),
+            "n_classes": int(self.n_classes),
+            "n_test": int(self.n_test),
+            "extraction_rate": float(self.extraction_rate),
+            "margin": self.margin,
+            "leakage": self.leakage,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LeakageCell":
+        return cls(
+            config=DefenseConfig.from_dict(payload["config"]),
+            task=payload["task"],
+            mode=payload["mode"],
+            classifier=payload["classifier"],
+            status=payload["status"],
+            accuracy=float(payload["accuracy"]),
+            chance=float(payload["chance"]),
+            n_classes=int(payload["n_classes"]),
+            n_test=int(payload.get("n_test", 0)),
+            extraction_rate=float(payload.get("extraction_rate", 0.0)),
+            error=payload.get("error"),
+        )
+
+
+@dataclass
+class LeakageReport:
+    """The finished defense×attack grid, ready to pack into a gate bundle."""
+
+    axes: DefenseAxes
+    scenarios: Dict[str, str]  # task -> scenario name
+    tasks: Tuple[str, ...]
+    modes: Tuple[str, ...]
+    classifiers: Tuple[str, ...]
+    seed: int
+    noise_seed: int
+    subsample: Optional[int]
+    cells: List[LeakageCell] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def cells_for(
+        self,
+        config: Optional[DefenseConfig] = None,
+        task: Optional[str] = None,
+        mode: Optional[str] = None,
+    ) -> List[LeakageCell]:
+        out = []
+        for cell in self.cells:
+            if config is not None and cell.config.key != config.key:
+                continue
+            if task is not None and cell.task != task:
+                continue
+            if mode is not None and cell.mode != mode:
+                continue
+            out.append(cell)
+        return out
+
+    def summary(
+        self, config: DefenseConfig, task: str, mode: str
+    ) -> Optional[dict]:
+        """Best-attacker view of one (config, task, mode): the cell with
+        the highest accuracy over all classifiers. ``None`` when every
+        classifier cell for the point is degraded."""
+        cells = [
+            c for c in self.cells_for(config, task, mode) if c.status != "degraded"
+        ]
+        if not cells:
+            return None
+        best = max(cells, key=lambda c: float(c.accuracy))
+        return {
+            "config": config.to_dict(),
+            "task": task,
+            "mode": mode,
+            "classifier": best.classifier,
+            "status": best.status,
+            "accuracy": float(best.accuracy),
+            "chance": float(best.chance),
+            "margin": best.margin,
+            "leakage": best.leakage,
+        }
+
+    def degraded_cells(self) -> List[LeakageCell]:
+        return [c for c in self.cells if c.status == "degraded"]
+
+    def safe_frontier(
+        self, threshold: float = 0.05, mode: str = "adaptive"
+    ) -> List[DefenseConfig]:
+        """Configs where the *adaptive* attacker stays within ``threshold``
+        of chance on every task — the deployable mitigation set. A config
+        with any degraded (or missing) task cell is never called safe."""
+        frontier = []
+        for config in self.axes.configs():
+            verdicts = []
+            for task in self.tasks:
+                summary = self.summary(config, task, mode)
+                verdicts.append(
+                    summary is not None and summary["margin"] <= threshold
+                )
+            if verdicts and all(verdicts):
+                frontier.append(config)
+        return frontier
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": GATE_SCHEMA,
+            "axes": self.axes.to_dict(),
+            "scenarios": dict(self.scenarios),
+            "tasks": list(self.tasks),
+            "modes": list(self.modes),
+            "classifiers": list(self.classifiers),
+            "seed": int(self.seed),
+            "noise_seed": int(self.noise_seed),
+            "subsample": self.subsample,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "frontier": {
+                "threshold": 0.05,
+                "mode": "adaptive",
+                "configs": [c.to_dict() for c in self.safe_frontier()],
+            },
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LeakageReport":
+        schema = payload.get("schema")
+        if schema != GATE_SCHEMA:
+            raise ValueError(
+                f"unsupported gate schema {schema!r} (expected {GATE_SCHEMA!r})"
+            )
+        return cls(
+            axes=DefenseAxes.from_dict(payload["axes"]),
+            scenarios=dict(payload["scenarios"]),
+            tasks=tuple(payload["tasks"]),
+            modes=tuple(payload["modes"]),
+            classifiers=tuple(payload["classifiers"]),
+            seed=int(payload["seed"]),
+            noise_seed=int(payload["noise_seed"]),
+            subsample=payload.get("subsample"),
+            cells=[LeakageCell.from_dict(c) for c in payload["cells"]],
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+class GateError(ValueError):
+    """Base error for gate scoring."""
+
+
+class GateRangeError(GateError):
+    """Query outside the swept axis ranges — extrapolation refused."""
+
+
+class GateDegradedError(GateError):
+    """A grid cell the query depends on is degraded."""
+
+
+class GateScorer:
+    """Answer leakage queries from a finished :class:`LeakageReport`.
+
+    Swept configs return their grid cell exactly; configs between grid
+    points are multilinearly interpolated across the (up to) 16
+    surrounding corners. Queries outside any swept axis range raise
+    :class:`GateRangeError` — the grid carries no evidence out there.
+    """
+
+    def __init__(self, report: LeakageReport):
+        self.report = report
+
+    def _bracket(
+        self, axis: str, values: Sequence[float], query: float
+    ) -> List[Tuple[float, float]]:
+        """``[(value, weight), ...]`` of the 1–2 bracketing grid values."""
+        lo, hi = values[0], values[-1]
+        if query < lo or query > hi:
+            raise GateRangeError(
+                f"{axis}={query:g} outside swept range [{lo:g}, {hi:g}]; "
+                "extrapolation refused"
+            )
+        for value in values:
+            if query == value:
+                return [(value, 1.0)]
+        below = max(v for v in values if v < query)
+        above = min(v for v in values if v > query)
+        t = (query - below) / (above - below)
+        return [(below, 1.0 - t), (above, t)]
+
+    def score(
+        self,
+        rate_cap_hz: float,
+        lowpass_hz: float,
+        noise_rms: float,
+        quant_lsb: float,
+        task: Optional[str] = None,
+        mode: str = "adaptive",
+    ) -> dict:
+        report = self.report
+        if task is None:
+            task = report.tasks[0]
+        if task not in report.tasks:
+            raise GateError(
+                f"task {task!r} not in gate grid (swept: {list(report.tasks)})"
+            )
+        if mode not in report.modes:
+            raise GateError(
+                f"mode {mode!r} not in gate grid (swept: {list(report.modes)})"
+            )
+        axes = report.axes
+        brackets = [
+            self._bracket("rate_cap_hz", axes.rate_caps_hz, float(rate_cap_hz)),
+            self._bracket("lowpass_hz", axes.lowpass_hz, float(lowpass_hz)),
+            self._bracket("noise_rms", axes.noise_rms, float(noise_rms)),
+            self._bracket("quant_lsb", axes.quant_lsb, float(quant_lsb)),
+        ]
+        accuracy = margin = leakage = chance = 0.0
+        corners = []
+        for (cap, w1), (lpf, w2), (noise, w3), (lsb, w4) in product(*brackets):
+            weight = w1 * w2 * w3 * w4
+            if weight == 0.0:
+                continue
+            corner = DefenseConfig(cap, lpf, noise, lsb)
+            summary = report.summary(corner, task, mode)
+            if summary is None:
+                raise GateDegradedError(
+                    f"grid cell {corner.name} ({task}/{mode}) is degraded; "
+                    "cannot score queries that depend on it"
+                )
+            accuracy += weight * summary["accuracy"]
+            margin += weight * summary["margin"]
+            leakage += weight * summary["leakage"]
+            chance += weight * summary["chance"]
+            corners.append({"config": corner.to_dict(), "weight": weight})
+        return {
+            "config": DefenseConfig(
+                float(rate_cap_hz), float(lowpass_hz),
+                float(noise_rms), float(quant_lsb),
+            ).to_dict(),
+            "task": task,
+            "mode": mode,
+            "accuracy": accuracy,
+            "chance": chance,
+            "margin": margin,
+            "leakage": leakage,
+            "exact": len(corners) == 1,
+            "n_corners": len(corners),
+        }

@@ -13,6 +13,9 @@ Usage::
     python -m repro.cli serve --bundle model.zip --burst 64
     python -m repro.cli serve --bundle model.zip --listen 127.0.0.1:7860
     python -m repro.cli client --connect 127.0.0.1:7860 --tenant phone-a
+    python -m repro.cli gate pack --out gate.zip --subsample 8
+    python -m repro.cli gate score --bundle gate.zip --rate-cap 125 \
+        --lowpass 1000                               # leakage of a config
 
 Prints the paper-vs-measured comparison line and the confusion matrix
 (or, with ``--table``, the full reproduced table next to the published
@@ -59,9 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--table",
-        choices=("III", "IV", "V", "VI", "ATTACKS"),
+        choices=("III", "IV", "V", "VI", "ATTACKS", "DEFENSES"),
         help="regenerate a whole paper table instead of one cell "
-             "(ATTACKS: the multi-attack task comparison)",
+             "(ATTACKS: the multi-attack task comparison; DEFENSES: "
+             "the mitigation sweep vs the adaptive attacker)",
     )
     parser.add_argument(
         "--task",
@@ -189,9 +193,10 @@ def _list_scenarios() -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] in ("bundle", "serve", "client"):
+    if argv and argv[0] in ("bundle", "serve", "client", "gate"):
         # Serving-layer subcommands: `repro bundle pack|inspect`,
-        # `repro serve [--listen HOST:PORT]`, `repro client --connect …`.
+        # `repro serve [--listen HOST:PORT]`, `repro client --connect …`,
+        # `repro gate pack|score` (privacy-gate leakage scoring).
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv)

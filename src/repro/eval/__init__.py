@@ -29,6 +29,7 @@ from repro.eval.io import (
     result_to_json,
 )
 from repro.eval.suite import TableSuite, run_table
+from repro.eval.defense_grid import run_defense_grid, run_defense_table
 
 __all__ = [
     "CLASSIFIER_NAMES",
@@ -55,4 +56,6 @@ __all__ = [
     "result_to_json",
     "TableSuite",
     "run_table",
+    "run_defense_grid",
+    "run_defense_table",
 ]

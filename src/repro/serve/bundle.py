@@ -77,6 +77,9 @@ __all__ = [
     "quantize_bundle",
     "read_manifest",
     "save_delta_bundle",
+    "GATE_KIND",
+    "save_gate_bundle",
+    "load_gate_bundle",
 ]
 
 #: Current on-disk bundle layout version. Readers refuse anything else.
@@ -95,6 +98,11 @@ CLASSIFIER_MEMBER = "classifier.json"
 SCALER_MEMBER = "scaler.json"
 CNN_CONFIG_MEMBER = "cnn.json"
 CNN_WEIGHTS_MEMBER = "cnn_weights.npz"
+GATE_MEMBER = "gate.json"
+
+#: provenance["kind"] marking a privacy-gate bundle (a serialized
+#: LeakageReport instead of a predictor).
+GATE_KIND = "privacy-gate"
 
 _PathLike = Union[str, Path]
 
@@ -647,6 +655,90 @@ def quantize_bundle(
         parent_pointer["manifest_sha256"] = manifest_sha256(bundle.manifest)
     derived.manifest.parent = parent_pointer
     return derived
+
+
+def save_gate_bundle(
+    report,
+    path: _PathLike,
+    name: str = "privacy-gate",
+    version: str = "1",
+    provenance: Optional[dict] = None,
+) -> BundleManifest:
+    """Pack a :class:`~repro.attack.privacy_gate.LeakageReport` into a
+    versioned, integrity-checked gate bundle (directory or ``.zip``).
+
+    Gate bundles reuse the model-bundle container — same manifest, same
+    member hashing, same :func:`verify_bundle` — but pack a single
+    ``gate.json`` member (the serialized leakage grid) instead of a
+    predictor, and are marked ``provenance["kind"] == "privacy-gate"``.
+    ``labels`` carries the grid's task list.
+    """
+    path = Path(path)
+    payload = report.to_payload() if hasattr(report, "to_payload") else dict(report)
+    data = json.dumps(payload, indent=2, sort_keys=True).encode()
+    merged_provenance = {
+        "kind": GATE_KIND,
+        "schema": payload.get("schema"),
+        "scenarios": dict(payload.get("scenarios", {})),
+        "seed": payload.get("seed"),
+        "subsample": payload.get("subsample"),
+    }
+    merged_provenance.update(provenance or {})
+    manifest = BundleManifest(
+        name=str(name),
+        version=str(version),
+        labels=[str(t) for t in payload.get("tasks", [])],
+        feature_schema=[],
+        provenance=merged_provenance,
+        created_unix=time.time(),
+        members={GATE_MEMBER: {"sha256": _sha256(data), "bytes": len(data)}},
+    )
+    manifest_bytes = _manifest_bytes(manifest)
+    if _is_zip_path(path):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as zf:
+            zf.writestr(MANIFEST_MEMBER, manifest_bytes)
+            zf.writestr(GATE_MEMBER, data)
+    else:
+        path.mkdir(parents=True, exist_ok=True)
+        (path / MANIFEST_MEMBER).write_bytes(manifest_bytes)
+        (path / GATE_MEMBER).write_bytes(data)
+    return manifest
+
+
+def load_gate_bundle(path: _PathLike):
+    """Load a gate bundle; returns ``(manifest, LeakageReport)``.
+
+    Every member hash is verified (:func:`verify_bundle`) before the
+    gate payload is parsed — a tampered gate bundle is rejected with
+    :class:`BundleIntegrityError` without interpreting a byte of it.
+    Model bundles are rejected with :class:`BundleFormatError` (use
+    :func:`load_bundle`), as is a gate payload with an unknown schema.
+    """
+    from repro.attack.privacy_gate import LeakageReport
+
+    path = Path(path)
+    manifest, members = verify_bundle(path)
+    source = str(path)
+    kind = manifest.provenance.get("kind")
+    if kind != GATE_KIND:
+        raise BundleFormatError(
+            f"{source}: not a privacy-gate bundle "
+            f"(provenance kind {kind!r}); use load_bundle for model bundles"
+        )
+    if GATE_MEMBER not in members:
+        raise BundleFormatError(f"{source}: gate bundle packs no {GATE_MEMBER}")
+    try:
+        payload = json.loads(members[GATE_MEMBER].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BundleFormatError(f"{source}: bad {GATE_MEMBER}: {exc}") from exc
+    try:
+        report = LeakageReport.from_payload(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BundleFormatError(
+            f"{source}: malformed gate payload: {exc}"
+        ) from exc
+    return manifest, report
 
 
 def read_manifest(path: _PathLike) -> BundleManifest:

@@ -17,6 +17,9 @@
     python -m repro.cli serve --bundle models/tess.zip \
         --listen 127.0.0.1:7860 --tenant phones:200:50:2
     python -m repro.cli client --connect 127.0.0.1:7860 --tenant phones
+    python -m repro.cli gate pack --out models/gate.zip --subsample 8
+    python -m repro.cli gate score --bundle models/gate.zip \
+        --rate-cap 125 --lowpass 1000 --noise 0 --lsb 0
 
 ``bundle pack`` trains the chosen pipeline on a scenario through the
 collection engine and writes a versioned, hash-stamped artifact
@@ -34,6 +37,14 @@ instead exposes the server over TCP behind the multi-tenant
 :class:`~repro.serve.frontend.ServingFrontend`; ``client`` talks to
 such a front-end with the blocking
 :class:`~repro.serve.frontend.FrontendClient`.
+
+``gate pack`` runs the defense×attack grid
+(:func:`repro.eval.defense_grid.run_defense_grid`) and packs the
+resulting leakage report into a hash-stamped gate bundle; ``gate
+score`` answers "how much does this sensor config leak?" — against a
+live front-end with ``--connect``, or by loading ``--bundle`` into an
+ephemeral loopback server so the answer goes through the same serving
+stack either way.
 """
 
 from __future__ import annotations
@@ -139,6 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME@VERSION:FRACTION",
                        help="route FRACTION of the default model's bare-name "
                             "traffic to a candidate version")
+    serve.add_argument("--gate", default=None, metavar="PATH",
+                       help="also load a privacy-gate bundle; the "
+                            "front-end then answers `gate` ops")
     serve.add_argument("--max-batch", type=int, default=32)
     serve.add_argument("--linger-ms", type=float, default=2.0)
     serve.add_argument("--seed", type=int, default=7)
@@ -165,6 +179,72 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--ping", action="store_true",
                         help="just check liveness and exit")
     client.add_argument("--seed", type=int, default=7)
+
+    gate = sub.add_parser("gate", help="privacy-gate leakage scoring")
+    gate_sub = gate.add_subparsers(dest="gate_command", required=True)
+
+    gate_pack = gate_sub.add_parser(
+        "pack", help="run the defense grid and pack a gate bundle")
+    gate_pack.add_argument("--out", required=True,
+                           help="gate bundle path (directory or .zip)")
+    gate_pack.add_argument("--scenario", action="append", default=None,
+                           metavar="NAME",
+                           help="scenario per attacked task head "
+                                "(repeatable; default: the emotion head "
+                                "on tess-loud-oneplus7t)")
+    gate_pack.add_argument("--rate-cap", type=float, action="append",
+                           default=None, metavar="HZ",
+                           help="sampling-rate cap axis value (repeatable; "
+                                "default: 1000 200)")
+    gate_pack.add_argument("--lowpass", type=float, action="append",
+                           default=None, metavar="HZ",
+                           help="low-pass cutoff axis value (repeatable; "
+                                "default: 1000 20)")
+    gate_pack.add_argument("--noise", type=float, action="append",
+                           default=None, metavar="RMS",
+                           help="injected-noise RMS axis value (repeatable; "
+                                "default: 0)")
+    gate_pack.add_argument("--lsb", type=float, action="append",
+                           default=None, metavar="LSB",
+                           help="quantisation step axis value (repeatable; "
+                                "default: 0)")
+    gate_pack.add_argument("--classifier", action="append", default=None,
+                           choices=("logistic", "random_forest"),
+                           help="attacker classifiers (repeatable; "
+                                "default: both)")
+    gate_pack.add_argument("--mode", action="append", default=None,
+                           choices=("static", "adaptive"),
+                           help="attacker modes (repeatable; default: both)")
+    gate_pack.add_argument("--name", default="privacy-gate")
+    gate_pack.add_argument("--version", default="1")
+    gate_pack.add_argument("--subsample", type=int, default=12, metavar="N",
+                           help="utterances per class (default: 12)")
+    gate_pack.add_argument("--seed", type=int, default=0)
+    gate_pack.add_argument("--noise-seed", type=int, default=0)
+    gate_pack.add_argument("--n-jobs", type=int, default=1, metavar="N")
+
+    gate_score = gate_sub.add_parser(
+        "score", help="score a sensor config against a packed gate")
+    source = gate_score.add_mutually_exclusive_group(required=True)
+    source.add_argument("--bundle", default=None,
+                        help="gate bundle to serve over an ephemeral "
+                             "loopback front-end")
+    source.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="live front-end already serving a gate")
+    gate_score.add_argument("--rate-cap", type=float, required=True,
+                            metavar="HZ", help="sampling-rate cap to score")
+    gate_score.add_argument("--lowpass", type=float, required=True,
+                            metavar="HZ", help="low-pass cutoff to score")
+    gate_score.add_argument("--noise", type=float, default=0.0,
+                            metavar="RMS", help="injected-noise RMS")
+    gate_score.add_argument("--lsb", type=float, default=0.0,
+                            metavar="LSB", help="quantisation step")
+    gate_score.add_argument("--task", default=None,
+                            help="attacked task head (default: the grid's "
+                                 "first swept task)")
+    gate_score.add_argument("--mode", default="adaptive",
+                            choices=("static", "adaptive"))
+    gate_score.add_argument("--tenant", default="cli")
     return parser
 
 
@@ -470,11 +550,21 @@ def _cmd_serve(args) -> int:
         # newest registration, so pin it back below).
         if default_ref is None:
             default_ref = f"{name}@{version}"
+    gate = None
+    if args.gate:
+        from repro.attack.privacy_gate import GateScorer
+        from repro.serve.bundle import load_gate_bundle
+
+        gate_manifest, gate_report = load_gate_bundle(args.gate)
+        gate = GateScorer(gate_report)
+        print(f"gate      : {gate_manifest.ref} "
+              f"(tasks: {', '.join(gate_report.tasks)})")
     server = InferenceServer(
         registry,
         model=default_ref,
         max_batch=args.max_batch,
         max_linger_s=args.linger_ms / 1e3,
+        gate=gate,
     )
     if default_ref is not None:
         name, _, version = default_ref.partition("@")
@@ -585,13 +675,124 @@ def _cmd_client(args) -> int:
         return 0 if err == 0 else 1
 
 
+def _cmd_gate_pack(args) -> int:
+    from repro.attack.privacy_gate import DefenseAxes
+    from repro.eval.defense_grid import run_defense_grid
+    from repro.serve.bundle import save_gate_bundle
+
+    axes = DefenseAxes(
+        rate_caps_hz=tuple(args.rate_cap) if args.rate_cap else (1000.0, 200.0),
+        lowpass_hz=tuple(args.lowpass) if args.lowpass else (1000.0, 20.0),
+        noise_rms=tuple(args.noise) if args.noise else (0.0,),
+        quant_lsb=tuple(args.lsb) if args.lsb else (0.0,),
+    )
+    scenarios = tuple(args.scenario) if args.scenario else None
+    report = run_defense_grid(
+        scenarios=scenarios,
+        axes=axes,
+        modes=tuple(args.mode) if args.mode else ("static", "adaptive"),
+        classifiers=(
+            tuple(args.classifier)
+            if args.classifier
+            else ("logistic", "random_forest")
+        ),
+        subsample=args.subsample,
+        seed=args.seed,
+        noise_seed=args.noise_seed,
+        n_jobs=args.n_jobs,
+    )
+    n_cells = len(report.cells)
+    n_degraded = len(report.degraded_cells())
+    frontier = report.safe_frontier()
+    print(f"grid      : {n_cells} cells over {len(list(axes.configs()))} "
+          f"configs x {len(report.tasks)} tasks "
+          f"({n_degraded} degraded)")
+    print(f"frontier  : {[c.name for c in frontier] or 'EMPTY'}")
+    manifest = save_gate_bundle(
+        report, args.out, name=args.name, version=args.version
+    )
+    print(f"packed    : {manifest.ref} -> {args.out}")
+    for member, meta in sorted(manifest.members.items()):
+        print(f"  {member:<18} {meta['bytes']:>9} B  sha256 "
+              f"{str(meta['sha256'])[:16]}…")
+    return 0
+
+
+def _print_gate_reply(reply) -> int:
+    status = reply.get("status")
+    if status == "refused":
+        print(f"REFUSED   : {reply.get('error')}")
+        return 2
+    if status != "ok":
+        print(f"error     : {reply.get('error')}", file=sys.stderr)
+        return 1
+    config = reply.get("config", {})
+    print(f"config    : cap {config.get('rate_cap_hz'):g} Hz, "
+          f"lpf {config.get('lowpass_hz'):g} Hz, "
+          f"noise {config.get('noise_rms'):g}, "
+          f"lsb {config.get('quant_lsb'):g}")
+    print(f"attacker  : {reply.get('task')} head, {reply.get('mode')} mode")
+    print(f"accuracy  : {reply.get('accuracy'):.3f} "
+          f"(chance {reply.get('chance'):.3f}, "
+          f"margin {reply.get('margin'):+.3f})")
+    kind = "swept cell" if reply.get("exact") else (
+        f"interpolated over {reply.get('n_corners')} corners")
+    print(f"leakage   : {reply.get('leakage'):.3f}  [{kind}]")
+    return 0
+
+
+def _cmd_gate_score(args) -> int:
+    from repro.serve.frontend import FrontendClient
+
+    def ask(client: FrontendClient) -> int:
+        reply = client.gate_score(
+            rate_cap_hz=args.rate_cap,
+            lowpass_hz=args.lowpass,
+            noise_rms=args.noise,
+            quant_lsb=args.lsb,
+            task=args.task,
+            mode=args.mode,
+        )
+        return _print_gate_reply(reply)
+
+    if args.connect:
+        host, port = _parse_hostport(args.connect)
+        with FrontendClient(host, port, tenant=args.tenant) as client:
+            return ask(client)
+
+    # Local bundle: verify + load it, then answer through the same
+    # serving stack a live deployment uses (ephemeral loopback).
+    from repro.attack.privacy_gate import GateScorer
+    from repro.serve.bundle import BundleError, load_gate_bundle
+    from repro.serve.frontend import ServingFrontend
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import InferenceServer
+
+    try:
+        manifest, report = load_gate_bundle(args.bundle)
+    except BundleError as exc:
+        print(f"REJECTED: {exc}", file=sys.stderr)
+        return 1
+    print(f"gate      : {manifest.ref} "
+          f"(tasks: {', '.join(report.tasks)})")
+    server = InferenceServer(ModelRegistry(), gate=GateScorer(report))
+    with server:
+        frontend = ServingFrontend(server, host="127.0.0.1", port=0)
+        with frontend:
+            with FrontendClient(
+                frontend.host, frontend.port, tenant=args.tenant
+            ) as client:
+                return ask(client)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    # Accept `repro bundle pack …`, `repro serve …` and `repro client …`
-    # spellings: the dispatcher in repro.cli forwards the whole tail.
+    # Accept `repro bundle pack …`, `repro serve …`, `repro client …`
+    # and `repro gate …` spellings: the dispatcher in repro.cli
+    # forwards the whole tail.
     if argv and argv[0] == "bundle":
         argv = argv[1:]
-    elif argv and argv[0] in ("serve", "client"):
+    elif argv and argv[0] in ("serve", "client", "gate"):
         argv = [argv[0]] + argv[1:]
     args = build_parser().parse_args(argv)
     if args.command == "pack":
@@ -604,6 +805,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_delta(args)
     if args.command == "client":
         return _cmd_client(args)
+    if args.command == "gate":
+        if args.gate_command == "pack":
+            return _cmd_gate_pack(args)
+        return _cmd_gate_score(args)
     return _cmd_serve(args)
 
 

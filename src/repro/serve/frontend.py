@@ -311,6 +311,9 @@ class ServingFrontend:
         if op == "ping":
             conn.send({"op": "pong", "id": message.get("id")})
             return
+        if op == "gate":
+            self._handle_gate(conn, message)
+            return
         if op != "predict":
             conn.send(
                 {
@@ -362,6 +365,76 @@ class ServingFrontend:
         metrics().gauge("frontend.backlog", self.admission.backlog())
         assert self._wake is not None
         self._wake.set()
+
+    def _handle_gate(self, conn: _Connection, message: Dict[str, Any]) -> None:
+        """Answer one privacy-gate leakage query synchronously.
+
+        Gate scoring is a pure table lookup / interpolation over the
+        packed :class:`~repro.attack.privacy_gate.LeakageReport`, so it
+        bypasses the batching queue entirely: no lane, no admission, no
+        shed. Out-of-range configs come back as ``status: "refused"``
+        (the scorer will not extrapolate beyond the swept grid) rather
+        than a transport error, so callers can distinguish "unsafe to
+        answer" from "malformed request".
+        """
+        from repro.attack.privacy_gate import GateRangeError
+
+        msg_id = message.get("id")
+        metrics().count("frontend.gate_requests")
+        gate = getattr(self.server, "gate", None)
+        if gate is None:
+            conn.send(
+                {
+                    "op": "gate_result",
+                    "id": msg_id,
+                    "status": "error",
+                    "error": "no privacy gate loaded on this server",
+                }
+            )
+            return
+        config = message.get("config")
+        if not isinstance(config, dict):
+            conn.send(
+                {
+                    "op": "gate_result",
+                    "id": msg_id,
+                    "status": "error",
+                    "error": "gate needs a config object with rate_cap_hz, "
+                    "lowpass_hz, noise_rms and quant_lsb",
+                }
+            )
+            return
+        try:
+            score = gate.score(
+                rate_cap_hz=float(config["rate_cap_hz"]),
+                lowpass_hz=float(config["lowpass_hz"]),
+                noise_rms=float(config["noise_rms"]),
+                quant_lsb=float(config["quant_lsb"]),
+                task=message.get("task"),
+                mode=str(message.get("mode", "adaptive")),
+            )
+        except GateRangeError as exc:
+            metrics().count("frontend.gate_refused")
+            conn.send(
+                {
+                    "op": "gate_result",
+                    "id": msg_id,
+                    "status": "refused",
+                    "error": str(exc),
+                }
+            )
+            return
+        except (KeyError, TypeError, ValueError) as exc:
+            conn.send(
+                {
+                    "op": "gate_result",
+                    "id": msg_id,
+                    "status": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        conn.send({"op": "gate_result", "id": msg_id, "status": "ok", **score})
 
     def _parse_predict(
         self,
@@ -798,3 +871,35 @@ class FrontendClient:
             message["payload"] = [float(x) for x in features]
             frame = encode_message(message)
         return self._roundtrip(frame)
+
+    def gate_score(
+        self,
+        *,
+        rate_cap_hz: float,
+        lowpass_hz: float,
+        noise_rms: float,
+        quant_lsb: float,
+        task: Optional[str] = None,
+        mode: str = "adaptive",
+    ) -> Dict[str, Any]:
+        """Ask the server's privacy gate how much a sensor config leaks.
+
+        Returns the ``gate_result`` message: ``status`` is ``"ok"``
+        (with accuracy/margin/leakage fields), ``"refused"`` when the
+        config falls outside the swept grid, or ``"error"``.
+        """
+        message: Dict[str, Any] = {
+            "op": "gate",
+            "id": next(self._ids),
+            "tenant": self.tenant,
+            "config": {
+                "rate_cap_hz": float(rate_cap_hz),
+                "lowpass_hz": float(lowpass_hz),
+                "noise_rms": float(noise_rms),
+                "quant_lsb": float(quant_lsb),
+            },
+            "mode": mode,
+        }
+        if task is not None:
+            message["task"] = task
+        return self._roundtrip(encode_message(message))

@@ -226,6 +226,12 @@ class InferenceServer:
         fan independent per-model groups of one batch out; ``serial``
         and ``thread`` pools only (models and futures do not cross
         process boundaries). Defaults to a private serial pool.
+    gate:
+        Optional :class:`~repro.attack.privacy_gate.GateScorer` serving
+        leakage queries (the ``gate`` frontend op) alongside — or
+        instead of — prediction traffic. Gate scoring is a pure lookup/
+        interpolation, so it is answered synchronously by the frontend
+        and never occupies a batch slot.
     """
 
     def __init__(
@@ -238,6 +244,7 @@ class InferenceServer:
         max_queue: int = 256,
         default_timeout_s: float = 10.0,
         pool: Optional[ExecutorPool] = None,
+        gate=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -273,6 +280,9 @@ class InferenceServer:
         #: EWMA of recent batch wall time; prices ServerOverloaded's
         #: retry_after_s hint (None until the first batch completes).
         self._batch_latency_s: Optional[float] = None
+        #: Optional privacy-gate scorer; the frontend answers ``gate``
+        #: ops against it without going through the batching queue.
+        self.gate = gate
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "InferenceServer":

@@ -107,3 +107,128 @@ class TestEvaluateDefense:
         # The deployed mitigation leaves the attack viable (paper VI-A).
         assert accuracy > 2 * (1.0 / 7.0)
         assert extraction > 0.8
+
+
+class TestQuantizationDefense:
+    def test_snaps_to_grid(self):
+        from repro.attack.defense import QuantizationDefense
+
+        trace = np.array([0.0012, 0.0049, 0.0051, -0.0074])
+        defended = QuantizationDefense(lsb=0.005).postprocess(trace, 420.0)
+        assert np.allclose(defended % 0.005, 0.0, atol=1e-12)
+
+    def test_zero_lsb_is_identity(self):
+        from repro.attack.defense import QuantizationDefense
+
+        trace = np.linspace(-1, 1, 64)
+        assert np.array_equal(
+            QuantizationDefense(lsb=0.0).postprocess(trace, 420.0), trace
+        )
+
+    def test_invalid_lsb(self):
+        from repro.attack.defense import QuantizationDefense
+
+        with pytest.raises(ValueError):
+            QuantizationDefense(lsb=-0.1)
+
+
+class TestComposedDefense:
+    def test_name_joins_parts(self):
+        from repro.attack.defense import ComposedDefense
+
+        stack = ComposedDefense(
+            (RateLimitDefense(50.0), LowPassObfuscationDefense(20.0))
+        )
+        assert stack.name == "rate_limit_50hz+lowpass_20hz"
+        assert ComposedDefense(()).name == "none"
+
+    def test_apply_folds_channel_transforms(self, channel):
+        from repro.attack.defense import ComposedDefense
+
+        stack = ComposedDefense(
+            (RateLimitDefense(50.0), SensorDampingDefense(20.0))
+        )
+        defended = stack.apply(channel)
+        assert defended.accel_fs == 50.0
+        assert defended.device.loud_gain == pytest.approx(
+            channel.device.loud_gain / 10.0
+        )
+
+    def test_fingerprints_distinguish_params_and_order(self):
+        from repro.attack.defense import ComposedDefense
+
+        cap, lpf = RateLimitDefense(50.0), LowPassObfuscationDefense(20.0)
+        assert (
+            ComposedDefense((cap, lpf)).fingerprint()
+            != ComposedDefense((lpf, cap)).fingerprint()
+        )
+        assert (
+            RateLimitDefense(50.0).fingerprint()
+            != RateLimitDefense(200.0).fingerprint()
+        )
+
+
+class TestNoiseSeedCacheSeparation:
+    """Regression: defended cache entries must key on the noise seed.
+
+    The original NoiseInjectionDefense carried a shared generator whose
+    state advanced across calls — two defended collections with
+    different seeds (or the same seed, different call order) could
+    silently share or scramble CollectionCache entries. The defense is
+    now stateless (per-trace RNG derived from the trace content and the
+    seed) and the seed is part of the collection key via fingerprint().
+    """
+
+    def test_collection_keys_differ_by_seed(self, corpus, channel):
+        from repro.attack.engine import collection_key
+        from repro.attack.regions import RegionDetector
+
+        specs = corpus.specs
+        detector = RegionDetector()
+
+        def key(defense):
+            return collection_key(
+                corpus, channel, specs, detector, False, 0, defense=defense
+            )
+
+        seed0 = key(NoiseInjectionDefense(noise_rms=0.05, seed=0))
+        seed1 = key(NoiseInjectionDefense(noise_rms=0.05, seed=1))
+        assert seed0 != seed1
+        assert seed0 == key(NoiseInjectionDefense(noise_rms=0.05, seed=0))
+        assert key(None) != seed0
+
+    def test_postprocess_is_stateless(self):
+        trace = np.sin(np.linspace(0, 40, 2000)) + 9.81
+        d0 = NoiseInjectionDefense(noise_rms=0.1, seed=0)
+        first = d0.postprocess(trace, 420.0)
+        # A second call on the same instance must not advance any state.
+        assert np.array_equal(d0.postprocess(trace, 420.0), first)
+        # A fresh instance with the same seed agrees; another seed differs.
+        assert np.array_equal(
+            NoiseInjectionDefense(noise_rms=0.1, seed=0).postprocess(trace, 420.0),
+            first,
+        )
+        assert not np.array_equal(
+            NoiseInjectionDefense(noise_rms=0.1, seed=1).postprocess(trace, 420.0),
+            first,
+        )
+
+    def test_defended_collections_do_not_share_cache_entries(self, channel):
+        from repro.attack.defense import ComposedDefense
+        from repro.attack.engine import CollectionCache, collect_datasets
+
+        corpus = build_tess(words_per_emotion=2, seed=7)
+        cache = CollectionCache()
+
+        def collect(seed):
+            stack = ComposedDefense(
+                (NoiseInjectionDefense(noise_rms=0.1, seed=seed),)
+            )
+            return collect_datasets(corpus, channel, seed=0, cache=cache,
+                                    defense=stack)
+
+        seed0 = collect(0)
+        seed1 = collect(1)
+        assert seed0.features.X.tobytes() != seed1.features.X.tobytes()
+        # Same seed again: a true cache hit returning the first result.
+        assert collect(0) is seed0

@@ -65,3 +65,64 @@ class TestMain:
         ])
         assert code == 0
         assert "200 Hz" in capsys.readouterr().out
+
+
+class TestGateCli:
+    @pytest.fixture()
+    def gate_bundle(self, tmp_path):
+        from repro.attack.privacy_gate import (
+            LOWPASS_OFF,
+            DefenseAxes,
+            DefenseConfig,
+            LeakageCell,
+            LeakageReport,
+        )
+        from repro.serve.bundle import save_gate_bundle
+
+        axes = DefenseAxes(
+            rate_caps_hz=(50.0, 200.0), lowpass_hz=(LOWPASS_OFF,),
+            noise_rms=(0.0,), quant_lsb=(0.0,),
+        )
+        report = LeakageReport(
+            axes=axes, scenarios={"emotion": "synthetic"},
+            tasks=("emotion",), modes=("adaptive",),
+            classifiers=("logistic",), seed=0, noise_seed=0, subsample=4,
+        )
+        for cap, acc in ((50.0, 0.2), (200.0, 0.8)):
+            report.cells.append(
+                LeakageCell(
+                    config=DefenseConfig(rate_cap_hz=cap), task="emotion",
+                    mode="adaptive", classifier="logistic",
+                    accuracy=acc, chance=0.2, n_classes=5, n_test=10,
+                    extraction_rate=1.0,
+                )
+            )
+        path = tmp_path / "gate.zip"
+        save_gate_bundle(report, path)
+        return path
+
+    def test_gate_score_dispatches_through_main(self, gate_bundle, capsys):
+        code = main([
+            "gate", "score", "--bundle", str(gate_bundle),
+            "--rate-cap", "125", "--lowpass", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "leakage" in out
+        assert "interpolated over 2 corners" in out
+
+    def test_gate_score_refuses_out_of_range(self, gate_bundle, capsys):
+        code = main([
+            "gate", "score", "--bundle", str(gate_bundle),
+            "--rate-cap", "10", "--lowpass", "1000",
+        ])
+        assert code == 2
+        assert "REFUSED" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_defenses_table_mode(self, capsys):
+        code = main(["--table", "DEFENSES", "--subsample", "10",
+                     "--classifier", "logistic"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Defense sweep" in out

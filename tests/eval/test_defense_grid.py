@@ -1,0 +1,248 @@
+"""Tests for the defense×attack grid runner and the gate scorer.
+
+Covers the grid's failure semantics (a raising cell ships as a degraded
+value, never kills the sweep, and leaves the trace balanced), the
+static/adaptive attacker modes, the DEFENSES table wiring, and the
+GateScorer's interpolation / refusal contract on a synthetic report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack.privacy_gate import (
+    LOWPASS_OFF,
+    RATE_CAP_OFF,
+    DefenseAxes,
+    DefenseConfig,
+    GateDegradedError,
+    GateError,
+    GateRangeError,
+    GateScorer,
+    LeakageCell,
+    LeakageReport,
+    leakage_score,
+)
+from repro.eval.defense_grid import run_defense_grid
+from repro.obs import reset_observability, tracer
+
+SMALL_AXES = DefenseAxes(
+    rate_caps_hz=(RATE_CAP_OFF, 50.0),
+    lowpass_hz=(LOWPASS_OFF,),
+    noise_rms=(0.0,),
+    quant_lsb=(0.0,),
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_defense_grid(
+        axes=SMALL_AXES,
+        modes=("static", "adaptive"),
+        classifiers=("logistic",),
+        subsample=6,
+        seed=0,
+    )
+
+
+class TestGridRun:
+    def test_every_cell_materialises(self, small_report):
+        # 2 configs x 1 task x 2 modes x 1 classifier.
+        assert len(small_report.cells) == 4
+        assert not small_report.degraded_cells()
+        assert small_report.meta["n_degraded"] == 0
+        for cell in small_report.cells:
+            assert cell.status in ("ok", "denied")
+            assert 0.0 <= cell.accuracy <= 1.0
+            assert cell.chance > 0.0
+
+    def test_undefended_leaks_in_both_modes(self, small_report):
+        undefended = DefenseConfig()
+        for mode in ("static", "adaptive"):
+            summary = small_report.summary(undefended, "emotion", mode)
+            assert summary["margin"] > 0.0
+
+    def test_payload_roundtrip(self, small_report):
+        payload = small_report.to_payload()
+        loaded = LeakageReport.from_payload(payload)
+        assert loaded.tasks == small_report.tasks
+        assert loaded.axes.rate_caps_hz == small_report.axes.rate_caps_hz
+        assert len(loaded.cells) == len(small_report.cells)
+        for a, b in zip(loaded.cells, small_report.cells):
+            assert a.config.key == b.config.key
+            assert a.accuracy == b.accuracy
+            assert a.status == b.status
+
+    def test_bad_schema_rejected(self, small_report):
+        payload = small_report.to_payload()
+        payload["schema"] = "emoleak/other/v1"
+        with pytest.raises(ValueError, match="schema"):
+            LeakageReport.from_payload(payload)
+
+
+class TestFaultInjection:
+    def test_failing_collection_degrades_only_its_cells(self, monkeypatch):
+        import repro.eval.defense_grid as grid_mod
+
+        real = grid_mod._collect_defended
+
+        def flaky(scenario, task, config, *args, **kwargs):
+            if config is not None and config.rate_cap_hz == 50.0:
+                raise RuntimeError("sensor bus reset mid-pass")
+            return real(scenario, task, config, *args, **kwargs)
+
+        monkeypatch.setattr(grid_mod, "_collect_defended", flaky)
+        reset_observability()
+        try:
+            report = run_defense_grid(
+                axes=SMALL_AXES,
+                modes=("adaptive",),
+                classifiers=("logistic",),
+                subsample=6,
+                seed=0,
+            )
+            # The sweep completed; only the poisoned config degraded.
+            degraded = report.degraded_cells()
+            assert degraded and all(
+                c.config.rate_cap_hz == 50.0 for c in degraded
+            )
+            for cell in degraded:
+                assert "sensor bus reset" in cell.error
+            healthy = report.summary(DefenseConfig(), "emotion", "adaptive")
+            assert healthy is not None and healthy["status"] == "ok"
+            # Degraded configs never enter the safe frontier.
+            assert all(
+                c.rate_cap_hz != 50.0 for c in report.safe_frontier()
+            )
+            # The trace stayed balanced: one closed grid span.
+            grids = tracer().find("defense_grid")
+            assert len(grids) == 1 and grids[0].status == "ok"
+        finally:
+            reset_observability()
+
+    def test_failing_training_cell_degrades_not_raises(self, monkeypatch):
+        import repro.eval.defense_grid as grid_mod
+
+        real = grid_mod._score_cell
+
+        def flaky(mode, *args, **kwargs):
+            if mode == "static":
+                raise RuntimeError("solver diverged")
+            return real(mode, *args, **kwargs)
+
+        monkeypatch.setattr(grid_mod, "_score_cell", flaky)
+        report = run_defense_grid(
+            axes=SMALL_AXES,
+            modes=("static", "adaptive"),
+            classifiers=("logistic",),
+            subsample=6,
+            seed=0,
+        )
+        degraded = report.degraded_cells()
+        assert degraded and all(c.mode == "static" for c in degraded)
+        assert all(c.status == "ok" for c in report.cells if c.mode == "adaptive")
+
+
+class TestDefensesTableWiring:
+    def test_run_table_defenses(self):
+        from repro.eval.suite import run_table
+
+        suite = run_table(
+            "DEFENSES", subsample=10, seed=0, fast=True,
+            classifiers=("logistic",),
+        )
+        assert set(name for name, _ in suite.cells) == {
+            "undefended", "cap200", "cap50", "cap50+lpf20",
+        }
+        rendered = suite.render()
+        assert "Defense sweep" in rendered
+        assert "cap50+lpf20 (adaptive)" in rendered
+
+
+def _synthetic_report() -> LeakageReport:
+    axes = DefenseAxes(
+        rate_caps_hz=(50.0, 200.0),
+        lowpass_hz=(20.0, LOWPASS_OFF),
+        noise_rms=(0.0,),
+        quant_lsb=(0.0,),
+    )
+    report = LeakageReport(
+        axes=axes,
+        scenarios={"emotion": "synthetic"},
+        tasks=("emotion",),
+        modes=("adaptive",),
+        classifiers=("logistic",),
+        seed=0,
+        noise_seed=0,
+        subsample=4,
+    )
+    accuracy = {
+        (50.0, 20.0): 0.1,
+        (50.0, LOWPASS_OFF): 0.3,
+        (200.0, 20.0): 0.5,
+        (200.0, LOWPASS_OFF): 0.9,
+    }
+    for (cap, lpf), acc in accuracy.items():
+        report.cells.append(
+            LeakageCell(
+                config=DefenseConfig(rate_cap_hz=cap, lowpass_hz=lpf),
+                task="emotion",
+                mode="adaptive",
+                classifier="logistic",
+                accuracy=acc,
+                chance=0.1,
+                n_classes=10,
+                n_test=20,
+                extraction_rate=1.0,
+            )
+        )
+    return report
+
+
+class TestGateScorer:
+    def test_exact_cell(self):
+        scorer = GateScorer(_synthetic_report())
+        out = scorer.score(200.0, LOWPASS_OFF, 0.0, 0.0)
+        assert out["exact"] and out["n_corners"] == 1
+        assert out["accuracy"] == pytest.approx(0.9)
+        assert out["margin"] == pytest.approx(0.8)
+        assert out["leakage"] == pytest.approx(leakage_score(0.9, 0.1))
+
+    def test_midpoint_interpolates_both_axes(self):
+        scorer = GateScorer(_synthetic_report())
+        out = scorer.score(125.0, 510.0, 0.0, 0.0)
+        assert not out["exact"] and out["n_corners"] == 4
+        assert out["accuracy"] == pytest.approx(
+            np.mean([0.1, 0.3, 0.5, 0.9])
+        )
+
+    def test_weighted_interpolation_on_one_axis(self):
+        scorer = GateScorer(_synthetic_report())
+        # 80% of the way from cap50 to cap200 at lpf 20.
+        out = scorer.score(170.0, 20.0, 0.0, 0.0)
+        assert out["accuracy"] == pytest.approx(0.2 * 0.1 + 0.8 * 0.5)
+
+    def test_extrapolation_refused(self):
+        scorer = GateScorer(_synthetic_report())
+        with pytest.raises(GateRangeError, match="rate_cap_hz"):
+            scorer.score(25.0, 20.0, 0.0, 0.0)
+        with pytest.raises(GateRangeError, match="noise_rms"):
+            scorer.score(100.0, 20.0, 0.5, 0.0)
+
+    def test_unknown_task_or_mode_rejected(self):
+        scorer = GateScorer(_synthetic_report())
+        with pytest.raises(GateError, match="task"):
+            scorer.score(200.0, 20.0, 0.0, 0.0, task="speaker-id")
+        with pytest.raises(GateError, match="mode"):
+            scorer.score(200.0, 20.0, 0.0, 0.0, mode="static")
+
+    def test_degraded_corner_raises(self):
+        report = _synthetic_report()
+        for cell in report.cells:
+            if cell.config.rate_cap_hz == 50.0 and cell.config.lowpass_hz == 20.0:
+                cell.status = "degraded"
+                cell.error = "boom"
+        scorer = GateScorer(report)
+        with pytest.raises(GateDegradedError):
+            scorer.score(50.0, 20.0, 0.0, 0.0)
+        # Queries not touching the degraded corner still answer.
+        assert scorer.score(200.0, LOWPASS_OFF, 0.0, 0.0)["exact"]

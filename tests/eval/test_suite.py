@@ -9,8 +9,11 @@ from repro.parallel import ExecutorPool
 
 class TestTableDefinitions:
     def test_all_paper_tables_defined(self):
-        # The paper's four tables plus the sibling-attack comparison.
-        assert set(TABLE_DEFINITIONS) == {"III", "IV", "V", "VI", "ATTACKS"}
+        # The paper's four tables plus the sibling-attack comparison and
+        # the Section VI-B defense sweep.
+        assert set(TABLE_DEFINITIONS) == {
+            "III", "IV", "V", "VI", "ATTACKS", "DEFENSES",
+        }
 
     def test_row_sets_match_paper(self):
         _, rows_iii = TABLE_DEFINITIONS["III"]

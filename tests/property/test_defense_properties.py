@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for composable defense stacks.
+
+Three invariant families:
+
+- algebra: the empty stack is the identity on both the channel and the
+  sensor stream, and composition order is *not* forgotten — a rate cap
+  followed by a low-pass sees aliased spectra the reverse order never
+  produces, so the two stacks must disagree on broadband traces;
+- stream invariants: postprocess of any non-decimating stack preserves
+  the trace's shape and float64 dtype, never emits NaN/inf on finite
+  input, and a decimating stack shrinks the stream by exactly the
+  composed stride; and
+- statelessness: every defense answers the same trace with the same
+  bytes no matter how many times (or in what order) it is called — the
+  contract the CollectionCache relies on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.defense import (
+    ComposedDefense,
+    Defense,
+    LowPassObfuscationDefense,
+    NoiseInjectionDefense,
+    QuantizationDefense,
+    RateLimitDefense,
+)
+
+_SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+_TONES = st.lists(
+    st.floats(min_value=5.0, max_value=180.0), min_size=1, max_size=4
+)
+_FS = 420.0
+
+
+def _trace(seed, tones, n=2048):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / _FS
+    trace = 9.81 + 0.01 * rng.normal(size=n)
+    for k, tone in enumerate(tones):
+        trace = trace + 0.1 / (k + 1) * np.sin(2 * np.pi * tone * t)
+    return trace
+
+
+_STAGES = st.sampled_from(
+    [
+        LowPassObfuscationDefense(cutoff_hz=20.0),
+        LowPassObfuscationDefense(cutoff_hz=60.0),
+        NoiseInjectionDefense(noise_rms=0.05, seed=3),
+        QuantizationDefense(lsb=0.01),
+    ]
+)
+_STACKS = st.lists(_STAGES, min_size=0, max_size=3).map(
+    lambda parts: ComposedDefense(tuple(parts))
+)
+
+
+class TestComposedAlgebra:
+    @given(_SEEDS, _TONES)
+    @settings(max_examples=40, deadline=None)
+    def test_empty_stack_is_identity(self, seed, tones):
+        empty = ComposedDefense(())
+        trace = _trace(seed, tones)
+        assert np.array_equal(empty.postprocess(trace, _FS), trace)
+        assert empty.stream_stride(_FS) == 1
+        assert empty.stream_fs(_FS) == _FS
+
+    def test_empty_stack_identity_on_channel(self):
+        from repro.phone.channel import VibrationChannel
+
+        channel = VibrationChannel("oneplus7t")
+        defended = ComposedDefense(()).apply(channel)
+        assert defended.accel_fs == channel.accel_fs
+        assert defended.device.loud_gain == channel.device.loud_gain
+
+    @given(_SEEDS, st.floats(min_value=80.0, max_value=180.0))
+    @settings(max_examples=30, deadline=None)
+    def test_cap_then_lowpass_differs_from_lowpass_then_cap(self, seed, tone):
+        """Decimation before filtering aliases; after filtering it can't.
+
+        A tone above the post-cap Nyquist (25 Hz for a 50 Hz cap) folds
+        into the passband when the cap runs first, so the two orders
+        must disagree on the surviving stream.
+        """
+        cap, lpf = RateLimitDefense(50.0), LowPassObfuscationDefense(20.0)
+        trace = _trace(seed, [tone])
+        cap_first = ComposedDefense((cap, lpf)).postprocess(trace, _FS)
+        lpf_first = ComposedDefense((lpf, cap)).postprocess(trace, _FS)
+        assert cap_first.shape == lpf_first.shape
+        assert not np.allclose(cap_first, lpf_first, atol=1e-4)
+        # The aliased order retains strictly more in-band energy.
+        assert np.std(cap_first) > np.std(lpf_first)
+
+
+class TestStreamInvariants:
+    @given(_SEEDS, _TONES, _STACKS)
+    @settings(max_examples=40, deadline=None)
+    def test_non_decimating_stack_preserves_shape_and_dtype(
+        self, seed, tones, stack
+    ):
+        trace = _trace(seed, tones)
+        out = stack.postprocess(trace, _FS)
+        assert out.shape == trace.shape
+        assert out.dtype == np.float64
+        assert np.all(np.isfinite(out))
+
+    @given(_SEEDS, _TONES, st.sampled_from([200.0, 100.0, 50.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_decimating_stack_shrinks_by_the_stride(self, seed, tones, cap_hz):
+        cap = RateLimitDefense(cap_hz)
+        stack = ComposedDefense((cap, LowPassObfuscationDefense(20.0)))
+        trace = _trace(seed, tones)
+        out = stack.postprocess(trace, _FS)
+        stride = cap.stream_stride(_FS)
+        assert stride == int(np.ceil(_FS / cap_hz))
+        assert out.shape == trace[::stride].shape
+        assert stack.stream_fs(_FS) == _FS / stride
+
+    @given(_SEEDS, _TONES)
+    @settings(max_examples=30, deadline=None)
+    def test_base_defense_hooks_are_identity(self, seed, tones):
+        trace = _trace(seed, tones)
+        base = Defense()
+        assert np.array_equal(base.postprocess(trace, _FS), trace)
+        assert base.stream_stride(_FS) == 1
+
+
+class TestStatelessness:
+    @given(_SEEDS, _TONES, _STACKS)
+    @settings(max_examples=40, deadline=None)
+    def test_repeated_calls_are_byte_identical(self, seed, tones, stack):
+        trace = _trace(seed, tones)
+        first = stack.postprocess(trace, _FS)
+        # Interleave a call on an unrelated trace to catch hidden state.
+        stack.postprocess(_trace(seed + 1, tones), _FS)
+        again = stack.postprocess(trace, _FS)
+        assert first.tobytes() == again.tobytes()
+
+    @given(_SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_noise_is_content_keyed_not_call_keyed(self, seed):
+        d = NoiseInjectionDefense(noise_rms=0.1, seed=0)
+        a, b = _trace(seed, [40.0]), _trace(seed + 1, [40.0])
+        noise_a = d.postprocess(a, _FS) - a
+        noise_b = d.postprocess(b, _FS) - b
+        # Different content draws different noise...
+        assert not np.array_equal(noise_a, noise_b)
+        # ...but the same content always draws the same noise.
+        assert np.array_equal(d.postprocess(a, _FS) - a, noise_a)

@@ -1,0 +1,191 @@
+"""Gate bundles and the frontend's leakage-scoring endpoint.
+
+The gate bundle reuses the model-bundle container (manifest, per-member
+hashes, zip/directory layouts), so it inherits the same trust boundary:
+every member hash is verified *before* any JSON is parsed, and a model
+loader refuses a gate artifact (and vice versa) instead of guessing.
+The frontend answers ``gate`` ops synchronously next to prediction
+traffic; these tests drive the full TCP loopback path.
+"""
+
+import zipfile
+
+import pytest
+
+from repro.attack.privacy_gate import (
+    LOWPASS_OFF,
+    DefenseAxes,
+    DefenseConfig,
+    GateScorer,
+    LeakageCell,
+    LeakageReport,
+)
+from repro.serve.bundle import (
+    GATE_KIND,
+    BundleFormatError,
+    BundleIntegrityError,
+    ModelBundle,
+    load_bundle,
+    load_gate_bundle,
+    save_bundle,
+    save_gate_bundle,
+)
+from repro.serve.frontend import FrontendClient, ServingFrontend
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import InferenceServer
+
+
+def _report() -> LeakageReport:
+    axes = DefenseAxes(
+        rate_caps_hz=(50.0, 200.0),
+        lowpass_hz=(LOWPASS_OFF,),
+        noise_rms=(0.0,),
+        quant_lsb=(0.0,),
+    )
+    report = LeakageReport(
+        axes=axes,
+        scenarios={"emotion": "synthetic"},
+        tasks=("emotion",),
+        modes=("adaptive",),
+        classifiers=("logistic",),
+        seed=0,
+        noise_seed=0,
+        subsample=4,
+    )
+    for cap, acc in ((50.0, 0.2), (200.0, 0.8)):
+        report.cells.append(
+            LeakageCell(
+                config=DefenseConfig(rate_cap_hz=cap),
+                task="emotion",
+                mode="adaptive",
+                classifier="logistic",
+                accuracy=acc,
+                chance=0.2,
+                n_classes=5,
+                n_test=10,
+                extraction_rate=1.0,
+            )
+        )
+    return report
+
+
+@pytest.fixture()
+def gate_zip(tmp_path):
+    path = tmp_path / "gate.zip"
+    save_gate_bundle(_report(), path)
+    return path
+
+
+class TestGateBundleRoundtrip:
+    def test_save_load_roundtrip(self, gate_zip):
+        manifest, report = load_gate_bundle(gate_zip)
+        assert manifest.provenance["kind"] == GATE_KIND
+        assert manifest.labels == ["emotion"]
+        assert report.tasks == ("emotion",)
+        assert len(report.cells) == 2
+        assert report.cells[0].accuracy in (0.2, 0.8)
+
+    def test_directory_layout_roundtrip(self, tmp_path):
+        path = tmp_path / "gate-dir"
+        save_gate_bundle(_report(), path)
+        _, report = load_gate_bundle(path)
+        assert len(report.cells) == 2
+
+    def test_model_loader_refuses_gate_bundle(self, gate_zip):
+        with pytest.raises(BundleFormatError, match="no predictor"):
+            load_bundle(gate_zip)
+
+    def test_gate_loader_refuses_model_bundle(self, tmp_path, fitted_logistic):
+        bundle = ModelBundle.create(
+            "blobs", "1", classifier=fitted_logistic,
+            provenance={"source": "tests"},
+        )
+        path = tmp_path / "model.zip"
+        save_bundle(bundle, path)
+        with pytest.raises(BundleFormatError, match="not a privacy-gate"):
+            load_gate_bundle(path)
+
+
+class TestGateBundleTampering:
+    def test_flipped_member_byte_rejected_before_parsing(self, gate_zip, monkeypatch):
+        """Integrity fires before a single byte of gate JSON is parsed."""
+        import repro.attack.privacy_gate as gate_mod
+
+        def bomb(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("parsed a tampered gate payload")
+
+        monkeypatch.setattr(gate_mod.LeakageReport, "from_payload", bomb)
+        with zipfile.ZipFile(gate_zip) as zf:
+            members = {info.filename: zf.read(info) for info in zf.infolist()}
+        payload = bytearray(members["gate.json"])
+        payload[len(payload) // 2] ^= 0x01
+        members["gate.json"] = bytes(payload)
+        with zipfile.ZipFile(gate_zip, "w") as zf:
+            for name, data in members.items():
+                zf.writestr(name, data)
+        with pytest.raises(BundleIntegrityError, match="gate.json"):
+            load_gate_bundle(gate_zip)
+
+    def test_truncated_directory_member_rejected(self, tmp_path):
+        path = tmp_path / "gate-dir"
+        save_gate_bundle(_report(), path)
+        member = path / "gate.json"
+        member.write_bytes(member.read_bytes()[:-12])
+        with pytest.raises(BundleIntegrityError, match="gate.json"):
+            load_gate_bundle(path)
+
+
+class TestGateEndpoint:
+    def _serve(self, gate):
+        server = InferenceServer(ModelRegistry(), gate=gate)
+        return server
+
+    def test_scores_through_the_loopback(self, gate_zip):
+        _, report = load_gate_bundle(gate_zip)
+        with self._serve(GateScorer(report)) as server:
+            with ServingFrontend(server, host="127.0.0.1", port=0) as frontend:
+                with FrontendClient("127.0.0.1", frontend.port) as client:
+                    exact = client.gate_score(
+                        rate_cap_hz=200.0, lowpass_hz=LOWPASS_OFF,
+                        noise_rms=0.0, quant_lsb=0.0,
+                    )
+                    interp = client.gate_score(
+                        rate_cap_hz=125.0, lowpass_hz=LOWPASS_OFF,
+                        noise_rms=0.0, quant_lsb=0.0,
+                    )
+                    refused = client.gate_score(
+                        rate_cap_hz=10.0, lowpass_hz=LOWPASS_OFF,
+                        noise_rms=0.0, quant_lsb=0.0,
+                    )
+        assert exact["status"] == "ok" and exact["exact"]
+        assert exact["accuracy"] == pytest.approx(0.8)
+        assert interp["status"] == "ok" and not interp["exact"]
+        assert interp["accuracy"] == pytest.approx(0.5)
+        assert refused["status"] == "refused"
+        assert "extrapolation refused" in refused["error"]
+
+    def test_no_gate_loaded_is_an_error_reply(self):
+        with self._serve(None) as server:
+            with ServingFrontend(server, host="127.0.0.1", port=0) as frontend:
+                with FrontendClient("127.0.0.1", frontend.port) as client:
+                    reply = client.gate_score(
+                        rate_cap_hz=200.0, lowpass_hz=LOWPASS_OFF,
+                        noise_rms=0.0, quant_lsb=0.0,
+                    )
+        assert reply["status"] == "error"
+        assert "no privacy gate" in reply["error"]
+
+    def test_malformed_config_is_an_error_reply(self, gate_zip):
+        from repro.serve.protocol import encode_message
+
+        _, report = load_gate_bundle(gate_zip)
+        with self._serve(GateScorer(report)) as server:
+            with ServingFrontend(server, host="127.0.0.1", port=0) as frontend:
+                with FrontendClient("127.0.0.1", frontend.port) as client:
+                    reply = client._roundtrip(
+                        encode_message(
+                            {"op": "gate", "id": 1, "config": {"rate_cap_hz": 200.0}}
+                        )
+                    )
+        assert reply["status"] == "error"
+        assert "lowpass_hz" in reply["error"]
